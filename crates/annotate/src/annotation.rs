@@ -1,0 +1,119 @@
+//! Annotation result types.
+
+use gittables_ontology::{OntologyKind, TypeId};
+use serde::{Deserialize, Serialize};
+
+/// Which annotation method produced an annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Exact normalized-label matching (§3.4 "syntactic annotation method").
+    Syntactic,
+    /// Embedding cosine matching (§3.4 "semantic annotation method").
+    Semantic,
+}
+
+impl Method {
+    /// Display name as used in the paper's tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Syntactic => "Syntactic",
+            Method::Semantic => "Semantic",
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One column annotation with its confidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Annotation {
+    /// Index of the annotated column within its table.
+    pub column: usize,
+    /// Id of the semantic type in the source ontology.
+    pub type_id: TypeId,
+    /// Normalized label of the semantic type (denormalized copy for
+    /// downstream statistics without an ontology lookup).
+    pub label: String,
+    /// The ontology the type comes from.
+    pub ontology: OntologyKind,
+    /// The method that produced the annotation.
+    pub method: Method,
+    /// Cosine similarity (semantic) or `1.0` (syntactic exact match).
+    pub similarity: f32,
+}
+
+/// All annotations of one table by one `(method, ontology)` pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TableAnnotations {
+    /// The annotations, at most one per column, ordered by column index.
+    pub annotations: Vec<Annotation>,
+    /// Number of columns in the annotated table.
+    pub num_columns: usize,
+}
+
+impl TableAnnotations {
+    /// Annotation for column `idx`, if any.
+    #[must_use]
+    pub fn for_column(&self, idx: usize) -> Option<&Annotation> {
+        self.annotations.iter().find(|a| a.column == idx)
+    }
+
+    /// Fraction of columns annotated, in `[0, 1]` (Fig. 4b's metric).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.num_columns == 0 {
+            return 0.0;
+        }
+        self.annotations.len() as f64 / self.num_columns as f64
+    }
+
+    /// Whether at least one column is annotated (the "annotated tables"
+    /// counter of Table 5).
+    #[must_use]
+    pub fn any(&self) -> bool {
+        !self.annotations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(col: usize) -> Annotation {
+        Annotation {
+            column: col,
+            type_id: 0,
+            label: "id".into(),
+            ontology: OntologyKind::DBpedia,
+            method: Method::Syntactic,
+            similarity: 1.0,
+        }
+    }
+
+    #[test]
+    fn coverage() {
+        let t = TableAnnotations { annotations: vec![ann(0), ann(2)], num_columns: 4 };
+        assert!((t.coverage() - 0.5).abs() < 1e-12);
+        assert!(t.any());
+        assert!(t.for_column(2).is_some());
+        assert!(t.for_column(1).is_none());
+    }
+
+    #[test]
+    fn empty_table_coverage_zero() {
+        let t = TableAnnotations::default();
+        assert_eq!(t.coverage(), 0.0);
+        assert!(!t.any());
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(Method::Syntactic.to_string(), "Syntactic");
+        assert_eq!(Method::Semantic.to_string(), "Semantic");
+    }
+}

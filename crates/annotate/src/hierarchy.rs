@@ -1,0 +1,128 @@
+//! Hierarchy-aware annotation scoring (§3.4).
+//!
+//! "One could adopt a loss or evaluation function for a semantic type
+//! prediction model that favors a less granular type (e.g. the type `place`
+//! for a ground-truth column of type `city`), instead of predicting an
+//! unrelated type (e.g. `size`)." This module implements that graded score
+//! over the ontology's superclass links.
+
+use gittables_ontology::Ontology;
+
+/// Graded agreement between a predicted and a gold type label:
+///
+/// * `1.0` — same type;
+/// * `hierarchy_credit` (default 0.5) — one is an ancestor of the other
+///   (`city` vs `place`, `product id` vs `id`);
+/// * `sibling_credit` (default 0.25) — both specialize a common parent
+///   (`order id` vs `product id`);
+/// * `0.0` — unrelated.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyScorer {
+    /// Credit for ancestor/descendant matches.
+    pub hierarchy_credit: f64,
+    /// Credit for sibling matches (shared direct parent).
+    pub sibling_credit: f64,
+}
+
+impl Default for HierarchyScorer {
+    fn default() -> Self {
+        HierarchyScorer { hierarchy_credit: 0.5, sibling_credit: 0.25 }
+    }
+}
+
+impl HierarchyScorer {
+    /// Scores a `(predicted, gold)` label pair against `ontology`.
+    /// Labels unknown to the ontology only score on exact equality.
+    #[must_use]
+    pub fn score(&self, ontology: &Ontology, predicted: &str, gold: &str) -> f64 {
+        if gittables_ontology::normalize_label(predicted)
+            == gittables_ontology::normalize_label(gold)
+        {
+            return 1.0;
+        }
+        let (Some(p), Some(g)) = (ontology.lookup(predicted), ontology.lookup(gold)) else {
+            return 0.0;
+        };
+        if ontology.is_a(p.id, g.id) || ontology.is_a(g.id, p.id) {
+            return self.hierarchy_credit;
+        }
+        // Sibling: shared nearest ancestor.
+        let pa = ontology.ancestors(p.id);
+        let ga = ontology.ancestors(g.id);
+        if let (Some(pp), Some(gp)) = (pa.first(), ga.first()) {
+            if pp.id == gp.id {
+                return self.sibling_credit;
+            }
+        }
+        0.0
+    }
+
+    /// Mean graded score over `(predicted, gold)` pairs; 0 for empty input.
+    #[must_use]
+    pub fn mean_score<'a, I>(&self, ontology: &Ontology, pairs: I) -> f64
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (p, g) in pairs {
+            sum += self.score(ontology, p, g);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gittables_ontology::dbpedia;
+
+    #[test]
+    fn exact_match_full_credit() {
+        let o = dbpedia();
+        let s = HierarchyScorer::default();
+        assert_eq!(s.score(&o, "city", "city"), 1.0);
+        assert_eq!(s.score(&o, "City", "city"), 1.0); // normalization
+    }
+
+    #[test]
+    fn ancestor_gets_partial_credit() {
+        let o = dbpedia();
+        let s = HierarchyScorer::default();
+        // city → location in the DBpedia core.
+        assert_eq!(s.score(&o, "city", "location"), 0.5);
+        assert_eq!(s.score(&o, "location", "city"), 0.5);
+        // compound → base.
+        assert_eq!(s.score(&o, "product id", "id"), 0.5);
+    }
+
+    #[test]
+    fn siblings_get_smaller_credit() {
+        let o = dbpedia();
+        let s = HierarchyScorer::default();
+        // order id and product id both specialize id.
+        assert_eq!(s.score(&o, "order id", "product id"), 0.25);
+    }
+
+    #[test]
+    fn unrelated_zero() {
+        let o = dbpedia();
+        let s = HierarchyScorer::default();
+        assert_eq!(s.score(&o, "city", "voltage"), 0.0);
+        assert_eq!(s.score(&o, "unknownlabelzz", "city"), 0.0);
+    }
+
+    #[test]
+    fn mean_score() {
+        let o = dbpedia();
+        let s = HierarchyScorer::default();
+        let m = s.mean_score(&o, [("city", "city"), ("city", "location"), ("city", "voltage")]);
+        assert!((m - 0.5).abs() < 1e-12);
+        assert_eq!(s.mean_score(&o, std::iter::empty()), 0.0);
+    }
+}

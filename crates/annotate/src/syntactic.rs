@@ -1,0 +1,124 @@
+//! Syntactic annotation: exact matching of preprocessed column names to
+//! ontology type labels (§3.4, informed by Sherlock's label handling).
+
+use std::sync::Arc;
+
+use gittables_ontology::{contains_digit, normalize_label, Ontology};
+use gittables_table::Table;
+
+use crate::annotation::{Annotation, Method, TableAnnotations};
+
+/// The strict exact-match annotator.
+#[derive(Debug, Clone)]
+pub struct SyntacticAnnotator {
+    ontology: Arc<Ontology>,
+}
+
+impl SyntacticAnnotator {
+    /// Creates an annotator for `ontology`.
+    #[must_use]
+    pub fn new(ontology: Arc<Ontology>) -> Self {
+        SyntacticAnnotator { ontology }
+    }
+
+    /// The backing ontology.
+    #[must_use]
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// Annotates a single column name. `None` when the name normalizes to an
+    /// empty string, contains a digit (§3.4's numeral rule), or has no exact
+    /// label match.
+    #[must_use]
+    pub fn annotate_name(&self, column: usize, name: &str) -> Option<Annotation> {
+        let norm = normalize_label(name);
+        if norm.is_empty() || contains_digit(&norm) {
+            return None;
+        }
+        let ty = self.ontology.lookup(&norm)?;
+        Some(Annotation {
+            column,
+            type_id: ty.id,
+            label: ty.label.clone(),
+            ontology: self.ontology.kind(),
+            method: Method::Syntactic,
+            similarity: 1.0,
+        })
+    }
+
+    /// Annotates every column of `table`.
+    #[must_use]
+    pub fn annotate(&self, table: &Table) -> TableAnnotations {
+        let annotations = table
+            .columns()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| self.annotate_name(i, c.name()))
+            .collect();
+        TableAnnotations { annotations, num_columns: table.num_columns() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gittables_ontology::dbpedia;
+
+    fn annotator() -> SyntacticAnnotator {
+        SyntacticAnnotator::new(Arc::new(dbpedia()))
+    }
+
+    fn table() -> Table {
+        Table::from_rows(
+            "t",
+            &["Isolate Id", "Species", "Organism Group", "country", "col3", "xyzzynope"],
+            &[&["1", "Enterococcus faecium", "Enterococcus spp", "Vietnam", "a", "b"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_matches_found() {
+        let anns = annotator().annotate(&table());
+        let labels: Vec<&str> = anns.annotations.iter().map(|a| a.label.as_str()).collect();
+        assert!(labels.contains(&"species"));
+        assert!(labels.contains(&"organism group"));
+        assert!(labels.contains(&"country"));
+    }
+
+    #[test]
+    fn normalization_applied() {
+        let a = annotator().annotate_name(0, "Birth_Date").unwrap();
+        assert_eq!(a.label, "birth date");
+        assert_eq!(a.similarity, 1.0);
+        assert_eq!(a.method, Method::Syntactic);
+    }
+
+    #[test]
+    fn digit_names_skipped() {
+        assert!(annotator().annotate_name(0, "col3").is_none());
+        assert!(annotator().annotate_name(0, "2021").is_none());
+    }
+
+    #[test]
+    fn unknown_names_skipped() {
+        assert!(annotator().annotate_name(0, "xyzzynope").is_none());
+        assert!(annotator().annotate_name(0, "").is_none());
+        assert!(annotator().annotate_name(0, "___").is_none());
+    }
+
+    #[test]
+    fn camel_case_compound_matches() {
+        // "productId" normalizes to "product id", a generated compound type.
+        let a = annotator().annotate_name(0, "productId").unwrap();
+        assert_eq!(a.label, "product id");
+    }
+
+    #[test]
+    fn coverage_counts_columns() {
+        let anns = annotator().annotate(&table());
+        assert_eq!(anns.num_columns, 6);
+        assert!(anns.coverage() > 0.4 && anns.coverage() < 1.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Annotation throughput: syntactic vs semantic, and the inverted-n-gram
+//! candidate-pruning ablation (DESIGN.md §4.2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gittables_annotate::{SemanticAnnotator, SyntacticAnnotator};
+use gittables_ontology::dbpedia;
+use gittables_table::Table;
+use std::sync::Arc;
+
+fn sample_table() -> Table {
+    Table::from_rows(
+        "t",
+        &[
+            "Isolate Id", "Study", "Species", "Organism Group", "Country",
+            "State", "Gender", "Age Group", "total_price", "created_at",
+            "cust_name", "ship_city",
+        ],
+        &[&["1", "TEST", "Enterococcus faecium", "Enterococcus spp", "Vietnam",
+            "nan", "Male", "19 to 64 Years", "58.3", "2020-01-01", "J Smith", "Hanoi"]],
+    )
+    .expect("valid table")
+}
+
+fn bench_annotation(c: &mut Criterion) {
+    let ont = Arc::new(dbpedia());
+    let syntactic = SyntacticAnnotator::new(ont.clone());
+    let semantic = SemanticAnnotator::new(ont.clone());
+    let mut brute = SemanticAnnotator::new(ont);
+    brute.use_pruning = false;
+    let table = sample_table();
+
+    let mut group = c.benchmark_group("annotation");
+    group.bench_function("syntactic_table", |b| {
+        b.iter(|| black_box(syntactic.annotate(black_box(&table))));
+    });
+    group.bench_function("semantic_pruned_table", |b| {
+        b.iter(|| black_box(semantic.annotate(black_box(&table))));
+    });
+    group.bench_function("semantic_brute_table", |b| {
+        b.iter(|| black_box(brute.annotate(black_box(&table))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_annotation);
+criterion_main!(benches);

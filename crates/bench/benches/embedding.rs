@@ -1,0 +1,32 @@
+//! Embedding benchmarks: word/phrase embedding and nearest-neighbour search
+//! over the full ontology label set.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gittables_embed::{EmbeddingIndex, NgramEmbedder, SentenceEncoder};
+use gittables_ontology::dbpedia;
+
+fn bench_embedding(c: &mut Criterion) {
+    let embedder = NgramEmbedder::default();
+    let encoder = SentenceEncoder::default();
+    let ont = dbpedia();
+    let labels: Vec<&str> = ont.types().iter().map(|t| t.label.as_str()).collect();
+    let index = EmbeddingIndex::build(NgramEmbedder::default(), &labels);
+
+    let mut group = c.benchmark_group("embedding");
+    group.bench_function("embed_word", |b| {
+        b.iter(|| black_box(embedder.embed(black_box("tracking number"))));
+    });
+    group.bench_function("encode_sentence", |b| {
+        b.iter(|| black_box(encoder.embed(black_box("status and sales amount per product"))));
+    });
+    group.bench_function("nn_pruned_2831_labels", |b| {
+        b.iter(|| black_box(index.nearest_pruned(black_box("cust_name"), 1)));
+    });
+    group.bench_function("nn_brute_2831_labels", |b| {
+        b.iter(|| black_box(index.nearest_brute(black_box("cust_name"), 1)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Sherlock-style feature extraction throughput (1 188 features per column).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gittables_ml::FeatureExtractor;
+use gittables_synth::ValueKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn column(kind: ValueKind, n: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n).map(|i| kind.generate(&mut rng, i)).collect()
+}
+
+fn bench_features(c: &mut Criterion) {
+    let extractor = FeatureExtractor::default();
+    let numeric = column(ValueKind::Measurement, 150);
+    let text = column(ValueKind::Text, 150);
+    let names = column(ValueKind::FullName, 150);
+
+    let mut group = c.benchmark_group("features");
+    group.throughput(Throughput::Elements(150));
+    group.bench_function("numeric_column_150_cells", |b| {
+        b.iter(|| black_box(extractor.extract(black_box(&numeric))));
+    });
+    group.bench_function("text_column_150_cells", |b| {
+        b.iter(|| black_box(extractor.extract(black_box(&text))));
+    });
+    group.bench_function("name_column_150_cells", |b| {
+        b.iter(|| black_box(extractor.extract(black_box(&names))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

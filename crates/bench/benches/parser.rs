@@ -1,0 +1,38 @@
+//! CSV parsing throughput: the substrate every corpus build pays for.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gittables_synth::schema::{Domain, SchemaSampler};
+use gittables_synth::tablegen::generate_table;
+use gittables_synth::{render_csv, MessModel};
+use gittables_tablecsv::{read_csv, ReadOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample(seed: u64, messy: bool) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = SchemaSampler::default();
+    let plan = sampler.sample(&mut rng, "order", Domain::Business);
+    let table = generate_table(&mut rng, &plan);
+    let model = if messy { MessModel::default() } else { MessModel::clean() };
+    render_csv(&mut rng, &table, &model)
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let clean = sample(1, false);
+    let messy = sample(2, true);
+    let opts = ReadOptions::default();
+
+    let mut group = c.benchmark_group("parser");
+    group.throughput(Throughput::Bytes(clean.len() as u64));
+    group.bench_function("read_csv_clean", |b| {
+        b.iter(|| black_box(read_csv(black_box(&clean), &opts)));
+    });
+    group.throughput(Throughput::Bytes(messy.len() as u64));
+    group.bench_function("read_csv_messy", |b| {
+        b.iter(|| black_box(read_csv(black_box(&messy), &opts)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! End-to-end pipeline benchmark: extract → parse → curate → annotate →
+//! anonymize on a small host (the per-corpus build cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gittables_core::{Pipeline, PipelineConfig};
+use gittables_githost::GitHost;
+use gittables_synth::wordnet::topic_subset;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let config = PipelineConfig {
+        topics: topic_subset(2),
+        repos_per_topic: 6,
+        ..PipelineConfig::small(11)
+    };
+    let pipeline = Pipeline::new(config);
+    let host = GitHost::new();
+    pipeline.populate_host(&host);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("run_2_topics_6_repos", |b| {
+        b.iter(|| black_box(pipeline.run(black_box(&host))));
+    });
+    group.bench_function("extract_only", |b| {
+        b.iter(|| black_box(pipeline.extract_all(black_box(&host))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

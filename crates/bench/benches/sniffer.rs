@@ -1,0 +1,55 @@
+//! Dialect-sniffing benchmarks, including the row-consistency vs
+//! naive-frequency ablation (DESIGN.md §4.1).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gittables_synth::schema::{Domain, SchemaSampler};
+use gittables_synth::tablegen::generate_table;
+use gittables_synth::{render_csv, MessModel};
+use gittables_tablecsv::{sniff, sniff_naive};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_files(n: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let sampler = SchemaSampler::default();
+    let model = MessModel::default();
+    (0..n)
+        .map(|_| {
+            let plan = sampler.sample(&mut rng, "order", Domain::Business);
+            let table = generate_table(&mut rng, &plan);
+            render_csv(&mut rng, &table, &model)
+        })
+        .collect()
+}
+
+fn bench_sniffer(c: &mut Criterion) {
+    let files = sample_files(32);
+    let mut group = c.benchmark_group("sniffer");
+    group.bench_function("consistency_scoring", |b| {
+        b.iter(|| {
+            for f in &files {
+                black_box(sniff(black_box(f)));
+            }
+        });
+    });
+    group.bench_function("naive_frequency", |b| {
+        b.iter(|| {
+            for f in &files {
+                black_box(sniff_naive(black_box(f)));
+            }
+        });
+    });
+    group.finish();
+
+    // Accuracy side of the ablation, printed once for EXPERIMENTS.md.
+    let mut agree = 0usize;
+    for f in &files {
+        if sniff(f).map(|d| d.delimiter) == sniff_naive(f).map(|d| d.delimiter) {
+            agree += 1;
+        }
+    }
+    eprintln!("[sniffer ablation] naive agrees with consistency on {agree}/{} files", files.len());
+}
+
+criterion_group!(benches, bench_sniffer);
+criterion_main!(benches);

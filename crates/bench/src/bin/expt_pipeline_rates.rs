@@ -1,0 +1,62 @@
+//! §3.3 pipeline rates — parse rate, curation filter rate, license rate,
+//! PII anonymization rate.
+//!
+//! Paper: 99.3 % of CSV files parse into tables; ≈16 % of tables come from
+//! permissively-licensed repositories; the quality filters drop ≈9 % of
+//! tables; 0.3 % of columns are anonymized.
+
+use gittables_bench::{build_pipeline, print_table, ExptArgs};
+use gittables_githost::GitHost;
+
+fn main() {
+    let args = ExptArgs::parse();
+
+    // Run once in analysis mode (keep unlicensed tables, as the paper's 1M
+    // analysis corpus does) and once in publish mode (license required).
+    let open = build_pipeline(&args);
+    let host = GitHost::new();
+    open.populate_host(&host);
+    let (corpus, report) = open.run(&host);
+
+    let mut publish_cfg = open.config.clone();
+    publish_cfg.curation.require_license = true;
+    let publish = gittables_core::Pipeline::new(publish_cfg);
+    let (pub_corpus, pub_report) = publish.run(&host);
+
+    let licensed_frac = pub_corpus.len() as f64 / corpus.len().max(1) as f64;
+    print_table(
+        "Pipeline rates (paper §3.3)",
+        &["Metric", "Paper", "Measured"],
+        &[
+            vec![
+                "files parsed into tables".into(),
+                "99.3%".into(),
+                format!("{:.1}%", 100.0 * report.parse_rate()),
+            ],
+            vec![
+                "tables from licensed repos".into(),
+                "~16%".into(),
+                format!("{:.1}%", 100.0 * licensed_frac),
+            ],
+            vec![
+                "tables dropped by quality filters".into(),
+                "~9%".into(),
+                format!("{:.1}%", 100.0 * report.filter_rate()),
+            ],
+            vec![
+                "columns anonymized (PII)".into(),
+                "0.3%".into(),
+                format!("{:.2}%", 100.0 * report.pii_rate()),
+            ],
+        ],
+    );
+
+    println!("\nfilter breakdown (analysis mode):");
+    let mut reasons: Vec<(&String, &usize)> = report.filtered.iter().collect();
+    reasons.sort_by(|a, b| b.1.cmp(a.1));
+    for (reason, count) in reasons {
+        println!("  {reason:<20} {count}");
+    }
+    println!("\nlicense-mode report: kept {} of {} parsed", pub_report.kept, pub_report.parsed);
+    println!("extraction: {} search queries executed for {} topics", report.queries_executed, args.topics);
+}

@@ -1,0 +1,43 @@
+//! Table 5 — annotation statistics by method and ontology: annotated tables,
+//! annotated columns, distinct types, popular types.
+//!
+//! Paper: syntactic annotates 723–738K tables / 2.4–2.9M columns / 677–835
+//! types; semantic annotates 958–962K tables / 8.4–8.5M columns / 2.4K
+//! types. Reproduction target: semantic ≫ syntactic on every counter, with
+//! coverage ≈71 % vs ≈26 %.
+
+use gittables_bench::{build_corpus, print_table, ExptArgs};
+use gittables_corpus::{AnnotationStats, Corpus};
+
+fn main() {
+    let args = ExptArgs::parse();
+    let (corpus, _) = build_corpus(&args);
+    // The paper's "popular" threshold is 1000 columns on a 1M-table corpus;
+    // scale it proportionally to our corpus size.
+    let popular = (corpus.len() / 1000).max(5);
+
+    let mut rows = Vec::new();
+    for (method, ont) in Corpus::annotation_configs() {
+        let s = AnnotationStats::of(&corpus, method, ont, popular, 5);
+        rows.push(vec![
+            method.name().to_string(),
+            ont.name().to_string(),
+            s.annotated_tables.to_string(),
+            s.annotated_columns.to_string(),
+            s.unique_types.to_string(),
+            format!("{} (> {popular} cols)", s.popular_types),
+            format!("{:.0}%", 100.0 * s.mean_coverage),
+        ]);
+    }
+    print_table(
+        "Table 5: annotation statistics by method x ontology (measured)",
+        &["Method", "Ontology", "# ann. tables", "# ann. columns", "# types", "# popular types", "coverage"],
+        &rows,
+    );
+    println!("\npaper reference:");
+    println!("  Syntactic DBpedia   : 723K tables, 2.9M columns, 835 types, 96 popular");
+    println!("  Syntactic Schema.org: 738K tables, 2.4M columns, 677 types, 83 popular");
+    println!("  Semantic  DBpedia   : 958K tables, 8.5M columns, 2.4K types, 432 popular");
+    println!("  Semantic  Schema.org: 962K tables, 8.4M columns, 2.4K types, 491 popular");
+    println!("  coverage: semantic 71% of columns vs syntactic 26%");
+}

@@ -1,0 +1,77 @@
+//! Table 8 — schema completion for CTU database prefixes.
+//!
+//! Paper: prefixes of length 3 from the CTU "employees", ClassicModels
+//! "orders", and AdventureWorks "WorkOrder" schemas get relevant completions
+//! with full-schema cosine similarities ≈0.44–0.53 (avg ≈0.49).
+//! Reproduction target: relevant completions (order prefixes complete with
+//! order-ish attributes) with positive cosine around the same band.
+
+use gittables_bench::{build_corpus, print_table, ExptArgs};
+use gittables_core::apps::NearestCompletion;
+
+const TARGETS: &[(&str, &[&str], &[&str], &str)] = &[
+    (
+        "employees",
+        &["emp_no", "birth_date", "first_name"],
+        &["emp_no", "birth_date", "first_name", "last_name", "gender", "hire_date"],
+        "0.44",
+    ),
+    (
+        "orders",
+        &["orderNumber", "orderDate", "requiredDate"],
+        &["orderNumber", "orderDate", "requiredDate", "shippedDate", "status", "comments", "customerNumber"],
+        "0.50",
+    ),
+    (
+        "WorkOrder",
+        &["WorkOrderID", "ProductID", "OrderQty"],
+        &["WorkOrderID", "ProductID", "OrderQty", "StockedQty", "ScrappedQty", "StartDate", "EndDate", "DueDate"],
+        "0.53",
+    ),
+];
+
+fn main() {
+    let args = ExptArgs::parse();
+    let (corpus, _) = build_corpus(&args);
+    let nc = NearestCompletion::build(&corpus);
+    eprintln!("indexed {} distinct schemas", nc.len());
+
+    let mut rows = Vec::new();
+    let mut sum = 0.0;
+    for (name, prefix, full, paper_sim) in TARGETS {
+        let completions = nc.complete(prefix, 10);
+        let best = completions
+            .iter()
+            .map(|c| (nc.relevance(full, &c.schema), c))
+            .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let (sim, attrs) = match best {
+            Some((sim, c)) => (
+                sim,
+                c.completion
+                    .iter()
+                    .take(5)
+                    .cloned()
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ),
+            None => (0.0, "(none)".to_string()),
+        };
+        sum += sim;
+        rows.push(vec![
+            (*name).to_string(),
+            prefix.join(", "),
+            attrs,
+            (*paper_sim).to_string(),
+            format!("{sim:.2}"),
+        ]);
+    }
+    print_table(
+        "Table 8: nearest completions for CTU schema prefixes",
+        &["Schema", "Header prefix", "Attributes from nearest completion", "Paper cos", "Measured cos"],
+        &rows,
+    );
+    println!(
+        "\naverage full-schema cosine: {:.2} (paper: 0.49 on [-1, 1])",
+        sum / TARGETS.len() as f64
+    );
+}

@@ -1,0 +1,63 @@
+//! Runs every experiment binary in sequence, forwarding CLI args; used to
+//! regenerate EXPERIMENTS.md's measured numbers in one go.
+//!
+//! ```sh
+//! cargo run --release -p gittables-bench --bin run_all_experiments -- --topics 12 --repos 40
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "expt_table1",
+    "expt_table2",
+    "expt_table3",
+    "expt_table4",
+    "expt_table5",
+    "expt_table6",
+    "expt_table7",
+    "expt_table8",
+    "expt_figure3",
+    "expt_figure4a",
+    "expt_figure4b",
+    "expt_figure4c",
+    "expt_figure5",
+    "expt_figure6a",
+    "expt_figure6b",
+    "expt_pipeline_rates",
+    "expt_domain_shift",
+    "expt_t2d",
+    "expt_search_benchmark",
+    "expt_completion_eval",
+    "expt_ablation_threshold",
+    "expt_ablation_embed",
+    "expt_ablation_context",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n############ {name} ############");
+        let status = Command::new(exe_dir.join(name))
+            .args(&args)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{name} failed: {other:?}");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nfailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

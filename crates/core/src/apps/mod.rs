@@ -1,0 +1,15 @@
+//! The paper's §5 applications built on the corpus.
+
+pub mod benchmark;
+pub mod completion_eval;
+pub mod schema_completion;
+pub mod search;
+pub mod search_benchmark;
+pub mod type_detection;
+
+pub use benchmark::{build_cta_benchmark, run_kg_benchmark, CtaBenchmark, KgBenchmarkRow};
+pub use completion_eval::{evaluate_completion, CompletionEval};
+pub use schema_completion::{NearestCompletion, SchemaCompletion};
+pub use search::{DataSearch, SearchHit};
+pub use search_benchmark::{default_queries, evaluate_search, mean_ndcg, BenchmarkQuery};
+pub use type_detection::{build_type_dataset, train_sherlock, TypeDetectionConfig};

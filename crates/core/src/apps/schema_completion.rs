@@ -1,0 +1,205 @@
+//! Schema completion — Algorithm 1 of the paper (§5.2, `NearestCompletion`).
+//!
+//! Given a target schema *prefix* of length `N`, find the `k` corpus schemas
+//! whose first `N` attributes are closest (average positional cosine
+//! distance between attribute embeddings) and return them as suggested
+//! completions.
+
+use gittables_corpus::Corpus;
+use gittables_embed::{cosine, SentenceEncoder};
+use gittables_table::Schema;
+use serde::{Deserialize, Serialize};
+
+/// One suggested completion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemaCompletion {
+    /// The full schema of the suggestion.
+    pub schema: Schema,
+    /// Average positional cosine *distance* of the prefix (lower = closer).
+    pub prefix_distance: f64,
+    /// The attributes after the prefix — the completion proper.
+    pub completion: Vec<String>,
+}
+
+/// The NearestCompletion engine: pre-embeds corpus schema attributes.
+pub struct NearestCompletion {
+    encoder: SentenceEncoder,
+    /// `(schema, per-attribute embeddings)` pairs.
+    schemas: Vec<(Schema, Vec<Vec<f32>>)>,
+}
+
+impl NearestCompletion {
+    /// Builds the engine over every distinct schema in `corpus`.
+    #[must_use]
+    pub fn build(corpus: &Corpus) -> Self {
+        Self::build_with_encoder(corpus, SentenceEncoder::default())
+    }
+
+    /// Builds with a custom encoder.
+    #[must_use]
+    pub fn build_with_encoder(corpus: &Corpus, encoder: SentenceEncoder) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let mut schemas = Vec::new();
+        for t in &corpus.tables {
+            let schema = t.table.schema();
+            if schema.is_empty() || !seen.insert(schema.attributes().to_vec()) {
+                continue;
+            }
+            let embeddings = schema
+                .iter()
+                .map(|a| encoder.embed(a))
+                .collect();
+            schemas.push((schema, embeddings));
+        }
+        NearestCompletion { encoder, schemas }
+    }
+
+    /// Number of indexed schemas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Whether no schemas are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Algorithm 1: the `k` nearest completions for `prefix`.
+    ///
+    /// Corpus schemas shorter than the prefix are skipped (they cannot
+    /// complete it). Distance is `mean_i (1 - cos(prefix[i], schema[i]))`.
+    #[must_use]
+    pub fn complete(&self, prefix: &[&str], k: usize) -> Vec<SchemaCompletion> {
+        let n = prefix.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let prefix_emb: Vec<Vec<f32>> = prefix.iter().map(|a| self.encoder.embed(a)).collect();
+        let mut scored: Vec<SchemaCompletion> = self
+            .schemas
+            .iter()
+            .filter(|(s, _)| s.len() > n)
+            .map(|(s, embs)| {
+                let d: f64 = (0..n)
+                    .map(|i| 1.0 - f64::from(cosine(&prefix_emb[i], &embs[i])))
+                    .sum::<f64>()
+                    / n as f64;
+                SchemaCompletion {
+                    schema: s.clone(),
+                    prefix_distance: d,
+                    completion: s.suffix(n).to_vec(),
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.prefix_distance
+                .partial_cmp(&b.prefix_distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// Relevance of a suggestion: cosine similarity between the embedding of
+    /// the original full schema and the suggested full schema (the paper's
+    /// Table 8 third column).
+    #[must_use]
+    pub fn relevance(&self, original: &[&str], suggestion: &Schema) -> f64 {
+        let a = self.encoder.embed_schema(original);
+        let attrs: Vec<&str> = suggestion.iter().collect();
+        let b = self.encoder.embed_schema(&attrs);
+        f64::from(cosine(&a, &b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gittables_corpus::AnnotatedTable;
+    use gittables_table::Table;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new("t");
+        let schemas: Vec<Vec<&str>> = vec![
+            vec!["order id", "order date", "required date", "shipped date", "status"],
+            vec!["emp no", "birth date", "first name", "last name", "hire date"],
+            vec!["species", "genus", "family", "habitat"],
+            vec!["order id", "customer", "total"],
+        ];
+        for (i, s) in schemas.iter().enumerate() {
+            let row: Vec<&str> = s.iter().map(|_| "x").collect();
+            let rows = [row.clone(), row];
+            let t = Table::from_rows(format!("t{i}"), s, &rows).unwrap();
+            c.push(AnnotatedTable::new(t));
+        }
+        c
+    }
+
+    #[test]
+    fn nearest_completion_finds_related_schema() {
+        let nc = NearestCompletion::build(&corpus());
+        let out = nc.complete(&["order number", "order date"], 2);
+        assert!(!out.is_empty());
+        // The order schema should rank first.
+        assert!(out[0].schema.attributes()[0].contains("order"), "{out:?}");
+        assert!(!out[0].completion.is_empty());
+    }
+
+    #[test]
+    fn exact_prefix_distance_zero() {
+        let nc = NearestCompletion::build(&corpus());
+        let out = nc.complete(&["order id", "order date"], 1);
+        assert!(out[0].prefix_distance < 1e-5, "{}", out[0].prefix_distance);
+        assert_eq!(out[0].completion[0], "required date");
+    }
+
+    #[test]
+    fn shorter_schemas_skipped() {
+        let nc = NearestCompletion::build(&corpus());
+        let out = nc.complete(&["species", "genus", "family", "habitat"], 10);
+        // The 4-attr species schema cannot complete a 4-attr prefix.
+        assert!(out.iter().all(|c| c.schema.len() > 4));
+    }
+
+    #[test]
+    fn k_truncates_and_sorted() {
+        let nc = NearestCompletion::build(&corpus());
+        let out = nc.complete(&["order id"], 2);
+        assert!(out.len() <= 2);
+        for w in out.windows(2) {
+            assert!(w[0].prefix_distance <= w[1].prefix_distance);
+        }
+    }
+
+    #[test]
+    fn empty_prefix_empty_result() {
+        let nc = NearestCompletion::build(&corpus());
+        assert!(nc.complete(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn relevance_higher_for_related_schemas() {
+        let nc = NearestCompletion::build(&corpus());
+        let order = Schema::new(["order id", "order date", "status"]);
+        let species = Schema::new(["species", "genus", "family"]);
+        let target = ["order number", "order date", "order status"];
+        assert!(nc.relevance(&target, &order) > nc.relevance(&target, &species));
+    }
+
+    #[test]
+    fn duplicate_schemas_deduplicated() {
+        let mut c = corpus();
+        let before = NearestCompletion::build(&c).len();
+        // Add a duplicate of an existing schema.
+        let t = Table::from_rows(
+            "dup",
+            &["order id", "customer", "total"],
+            &[&["1", "a", "2"], &["2", "b", "3"]],
+        )
+        .unwrap();
+        c.push(AnnotatedTable::new(t));
+        assert_eq!(NearestCompletion::build(&c).len(), before);
+    }
+}

@@ -1,0 +1,131 @@
+//! Data search over table schemas (§5.3, Fig. 6b): embed entire table
+//! schemas and rank them against a natural-language query.
+
+use gittables_corpus::Corpus;
+use gittables_embed::{cosine, SentenceEncoder};
+use gittables_table::Schema;
+use serde::{Deserialize, Serialize};
+
+/// One search hit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// Index of the table in the corpus.
+    pub table_index: usize,
+    /// The table's schema.
+    pub schema: Schema,
+    /// Cosine similarity between query and schema embeddings.
+    pub score: f64,
+}
+
+/// A schema-embedding search index over a corpus.
+pub struct DataSearch {
+    encoder: SentenceEncoder,
+    /// `(table index, schema, schema embedding)`.
+    entries: Vec<(usize, Schema, Vec<f32>)>,
+}
+
+impl DataSearch {
+    /// Builds the index over every table in the corpus.
+    #[must_use]
+    pub fn build(corpus: &Corpus) -> Self {
+        let encoder = SentenceEncoder::default();
+        let entries = corpus
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let schema = t.table.schema();
+                let attrs: Vec<&str> = schema.iter().collect();
+                let emb = encoder.embed_schema(&attrs);
+                (i, schema, emb)
+            })
+            .collect();
+        DataSearch { encoder, entries }
+    }
+
+    /// Number of indexed tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Top-`k` tables for a natural-language `query`.
+    #[must_use]
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        let qe = self.encoder.embed(query);
+        let mut hits: Vec<SearchHit> = self
+            .entries
+            .iter()
+            .map(|(i, s, e)| SearchHit {
+                table_index: *i,
+                schema: s.clone(),
+                score: f64::from(cosine(&qe, e)),
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gittables_corpus::AnnotatedTable;
+    use gittables_table::Table;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new("t");
+        let schemas: Vec<Vec<&str>> = vec![
+            vec!["id", "quantity", "total_price", "status", "product_id", "order_id"],
+            vec!["species", "genus", "habitat", "diet"],
+            vec!["player", "team", "goals", "assists"],
+        ];
+        for (i, s) in schemas.iter().enumerate() {
+            let row: Vec<&str> = s.iter().map(|_| "1").collect();
+            let rows = [row.clone(), row];
+            c.push(AnnotatedTable::new(
+                Table::from_rows(format!("t{i}"), s, &rows).unwrap(),
+            ));
+        }
+        c
+    }
+
+    #[test]
+    fn paper_query_retrieves_order_table() {
+        // Fig. 6b: "status and sales amount per product" retrieves the
+        // product-order table.
+        let ds = DataSearch::build(&corpus());
+        let hits = ds.search("status and sales amount per product", 1);
+        assert_eq!(hits[0].table_index, 0, "{hits:?}");
+    }
+
+    #[test]
+    fn biology_query_retrieves_species_table() {
+        let ds = DataSearch::build(&corpus());
+        let hits = ds.search("species and their habitat", 1);
+        assert_eq!(hits[0].table_index, 1);
+    }
+
+    #[test]
+    fn scores_sorted_and_k_respected() {
+        let ds = DataSearch::build(&corpus());
+        let hits = ds.search("goals per player", 2);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].score >= hits[1].score);
+        assert_eq!(hits[0].table_index, 2);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let ds = DataSearch::build(&Corpus::new("e"));
+        assert!(ds.is_empty());
+        assert!(ds.search("anything", 3).is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! `gittables` — command-line interface to the corpus pipeline and the §5
+//! applications.
+//!
+//! ```text
+//! gittables build   --out corpus.json [--seed 42] [--topics 10] [--repos 40]
+//! gittables stats   --corpus corpus.json
+//! gittables search  --corpus corpus.json --query "status and sales amount per product" [--k 5]
+//! gittables complete --corpus corpus.json --prefix "order_id,order_date" [--k 5]
+//! gittables annotate --csv file.csv
+//! gittables export  --corpus corpus.json --out dir/
+//! gittables union   --corpus corpus.json [--min 3]
+//! gittables dedup   --corpus corpus.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gittables_core::apps::{DataSearch, NearestCompletion};
+use gittables_core::{Pipeline, PipelineConfig};
+use gittables_corpus::{persist, AnnotationStats, Corpus, CorpusStats};
+use gittables_githost::GitHost;
+
+fn opt(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn num<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    opt(args, key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn load(args: &[String]) -> Result<Corpus, String> {
+    let path = opt(args, "--corpus").ok_or("missing --corpus <file>")?;
+    persist::load_corpus(&PathBuf::from(&path)).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let out = opt(args, "--out").ok_or("missing --out <file>")?;
+    let seed = num(args, "--seed", 42u64);
+    let topics = num(args, "--topics", 10usize);
+    let repos = num(args, "--repos", 40usize);
+    eprintln!("building corpus: seed {seed}, {topics} topics x {repos} repos");
+    let pipeline = Pipeline::new(PipelineConfig::sized(seed, topics, repos));
+    let host = GitHost::new();
+    pipeline.populate_host(&host);
+    let (corpus, report) = pipeline.run(&host);
+    eprintln!(
+        "fetched {} files, parsed {} ({:.1}%), kept {} tables, anonymized {} columns",
+        report.fetched,
+        report.parsed,
+        100.0 * report.parse_rate(),
+        report.kept,
+        report.pii_columns
+    );
+    persist::save_corpus(&corpus, &PathBuf::from(&out)).map_err(|e| e.to_string())?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let corpus = load(args)?;
+    let s = CorpusStats::of(&corpus);
+    println!("corpus    : {} ({} tables)", corpus.name, s.tables);
+    println!("avg rows  : {:.1}", s.avg_rows);
+    println!("avg cols  : {:.1}", s.avg_columns);
+    let (n, st, o) = s.atomic_fractions;
+    println!(
+        "atomic    : {:.1}% numeric / {:.1}% string / {:.1}% other",
+        100.0 * n,
+        100.0 * st,
+        100.0 * o
+    );
+    for (method, ont) in Corpus::annotation_configs() {
+        let a = AnnotationStats::of(&corpus, method, ont, corpus.len().max(10) / 10, 5);
+        println!(
+            "{:<9} {:<10}: {} tables, {} columns, {} types, coverage {:.0}%",
+            method.name(),
+            ont.name(),
+            a.annotated_tables,
+            a.annotated_columns,
+            a.unique_types,
+            100.0 * a.mean_coverage
+        );
+    }
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let corpus = load(args)?;
+    let query = opt(args, "--query").ok_or("missing --query <text>")?;
+    let k = num(args, "--k", 5usize);
+    let ds = DataSearch::build(&corpus);
+    for hit in ds.search(&query, k) {
+        let t = &corpus.tables[hit.table_index].table;
+        println!("{:.3}  {:<40} {}", hit.score, t.provenance().url(), hit.schema);
+    }
+    Ok(())
+}
+
+fn cmd_complete(args: &[String]) -> Result<(), String> {
+    let corpus = load(args)?;
+    let prefix_arg = opt(args, "--prefix").ok_or("missing --prefix a,b,c")?;
+    let prefix: Vec<&str> = prefix_arg.split(',').map(str::trim).collect();
+    let k = num(args, "--k", 5usize);
+    let nc = NearestCompletion::build(&corpus);
+    for c in nc.complete(&prefix, k) {
+        println!(
+            "distance {:.3}  completion: {}",
+            c.prefix_distance,
+            c.completion.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_annotate(args: &[String]) -> Result<(), String> {
+    let path = opt(args, "--csv").ok_or("missing --csv <file>")?;
+    let content = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let parsed = gittables_tablecsv::read_csv(&content, &Default::default())
+        .map_err(|e| format!("{path}: {e}"))?;
+    let table = gittables_table::Table::from_string_rows("cli", &parsed.header, parsed.records)
+        .map_err(|e| e.to_string())?;
+    let ont = std::sync::Arc::new(gittables_ontology::dbpedia());
+    let sem = gittables_annotate::SemanticAnnotator::new(ont);
+    for a in sem.annotate(&table).annotations {
+        println!(
+            "{:<24} -> {:<24} (confidence {:.2})",
+            table.column(a.column).map_or("?", |c| c.name()),
+            a.label,
+            a.similarity
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let corpus = load(args)?;
+    let out = opt(args, "--out").ok_or("missing --out <dir>")?;
+    let n = gittables_corpus::export_csv(&corpus, std::path::Path::new(&out))
+        .map_err(|e| e.to_string())?;
+    eprintln!("wrote {n} CSV files under {out}");
+    Ok(())
+}
+
+fn cmd_union(args: &[String]) -> Result<(), String> {
+    let corpus = load(args)?;
+    let min = num(args, "--min", 3usize);
+    let groups = gittables_corpus::union_groups(&corpus, min);
+    println!("{} union groups with >= {min} members", groups.len());
+    for g in groups.iter().take(20) {
+        let unioned = gittables_corpus::union_tables(&corpus, g).map_err(|e| e.to_string())?;
+        println!(
+            "{:<32} {} members -> {} x {}",
+            g.repository,
+            g.members.len(),
+            unioned.num_rows(),
+            unioned.num_columns()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dedup(args: &[String]) -> Result<(), String> {
+    let corpus = load(args)?;
+    let groups = gittables_corpus::exact_duplicates(&corpus);
+    let survivors = gittables_corpus::dedup_indices(&corpus);
+    println!(
+        "{} tables, {} exact-duplicate groups, {} survive deduplication",
+        corpus.len(),
+        groups.len(),
+        survivors.len()
+    );
+    for g in groups.iter().take(20) {
+        let urls: Vec<String> = g
+            .members
+            .iter()
+            .map(|&i| corpus.tables[i].table.provenance().url())
+            .collect();
+        println!("  {}", urls.join("  ==  "));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
+        Some("complete") => cmd_complete(&args[1..]),
+        Some("annotate") => cmd_annotate(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("union") => cmd_union(&args[1..]),
+        Some("dedup") => cmd_dedup(&args[1..]),
+        _ => {
+            eprintln!("usage: gittables <build|stats|search|complete|annotate|export|union|dedup> [options]");
+            eprintln!("  build    --out corpus.json [--seed N] [--topics N] [--repos N]");
+            eprintln!("  stats    --corpus corpus.json");
+            eprintln!("  search   --corpus corpus.json --query \"...\" [--k N]");
+            eprintln!("  complete --corpus corpus.json --prefix a,b,c [--k N]");
+            eprintln!("  annotate --csv file.csv");
+            eprintln!("  export   --corpus corpus.json --out dir/");
+            eprintln!("  union    --corpus corpus.json [--min N]");
+            eprintln!("  dedup    --corpus corpus.json");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Data-shift detection between GitTables and web-table corpora (§4.2).
+//!
+//! The paper samples 5 K deduplicated columns from each corpus, extracts the
+//! Sherlock features, and trains a Random Forest *domain classifier* to tell
+//! which corpus a column came from; 93 % (±0.04) 10-fold accuracy shows the
+//! distributions differ.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use gittables_corpus::Corpus;
+use gittables_ml::{cross_validate, CvReport, Dataset, FeatureExtractor, ForestConfig, RandomForest};
+use gittables_synth::WebTableGenerator;
+
+/// Samples up to `n` deduplicated column feature vectors from a corpus.
+#[must_use]
+pub fn sample_corpus_columns(
+    corpus: &Corpus,
+    n: usize,
+    extractor: &FeatureExtractor,
+) -> Vec<Vec<f32>> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    'outer: for t in &corpus.tables {
+        for col in t.table.columns() {
+            if out.len() >= n {
+                break 'outer;
+            }
+            if col.is_empty() {
+                continue;
+            }
+            let mut h = DefaultHasher::new();
+            for v in col.values().iter().take(16) {
+                v.hash(&mut h);
+            }
+            col.len().hash(&mut h);
+            if !seen.insert(h.finish()) {
+                continue;
+            }
+            out.push(extractor.extract(col.values()));
+        }
+    }
+    out
+}
+
+/// Samples up to `n` deduplicated column feature vectors from generated web
+/// tables.
+#[must_use]
+pub fn sample_webtable_columns(
+    seed: u64,
+    n: usize,
+    extractor: &FeatureExtractor,
+) -> Vec<Vec<f32>> {
+    let gen = WebTableGenerator::new(seed);
+    let mut seen = HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while out.len() < n && i < n * 4 {
+        let t = gen.generate(i);
+        i += 1;
+        for (ci, _) in t.header.iter().enumerate() {
+            if out.len() >= n {
+                break;
+            }
+            let values: Vec<String> = t.rows.iter().map(|r| r[ci].clone()).collect();
+            let mut h = DefaultHasher::new();
+            for v in values.iter().take(16) {
+                v.hash(&mut h);
+            }
+            if !seen.insert(h.finish()) {
+                continue;
+            }
+            out.push(extractor.extract(&values));
+        }
+    }
+    out
+}
+
+/// Runs the domain-classifier experiment: class 0 = GitTables column,
+/// class 1 = web-table column; k-fold CV with a Random Forest.
+#[must_use]
+pub fn domain_shift_experiment(
+    corpus: &Corpus,
+    columns_per_corpus: usize,
+    folds: usize,
+    seed: u64,
+) -> CvReport {
+    let extractor = FeatureExtractor::default();
+    let git = sample_corpus_columns(corpus, columns_per_corpus, &extractor);
+    let web = sample_webtable_columns(seed ^ 0xdead_beef, columns_per_corpus, &extractor);
+    let mut data = Dataset::new(
+        Vec::new(),
+        Vec::new(),
+        vec!["gittables".to_string(), "webtables".to_string()],
+    );
+    for f in git {
+        data.push(f, 0);
+    }
+    for f in web {
+        data.push(f, 1);
+    }
+    cross_validate(&data, folds, seed, || {
+        RandomForest::new(ForestConfig { seed, ..Default::default() })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pipeline, PipelineConfig};
+    use gittables_githost::GitHost;
+
+    #[test]
+    fn domain_classifier_separates_corpora() {
+        let pipeline = Pipeline::new(PipelineConfig::small(21));
+        let host = GitHost::new();
+        pipeline.populate_host(&host);
+        let (corpus, _) = pipeline.run(&host);
+        let report = domain_shift_experiment(&corpus, 120, 3, 1);
+        // The paper reports 93 %; with a small sample we accept anything
+        // clearly above chance.
+        assert!(
+            report.mean_accuracy > 0.75,
+            "accuracy {}",
+            report.mean_accuracy
+        );
+    }
+
+    #[test]
+    fn sampling_dedups() {
+        let pipeline = Pipeline::new(PipelineConfig::small(22));
+        let host = GitHost::new();
+        pipeline.populate_host(&host);
+        let (corpus, _) = pipeline.run(&host);
+        let ex = FeatureExtractor::default();
+        let a = sample_corpus_columns(&corpus, 50, &ex);
+        assert!(a.len() <= 50);
+        assert!(!a.is_empty());
+        let w = sample_webtable_columns(3, 40, &ex);
+        assert_eq!(w.len(), 40);
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end tests of the `gittables` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gittables"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gt_cli_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn build_stats_search_complete_roundtrip() {
+    let corpus = temp_path("corpus.json");
+    let out = bin()
+        .args([
+            "build",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "2",
+            "--repos",
+            "5",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("run build");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let stats = bin()
+        .args(["stats", "--corpus", corpus.to_str().unwrap()])
+        .output()
+        .expect("run stats");
+    assert!(stats.status.success());
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("avg rows"), "{text}");
+    assert!(text.contains("Semantic"), "{text}");
+
+    let search = bin()
+        .args([
+            "search",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--query",
+            "things with ids and values",
+            "--k",
+            "3",
+        ])
+        .output()
+        .expect("run search");
+    assert!(search.status.success());
+    assert!(!search.stdout.is_empty());
+
+    let complete = bin()
+        .args([
+            "complete",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--prefix",
+            "id,name",
+            "--k",
+            "3",
+        ])
+        .output()
+        .expect("run complete");
+    assert!(complete.status.success());
+
+    std::fs::remove_file(&corpus).ok();
+}
+
+#[test]
+fn annotate_csv_file() {
+    let csv = temp_path("in.csv");
+    std::fs::write(&csv, "id,species,price\n1,Homo sapiens,2.5\n2,Mus musculus,3.5\n").unwrap();
+    let out = bin()
+        .args(["annotate", "--csv", csv.to_str().unwrap()])
+        .output()
+        .expect("run annotate");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("species"), "{text}");
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn usage_on_unknown_command() {
+    let out = bin().arg("nonsense").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_required_option_fails_cleanly() {
+    let out = bin().args(["stats"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--corpus"));
+}

@@ -1,0 +1,150 @@
+//! Near-duplicate table detection.
+//!
+//! The paper deduplicates columns before its learned experiments (§4.2, §5.1)
+//! and excludes forks to limit table duplication (§3.2); this module provides
+//! the corpus-level tool: content fingerprints that detect exact and
+//! near-duplicate tables (same schema + highly overlapping cell content).
+
+use std::collections::HashMap;
+
+use crate::corpus::Corpus;
+
+/// A group of mutually (near-)duplicate tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateGroup {
+    /// Corpus indices of the duplicates, ascending; the first is the
+    /// canonical representative.
+    pub members: Vec<usize>,
+}
+
+/// 64-bit FNV-1a over a byte stream.
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Exact content fingerprint: schema + all cells.
+#[must_use]
+pub fn table_fingerprint(table: &gittables_table::Table) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for a in table.schema().iter() {
+        fnv(&mut h, a.as_bytes());
+        fnv(&mut h, b"\x1f");
+    }
+    for col in table.columns() {
+        for v in col.values() {
+            fnv(&mut h, v.as_bytes());
+            fnv(&mut h, b"\x1e");
+        }
+    }
+    h
+}
+
+/// Sketch fingerprint: schema + a bounded sample of cells (first/last rows),
+/// catching truncated or extended near-duplicates of the same source.
+#[must_use]
+pub fn table_sketch(table: &gittables_table::Table) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for a in table.schema().iter() {
+        fnv(&mut h, a.as_bytes());
+        fnv(&mut h, b"\x1f");
+    }
+    let rows = table.num_rows();
+    for r in (0..rows.min(4)).chain(rows.saturating_sub(2)..rows) {
+        if let Some(row) = table.row(r) {
+            for v in row {
+                fnv(&mut h, v.as_bytes());
+                fnv(&mut h, b"\x1e");
+            }
+        }
+    }
+    h
+}
+
+/// Finds groups of exactly identical tables (same schema and content).
+#[must_use]
+pub fn exact_duplicates(corpus: &Corpus) -> Vec<DuplicateGroup> {
+    let mut by_fp: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, at) in corpus.tables.iter().enumerate() {
+        by_fp.entry(table_fingerprint(&at.table)).or_default().push(i);
+    }
+    let mut out: Vec<DuplicateGroup> = by_fp
+        .into_values()
+        .filter(|v| v.len() > 1)
+        .map(|members| DuplicateGroup { members })
+        .collect();
+    out.sort_by_key(|g| g.members[0]);
+    out
+}
+
+/// Returns the corpus indices that survive deduplication (first occurrence
+/// of each fingerprint, in corpus order).
+#[must_use]
+pub fn dedup_indices(corpus: &Corpus) -> Vec<usize> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (i, at) in corpus.tables.iter().enumerate() {
+        if seen.insert(table_fingerprint(&at.table)) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::AnnotatedTable;
+    use gittables_table::Table;
+
+    fn t(name: &str, rows: &[[&'static str; 2]]) -> AnnotatedTable {
+        let rows: Vec<&[&str]> = rows.iter().map(|r| r.as_slice()).collect();
+        AnnotatedTable::new(Table::from_rows(name, &["id", "v"], &rows).unwrap())
+    }
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new("d");
+        c.push(t("a", &[["1", "x"], ["2", "y"]]));
+        c.push(t("b", &[["1", "x"], ["2", "y"]])); // duplicate of a (names differ)
+        c.push(t("c", &[["9", "z"]]));
+        c
+    }
+
+    #[test]
+    fn exact_duplicates_found() {
+        let groups = exact_duplicates(&corpus());
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members, vec![0, 1]);
+    }
+
+    #[test]
+    fn fingerprint_ignores_table_name_but_not_content() {
+        let a = t("a", &[["1", "x"]]);
+        let b = t("renamed", &[["1", "x"]]);
+        let c = t("a", &[["1", "DIFFERENT"]]);
+        assert_eq!(table_fingerprint(&a.table), table_fingerprint(&b.table));
+        assert_ne!(table_fingerprint(&a.table), table_fingerprint(&c.table));
+    }
+
+    #[test]
+    fn dedup_keeps_first() {
+        let idx = dedup_indices(&corpus());
+        assert_eq!(idx, vec![0, 2]);
+    }
+
+    #[test]
+    fn sketch_stable_under_middle_changes() {
+        // The sketch samples head/tail rows only, so two long tables sharing
+        // head & tail hash equal — near-duplicate detection for snapshots.
+        let rows_a: Vec<[&'static str; 2]> =
+            vec![["1", "x"], ["2", "y"], ["3", "z"], ["4", "w"], ["5", "q"], ["6", "t"], ["7", "u"]];
+        let mut rows_b = rows_a.clone();
+        rows_b[4] = ["5", "CHANGED"]; // middle row (not in head-4 or tail-2)
+        let a = t("a", &rows_a);
+        let b = t("b", &rows_b);
+        assert_eq!(table_sketch(&a.table), table_sketch(&b.table));
+        assert_ne!(table_fingerprint(&a.table), table_fingerprint(&b.table));
+    }
+}

@@ -1,0 +1,35 @@
+//! The corpus container and the analyses of paper §4.
+//!
+//! A [`Corpus`] holds curated, annotated tables. The statistics modules
+//! reproduce the published analyses:
+//!
+//! * [`stats`] — table/row/column/cell counts, dimension distributions
+//!   (Fig. 4a), atomic-type distribution (Table 4), repository provenance
+//!   (§4.1), topic subsets;
+//! * [`annstats`] — annotation counts per method × ontology (Table 5),
+//!   per-table coverage (Fig. 4b), similarity distribution (Fig. 4c), top-k
+//!   semantic types (Fig. 5);
+//! * [`bias`] — the Table 6 bias audit over person/geography types;
+//! * [`persist`] — JSON save/load.
+
+#![warn(missing_docs)]
+
+pub mod annstats;
+pub mod bias;
+pub mod dedup;
+pub mod export;
+pub mod join;
+#[allow(clippy::module_inception)]
+pub mod corpus;
+pub mod persist;
+pub mod stats;
+pub mod union;
+
+pub use annstats::{AnnotationStats, Histogram};
+pub use bias::{bias_audit, BiasRow};
+pub use corpus::{AnnotatedTable, Corpus};
+pub use stats::CorpusStats;
+pub use dedup::{dedup_indices, exact_duplicates, DuplicateGroup};
+pub use export::export_csv;
+pub use join::{join_candidates, join_tables, JoinCandidate};
+pub use union::{union_groups, union_tables, UnionGroup};

@@ -1,0 +1,101 @@
+//! JSON persistence of corpora and statistics.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::corpus::Corpus;
+
+/// Errors from persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// (De)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+/// Saves a corpus as JSON.
+///
+/// # Errors
+/// Propagates I/O and serialization failures.
+pub fn save_corpus(corpus: &Corpus, path: &Path) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    serde_json::to_writer(&mut w, corpus)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a corpus from JSON.
+///
+/// # Errors
+/// Propagates I/O and deserialization failures.
+pub fn load_corpus(path: &Path) -> Result<Corpus, PersistError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut buf = String::new();
+    r.read_to_string(&mut buf)?;
+    Ok(serde_json::from_str(&buf)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::AnnotatedTable;
+    use gittables_table::Table;
+
+    #[test]
+    fn roundtrip() {
+        let mut c = Corpus::new("roundtrip");
+        let t = Table::from_rows("t", &["id", "x"], &[&["1", "a"], &["2", "b"]]).unwrap();
+        c.push(AnnotatedTable::new(t));
+        let dir = std::env::temp_dir().join("gittables_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+        save_corpus(&c, &path).unwrap();
+        let loaded = load_corpus(&path).unwrap();
+        assert_eq!(c, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_corpus(Path::new("/nonexistent/nope.json")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let dir = std::env::temp_dir().join("gittables_persist_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = load_corpus(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Json(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}

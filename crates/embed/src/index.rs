@@ -1,0 +1,232 @@
+//! Cosine nearest-neighbour search over a fixed label set.
+//!
+//! The semantic annotator matches every column name against ~2.8 K ontology
+//! type embeddings. [`EmbeddingIndex`] supports two strategies:
+//!
+//! * **brute force** — exact cosine against every label;
+//! * **n-gram pruned** — an inverted index from character n-grams to labels
+//!   limits the exact cosine computation to labels sharing at least one
+//!   n-gram with the query, falling back to brute force when the candidate
+//!   set is empty. This is the candidate-pruning ablation of DESIGN.md §4.2.
+//!
+//! Pruning is lossy in principle (a label with no shared n-gram can still
+//! have nonzero cosine via the synonym lexicon), so lexicon synonyms of the
+//! query tokens are folded into the candidate probe.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::lexicon;
+use crate::ngram::{ngrams, NgramEmbedder};
+use crate::vector::cosine;
+
+/// A search hit: label index and cosine similarity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// Index of the label in the order passed to [`EmbeddingIndex::build`].
+    pub index: usize,
+    /// Cosine similarity in `[-1, 1]`.
+    pub similarity: f32,
+}
+
+/// An immutable nearest-neighbour index over label embeddings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbeddingIndex {
+    embedder: NgramEmbedder,
+    labels: Vec<String>,
+    vectors: Vec<Vec<f32>>,
+    /// n-gram → indices of labels containing it.
+    inverted: HashMap<String, Vec<u32>>,
+}
+
+impl EmbeddingIndex {
+    /// Builds an index over `labels` using `embedder`.
+    #[must_use]
+    pub fn build<S: AsRef<str>>(embedder: NgramEmbedder, labels: &[S]) -> Self {
+        let labels: Vec<String> = labels.iter().map(|l| l.as_ref().to_string()).collect();
+        let vectors: Vec<Vec<f32>> = labels.iter().map(|l| embedder.embed(l)).collect();
+        let mut inverted: HashMap<String, Vec<u32>> = HashMap::new();
+        for (i, label) in labels.iter().enumerate() {
+            for gram in label_grams(&embedder, label) {
+                let entry = inverted.entry(gram).or_default();
+                if entry.last() != Some(&(i as u32)) {
+                    entry.push(i as u32);
+                }
+            }
+        }
+        EmbeddingIndex { embedder, labels, vectors, inverted }
+    }
+
+    /// Number of indexed labels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The indexed labels, in insertion order.
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The embedder used to build the index.
+    #[must_use]
+    pub fn embedder(&self) -> &NgramEmbedder {
+        &self.embedder
+    }
+
+    /// Exact top-`k` by brute-force cosine.
+    #[must_use]
+    pub fn nearest_brute(&self, query: &str, k: usize) -> Vec<Neighbor> {
+        let qv = self.embedder.embed(query);
+        let mut hits: Vec<Neighbor> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Neighbor { index: i, similarity: cosine(&qv, v) })
+            .collect();
+        top_k(&mut hits, k);
+        hits
+    }
+
+    /// Top-`k` using the inverted n-gram candidate filter; falls back to
+    /// brute force when no candidates share an n-gram with the query.
+    #[must_use]
+    pub fn nearest_pruned(&self, query: &str, k: usize) -> Vec<Neighbor> {
+        let candidates = self.candidates(query);
+        if candidates.is_empty() {
+            return self.nearest_brute(query, k);
+        }
+        let qv = self.embedder.embed(query);
+        let mut hits: Vec<Neighbor> = candidates
+            .into_iter()
+            .map(|i| Neighbor { index: i, similarity: cosine(&qv, &self.vectors[i]) })
+            .collect();
+        top_k(&mut hits, k);
+        hits
+    }
+
+    /// The candidate label indices sharing an n-gram with the query (or with
+    /// a lexicon synonym of one of its tokens), deduplicated.
+    #[must_use]
+    pub fn candidates(&self, query: &str) -> Vec<usize> {
+        let mut probe: Vec<String> = vec![query.to_lowercase()];
+        for tok in query.split_whitespace() {
+            for syn in lexicon::synonyms(tok) {
+                probe.push(syn.to_string());
+            }
+        }
+        let mut seen = vec![false; self.labels.len()];
+        let mut out = Vec::new();
+        for text in &probe {
+            for gram in label_grams(&self.embedder, text) {
+                if let Some(ids) = self.inverted.get(&gram) {
+                    for &i in ids {
+                        let i = i as usize;
+                        if !seen[i] {
+                            seen[i] = true;
+                            out.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// N-grams of every token of a label, lowercased.
+fn label_grams(embedder: &NgramEmbedder, label: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for tok in label.to_lowercase().split_whitespace() {
+        out.extend(ngrams(tok, embedder.n_min, embedder.n_max.min(4)));
+    }
+    out
+}
+
+/// Truncates `hits` to the top `k` by similarity (descending, index asc ties).
+fn top_k(hits: &mut Vec<Neighbor>, k: usize) {
+    hits.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+    hits.truncate(k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> EmbeddingIndex {
+        EmbeddingIndex::build(
+            NgramEmbedder::default(),
+            &["id", "name", "birth date", "country", "price", "order number"],
+        )
+    }
+
+    #[test]
+    fn exact_match_is_top() {
+        let idx = index();
+        let hits = idx.nearest_brute("birth date", 2);
+        assert_eq!(idx.labels()[hits[0].index], "birth date");
+        assert!((hits[0].similarity - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pruned_agrees_with_brute_on_exact_match() {
+        let idx = index();
+        let b = idx.nearest_brute("order number", 1);
+        let p = idx.nearest_pruned("order number", 1);
+        assert_eq!(b[0].index, p[0].index);
+    }
+
+    #[test]
+    fn pruned_falls_back_when_no_candidates() {
+        let idx = index();
+        // Query sharing no n-gram with any label (and no synonyms).
+        let hits = idx.nearest_pruned("zzxqwv", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn k_larger_than_len() {
+        let idx = index();
+        let hits = idx.nearest_brute("id", 100);
+        assert_eq!(hits.len(), idx.len());
+    }
+
+    #[test]
+    fn candidates_cover_synonyms() {
+        let idx = index();
+        // "identifier" shares no 3-gram with "id" itself, but the lexicon
+        // links them, so "id" must appear among candidates.
+        let cands = idx.candidates("identifier");
+        assert!(cands.iter().any(|&i| idx.labels()[i] == "id"));
+    }
+
+    #[test]
+    fn results_sorted_descending() {
+        let idx = index();
+        let hits = idx.nearest_brute("date of birth", 6);
+        for w in hits.windows(2) {
+            assert!(w[0].similarity >= w[1].similarity);
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = EmbeddingIndex::build(NgramEmbedder::default(), &Vec::<String>::new());
+        assert!(idx.is_empty());
+        assert!(idx.nearest_brute("x", 3).is_empty());
+        assert!(idx.nearest_pruned("x", 3).is_empty());
+    }
+}

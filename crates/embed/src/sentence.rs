@@ -1,0 +1,180 @@
+//! SIF-weighted sentence/schema encoder — the Universal Sentence Encoder
+//! substitute used by schema completion (§5.2) and data search (§5.3).
+//!
+//! Smooth Inverse Frequency (Arora et al., 2017) weights each token by
+//! `a / (a + p(w))` where `p(w)` is the word's relative frequency; frequent
+//! filler words contribute less. We embed tokens with the crate's
+//! [`NgramEmbedder`] and use a small built-in frequency table of common
+//! header/query filler tokens.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ngram::NgramEmbedder;
+use crate::vector::{add_scaled, cosine, normalize};
+
+/// Tokens that are near-ubiquitous in headers and natural-language queries,
+/// with hand-set relative frequencies. Anything absent gets `DEFAULT_FREQ`.
+const COMMON_TOKENS: &[(&str, f32)] = &[
+    ("the", 0.05),
+    ("a", 0.04),
+    ("an", 0.02),
+    ("of", 0.04),
+    ("and", 0.04),
+    ("or", 0.02),
+    ("per", 0.01),
+    ("by", 0.015),
+    ("in", 0.03),
+    ("for", 0.02),
+    ("to", 0.03),
+    ("with", 0.015),
+    ("id", 0.02),
+    ("name", 0.02),
+    ("date", 0.015),
+    ("number", 0.01),
+    ("value", 0.01),
+    ("type", 0.012),
+];
+
+/// Relative frequency assumed for unknown tokens.
+const DEFAULT_FREQ: f32 = 0.0005;
+
+/// SIF-weighted sentence encoder over [`NgramEmbedder`] word vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SentenceEncoder {
+    embedder: NgramEmbedder,
+    /// SIF smoothing constant `a`.
+    pub sif_a: f32,
+}
+
+impl Default for SentenceEncoder {
+    fn default() -> Self {
+        SentenceEncoder { embedder: NgramEmbedder::default(), sif_a: 1e-2 }
+    }
+}
+
+impl SentenceEncoder {
+    /// Creates an encoder over a custom embedder.
+    #[must_use]
+    pub fn new(embedder: NgramEmbedder) -> Self {
+        SentenceEncoder { embedder, sif_a: 1e-2 }
+    }
+
+    /// The underlying word embedder.
+    #[must_use]
+    pub fn embedder(&self) -> &NgramEmbedder {
+        &self.embedder
+    }
+
+    fn token_weight(&self, token: &str) -> f32 {
+        let lower = token.to_lowercase();
+        let freq = COMMON_TOKENS
+            .iter()
+            .find(|(t, _)| *t == lower)
+            .map_or(DEFAULT_FREQ, |(_, f)| *f);
+        self.sif_a / (self.sif_a + freq)
+    }
+
+    /// Embeds a sentence / attribute name / query into a unit vector.
+    /// Tokenization: split on whitespace and punctuation, keep alphanumerics.
+    #[must_use]
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.embedder.dim];
+        let mut total_w = 0.0f32;
+        for tok in tokenize(text) {
+            let w = self.token_weight(tok);
+            add_scaled(&mut v, &self.embedder.embed_word(tok), w);
+            total_w += w;
+        }
+        if total_w > 0.0 {
+            normalize(&mut v);
+        }
+        v
+    }
+
+    /// Cosine similarity between two encoded texts.
+    #[must_use]
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        cosine(&self.embed(a), &self.embed(b))
+    }
+
+    /// Embeds a whole schema (list of attributes): mean of per-attribute
+    /// embeddings, unit-normalized. Used by data search (§5.3) where entire
+    /// table schemas are compared against queries.
+    #[must_use]
+    pub fn embed_schema<S: AsRef<str>>(&self, attributes: &[S]) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.embedder.dim];
+        for a in attributes {
+            add_scaled(&mut v, &self.embed(a.as_ref()), 1.0);
+        }
+        normalize(&mut v);
+        v
+    }
+}
+
+/// Splits into alphanumeric tokens (drops punctuation, preserves digits).
+fn tokenize(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_similarity_one() {
+        let e = SentenceEncoder::default();
+        assert!((e.similarity("order date", "order date") - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tokenizer_strips_punctuation() {
+        let toks: Vec<&str> = tokenize("order_date, requiredDate!").collect();
+        assert_eq!(toks, vec!["order", "date", "requiredDate"]);
+    }
+
+    #[test]
+    fn filler_words_downweighted() {
+        let e = SentenceEncoder::default();
+        // Adding a filler word should change the embedding less than adding a
+        // content word.
+        let base = e.embed("sales");
+        let with_filler = e.embed("the sales");
+        let with_content = e.embed("voltage sales");
+        let sim_filler = cosine(&base, &with_filler);
+        let sim_content = cosine(&base, &with_content);
+        assert!(sim_filler > sim_content, "{sim_filler} vs {sim_content}");
+    }
+
+    #[test]
+    fn related_attributes_closer_than_unrelated() {
+        let e = SentenceEncoder::default();
+        let related = e.similarity("order number", "order tracking number");
+        let unrelated = e.similarity("order number", "species habitat");
+        assert!(related > unrelated + 0.2, "{related} vs {unrelated}");
+    }
+
+    #[test]
+    fn schema_embedding_unit_norm() {
+        let e = SentenceEncoder::default();
+        let v = e.embed_schema(&["id", "name", "price"]);
+        assert!((crate::vector::norm(&v) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_zero() {
+        let e = SentenceEncoder::default();
+        assert!(e.embed("—!!—").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn schema_similarity_reflects_content() {
+        let e = SentenceEncoder::default();
+        let orders = e.embed_schema(&["order id", "order date", "total price", "status"]);
+        let employees = e.embed_schema(&["emp no", "birth date", "first name", "last name"]);
+        let query = e.embed("status and sales amount per product");
+        let s_orders = cosine(&query, &orders);
+        let s_emp = cosine(&query, &employees);
+        assert!(s_orders > s_emp, "orders {s_orders} vs employees {s_emp}");
+    }
+}

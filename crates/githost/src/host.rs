@@ -1,0 +1,190 @@
+//! The in-memory code host: repository storage plus the token index backing
+//! search.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::model::{RepoFile, Repository};
+use crate::search::SearchApi;
+
+/// Internal id of a stored file.
+pub(crate) type FileId = u32;
+
+/// Metadata the search index keeps per file.
+#[derive(Debug, Clone)]
+pub(crate) struct FileMeta {
+    pub repo_idx: u32,
+    pub file_idx: u32,
+    pub size: usize,
+    pub extension: Option<String>,
+    pub fork: bool,
+}
+
+#[derive(Default)]
+pub(crate) struct HostInner {
+    pub repos: Vec<Repository>,
+    pub files: Vec<FileMeta>,
+    /// token → sorted file ids containing the token.
+    pub token_index: HashMap<String, Vec<FileId>>,
+}
+
+/// The simulated code-hosting service.
+///
+/// Thread-safe: reads (search, fetch) take a shared lock; repository
+/// insertion takes an exclusive lock. The extraction pipeline reads from
+/// many worker threads.
+#[derive(Default)]
+pub struct GitHost {
+    pub(crate) inner: RwLock<HostInner>,
+}
+
+/// Splits content into lowercase alphanumeric tokens (what "code search"
+/// matches on).
+pub(crate) fn tokenize(content: &str) -> impl Iterator<Item = String> + '_ {
+    content
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty() && t.len() <= 40)
+        .map(str::to_lowercase)
+}
+
+impl GitHost {
+    /// Creates an empty host.
+    #[must_use]
+    pub fn new() -> Self {
+        GitHost::default()
+    }
+
+    /// Adds a repository, indexing its files.
+    pub fn add_repository(&self, repo: Repository) {
+        let mut inner = self.inner.write();
+        let repo_idx = inner.repos.len() as u32;
+        for (file_idx, file) in repo.files.iter().enumerate() {
+            let id = inner.files.len() as FileId;
+            inner.files.push(FileMeta {
+                repo_idx,
+                file_idx: file_idx as u32,
+                size: file.size(),
+                extension: file.extension(),
+                fork: repo.fork,
+            });
+            let mut seen: Vec<String> = Vec::new();
+            // Index path tokens too (GitHub matches paths).
+            for tok in tokenize(&file.path).chain(tokenize(&file.content)) {
+                if seen.contains(&tok) {
+                    continue;
+                }
+                seen.push(tok.clone());
+                inner.token_index.entry(tok).or_default().push(id);
+            }
+        }
+        inner.repos.push(repo);
+    }
+
+    /// Number of repositories.
+    #[must_use]
+    pub fn repo_count(&self) -> usize {
+        self.inner.read().repos.len()
+    }
+
+    /// Total number of files.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.inner.read().files.len()
+    }
+
+    /// Fetches raw file contents by `repo full_name` and `path` (the "raw
+    /// content URL" fetch of §3.2). `None` when missing.
+    #[must_use]
+    pub fn fetch(&self, full_name: &str, path: &str) -> Option<String> {
+        let inner = self.inner.read();
+        let repo = inner.repos.iter().find(|r| r.full_name == full_name)?;
+        repo.files
+            .iter()
+            .find(|f| f.path == path)
+            .map(|f| f.content.clone())
+    }
+
+    /// Repository metadata (license, fork flag) by name.
+    #[must_use]
+    pub fn repository(&self, full_name: &str) -> Option<Repository> {
+        self.inner
+            .read()
+            .repos
+            .iter()
+            .find(|r| r.full_name == full_name)
+            .cloned()
+    }
+
+    /// A search API view over this host.
+    #[must_use]
+    pub fn search_api(&self) -> SearchApi<'_> {
+        SearchApi::new(self)
+    }
+
+    /// Convenience: look up a file's `(repo, path)` by internal id.
+    pub(crate) fn locate(inner: &HostInner, id: FileId) -> (&Repository, &RepoFile) {
+        let meta = &inner.files[id as usize];
+        let repo = &inner.repos[meta.repo_idx as usize];
+        let file = &repo.files[meta.file_idx as usize];
+        (repo, file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_host() -> GitHost {
+        let host = GitHost::new();
+        host.add_repository(Repository {
+            full_name: "a/one".into(),
+            license: Some("mit".into()),
+            fork: false,
+            files: vec![
+                RepoFile::new("data/orders.csv", "order_id,total\n1,10\n"),
+                RepoFile::new("readme.md", "hello orders"),
+            ],
+        });
+        host.add_repository(Repository {
+            full_name: "b/two".into(),
+            license: None,
+            fork: true,
+            files: vec![RepoFile::new("x.csv", "id,v\n2,3\n")],
+        });
+        host
+    }
+
+    #[test]
+    fn counts() {
+        let h = sample_host();
+        assert_eq!(h.repo_count(), 2);
+        assert_eq!(h.file_count(), 3);
+    }
+
+    #[test]
+    fn fetch_roundtrip() {
+        let h = sample_host();
+        let c = h.fetch("a/one", "data/orders.csv").unwrap();
+        assert!(c.starts_with("order_id"));
+        assert!(h.fetch("a/one", "missing.csv").is_none());
+        assert!(h.fetch("nobody/none", "x.csv").is_none());
+    }
+
+    #[test]
+    fn repository_lookup() {
+        let h = sample_host();
+        let r = h.repository("b/two").unwrap();
+        assert!(r.fork);
+        assert!(h.repository("zz/zz").is_none());
+    }
+
+    #[test]
+    fn tokenizer_splits_identifiers() {
+        let toks: Vec<String> = tokenize("order_id,total\n1").collect();
+        assert!(toks.contains(&"order".to_string()));
+        assert!(toks.contains(&"id".to_string()));
+        assert!(toks.contains(&"total".to_string()));
+        assert!(toks.contains(&"1".to_string()));
+    }
+}

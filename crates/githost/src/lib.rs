@@ -1,0 +1,43 @@
+//! A simulated code-hosting service with a GitHub-like code-search API.
+//!
+//! The GitTables extraction pipeline (§3.2) works against the GitHub Search
+//! API, whose restrictions shape the whole algorithm:
+//!
+//! * files larger than **438 kB** are not returned;
+//! * a query returns at most **1 000 results**, paginated (~100 per page);
+//! * results can be narrowed with qualifiers — `extension:csv`,
+//!   `size:50..100` (bytes) — which the paper uses to *segment* large topic
+//!   queries into size ranges small enough to fit the cap;
+//! * forked repositories are excluded to limit duplication.
+//!
+//! [`GitHost`] stores repositories (from `gittables-synth` or hand-built) in
+//! memory behind a token-based inverted index, and [`SearchApi`] exposes the
+//! same query contract, so the extraction code exercises exactly the
+//! paper's algorithm minus the HTTP transport.
+//!
+//! # Example
+//!
+//! ```
+//! use gittables_githost::{GitHost, Query, Repository, RepoFile};
+//!
+//! let mut host = GitHost::new();
+//! host.add_repository(Repository {
+//!     full_name: "alice/rides".into(),
+//!     license: Some("mit".into()),
+//!     fork: false,
+//!     files: vec![RepoFile::new("rides.csv", "id,name\n1,Bob\n")],
+//! });
+//! let api = host.search_api();
+//! let resp = api.search(&Query::parse("id extension:csv").unwrap(), 1);
+//! assert_eq!(resp.total_count, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod host;
+pub mod model;
+pub mod search;
+
+pub use host::GitHost;
+pub use model::{RepoFile, Repository};
+pub use search::{Query, SearchApi, SearchResponse, SearchResult, MAX_RESULTS_PER_QUERY, PAGE_SIZE};

@@ -1,0 +1,58 @@
+//! Repository and file models stored by the host.
+
+use serde::{Deserialize, Serialize};
+
+/// A file inside a repository.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepoFile {
+    /// Path within the repository, e.g. `data/orders.csv`.
+    pub path: String,
+    /// Raw file contents.
+    pub content: String,
+}
+
+impl RepoFile {
+    /// Creates a file.
+    #[must_use]
+    pub fn new(path: impl Into<String>, content: impl Into<String>) -> Self {
+        RepoFile { path: path.into(), content: content.into() }
+    }
+
+    /// File size in bytes (what the `size:` qualifier filters on).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.content.len()
+    }
+
+    /// Lowercased file extension, if any.
+    #[must_use]
+    pub fn extension(&self) -> Option<String> {
+        self.path.rsplit_once('.').map(|(_, e)| e.to_lowercase())
+    }
+}
+
+/// A hosted repository.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Repository {
+    /// `owner/name` identifier.
+    pub full_name: String,
+    /// License identifier, `None` for unlicensed repositories.
+    pub license: Option<String>,
+    /// Whether the repository is a fork (excluded from search).
+    pub fork: bool,
+    /// Files in the repository.
+    pub files: Vec<RepoFile>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_metadata() {
+        let f = RepoFile::new("a/b/data.CSV", "x,y\n1,2\n");
+        assert_eq!(f.size(), 8);
+        assert_eq!(f.extension().as_deref(), Some("csv"));
+        assert_eq!(RepoFile::new("README", "hi").extension(), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! Label normalization shared by the ontology index and the annotators.
+//!
+//! Paper §3.4: "we preprocess the semantic types and table headers by
+//! replacing underscores and hyphens, splitting camel-cased combined words,
+//! and converting strings to lower case."
+
+/// Normalizes a column name or semantic-type label:
+/// underscores/hyphens/dots → spaces, camelCase split, lowercase, whitespace
+/// collapsed.
+///
+/// ```
+/// use gittables_ontology::normalize_label;
+/// assert_eq!(normalize_label("birth_date"), "birth date");
+/// assert_eq!(normalize_label("birthDate"), "birth date");
+/// assert_eq!(normalize_label("Birth-Date"), "birth date");
+/// assert_eq!(normalize_label("  POSTAL  code "), "postal code");
+/// ```
+#[must_use]
+pub fn normalize_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len() + 4);
+    let mut prev_lower = false;
+    let mut prev_space = true; // suppress leading space
+    for ch in label.chars() {
+        if ch == '_' || ch == '-' || ch == '.' || ch.is_whitespace() {
+            if !prev_space {
+                out.push(' ');
+                prev_space = true;
+            }
+            prev_lower = false;
+            continue;
+        }
+        if ch.is_uppercase() {
+            // camelCase boundary: lower → UPPER inserts a space.
+            if prev_lower && !prev_space {
+                out.push(' ');
+            }
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+            prev_lower = false;
+        } else {
+            out.push(ch);
+            prev_lower = ch.is_lowercase();
+        }
+        prev_space = false;
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Whether a normalized label contains a digit. The annotation pipeline skips
+/// such column names (§3.4: numbered columns were spuriously matched to types
+/// that coincidentally contain a number).
+#[must_use]
+pub fn contains_digit(label: &str) -> bool {
+    label.bytes().any(|b| b.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn underscores_and_hyphens() {
+        assert_eq!(normalize_label("order_date"), "order date");
+        assert_eq!(normalize_label("order-date"), "order date");
+        assert_eq!(normalize_label("order.date"), "order date");
+    }
+
+    #[test]
+    fn camel_case_split() {
+        assert_eq!(normalize_label("orderDate"), "order date");
+        assert_eq!(normalize_label("OrderDate"), "order date");
+        assert_eq!(normalize_label("orderTrackingNumber"), "order tracking number");
+    }
+
+    #[test]
+    fn acronym_runs_stay_together() {
+        // Consecutive capitals (an acronym) are not exploded per letter.
+        assert_eq!(normalize_label("ORDER_ID"), "order id");
+        assert_eq!(normalize_label("URL"), "url");
+    }
+
+    #[test]
+    fn mixed() {
+        assert_eq!(normalize_label("emp_no"), "emp no");
+        assert_eq!(normalize_label("WorkOrderID"), "work order id");
+    }
+
+    #[test]
+    fn whitespace_collapse() {
+        assert_eq!(normalize_label("  a   b  "), "a b");
+        assert_eq!(normalize_label(""), "");
+        assert_eq!(normalize_label("___"), "");
+    }
+
+    #[test]
+    fn digits() {
+        assert!(contains_digit("column3"));
+        assert!(!contains_digit("column"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Deterministic synthetic-data substrate for the GitTables reproduction.
+//!
+//! The paper's raw material — millions of CSV files in GitHub repositories —
+//! is an external resource, so this crate generates a statistically faithful
+//! stand-in (see DESIGN.md §1):
+//!
+//! * [`wordnet`] — an English noun inventory with topic categories and the
+//!   offensive-topic exclusion list, driving query topics (paper §3.1 C3).
+//! * [`values`] — seeded value generators per semantic domain (names, dates,
+//!   countries with the Western skew of Table 6, species, prices, …).
+//! * [`schema`] — domain-specific schema templates with GitTables-like
+//!   dimension distributions (long-tailed rows ≈ 142, columns ≈ 12).
+//! * [`tablegen`] — turns a schema plan into a full table.
+//! * [`csvrender`] — renders tables to CSV text through a configurable *mess
+//!   model*: delimiter choice, quoting, comment preambles, bad lines,
+//!   trailing separators — the defect classes §3.3 curates away.
+//! * [`repo`] — populates simulated repositories with CSV files, licenses
+//!   (≈16 % permissive, §3.3) and fork flags.
+//! * [`webtable`] — a VizNet/WDC-like *web table* generator (≈17 rows ×
+//!   3–5 cols) used as the comparison corpus in §4.2 and Table 7.
+//! * [`t2d`] — a T2Dv2-style gold standard with human-labeled DBpedia types
+//!   including granularity quirks (`city` vs `location`), for §4.3.
+//!
+//! All generators take explicit `u64` seeds and are bit-for-bit reproducible.
+
+#![warn(missing_docs)]
+
+pub mod csvrender;
+pub mod repo;
+pub mod schema;
+pub mod t2d;
+pub mod tablegen;
+pub mod values;
+pub mod webtable;
+pub mod wordnet;
+
+pub use csvrender::{render_csv, MessModel};
+pub use repo::{RepoGenerator, RepoSpec, SynthFile};
+pub use schema::{ColumnSpec, Domain, SchemaPlan, SchemaSampler};
+pub use tablegen::generate_table;
+pub use values::ValueKind;
+pub use webtable::WebTableGenerator;
+pub use wordnet::{topics, Topic};

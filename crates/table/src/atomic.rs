@@ -1,0 +1,387 @@
+//! Atomic data type inference for cell values and columns.
+//!
+//! GitTables reports the distribution of *atomic* data types (Table 4 in the
+//! paper): numeric vs. string vs. other. We infer a finer-grained
+//! [`AtomicType`] per value (integer, float, boolean, date, string, empty) and
+//! aggregate to a column-level type by majority voting over non-empty cells,
+//! which is how Pandas-style readers decide column dtypes in practice.
+
+use serde::{Deserialize, Serialize};
+
+/// The atomic (syntactic) data type of a cell value or column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AtomicType {
+    /// Integral number, e.g. `42`, `-7`, `1_000` is *not* accepted.
+    Integer,
+    /// Floating point number, e.g. `3.14`, `1e-3`, `-0.5`.
+    Float,
+    /// Boolean-like token: `true`/`false`/`yes`/`no`/`t`/`f` (case-insensitive).
+    Boolean,
+    /// A calendar date or timestamp in one of the common CSV formats.
+    Date,
+    /// Any other non-empty text.
+    String,
+    /// Empty cell or a conventional missing-data marker (`nan`, `null`, `NA`, …).
+    Empty,
+}
+
+impl AtomicType {
+    /// Whether this type counts as "numeric" for the paper's Table 4 buckets.
+    #[must_use]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, AtomicType::Integer | AtomicType::Float)
+    }
+
+    /// Whether this type counts as "string" for the paper's Table 4 buckets.
+    ///
+    /// Dates and booleans are included: CSV readers in the Pandas family
+    /// leave unparsed dates and boolean-ish tokens as `object` (string)
+    /// dtype, which is the atomic-type notion Table 4 reports. The "other"
+    /// bucket is then all-empty columns.
+    #[must_use]
+    pub fn is_string(self) -> bool {
+        matches!(
+            self,
+            AtomicType::String | AtomicType::Date | AtomicType::Boolean
+        )
+    }
+
+    /// Human-readable lowercase name, matching the ontology's atomic labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AtomicType::Integer => "integer",
+            AtomicType::Float => "float",
+            AtomicType::Boolean => "boolean",
+            AtomicType::Date => "date",
+            AtomicType::String => "string",
+            AtomicType::Empty => "empty",
+        }
+    }
+}
+
+impl std::fmt::Display for AtomicType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Conventional missing-data markers treated as empty cells.
+const MISSING_MARKERS: &[&str] = &[
+    "", "nan", "null", "none", "na", "n/a", "-", "--", "?", "missing", "nil",
+];
+
+/// Returns `true` if `value` is empty or a conventional missing-data marker.
+#[must_use]
+pub fn is_missing(value: &str) -> bool {
+    let v = value.trim();
+    if v.is_empty() {
+        return true;
+    }
+    let lower = v.to_ascii_lowercase();
+    MISSING_MARKERS.contains(&lower.as_str())
+}
+
+fn is_integer(v: &str) -> bool {
+    let v = v.strip_prefix(['+', '-']).unwrap_or(v);
+    !v.is_empty() && v.len() <= 19 && v.bytes().all(|b| b.is_ascii_digit())
+}
+
+fn is_float(v: &str) -> bool {
+    // Fast-path rejection: floats only contain a small byte alphabet.
+    if !v
+        .bytes()
+        .all(|b| b.is_ascii_digit() || matches!(b, b'+' | b'-' | b'.' | b'e' | b'E'))
+    {
+        return false;
+    }
+    // Must contain at least one digit; `parse::<f64>` also accepts "inf"/"NaN"
+    // but those are excluded by the alphabet check above.
+    v.bytes().any(|b| b.is_ascii_digit()) && v.parse::<f64>().is_ok()
+}
+
+fn is_boolean(v: &str) -> bool {
+    matches!(
+        v.to_ascii_lowercase().as_str(),
+        "true" | "false" | "yes" | "no" | "t" | "f"
+    )
+}
+
+/// Checks whether the byte is an accepted date separator.
+fn is_date_sep(b: u8) -> bool {
+    matches!(b, b'-' | b'/' | b'.')
+}
+
+fn valid_month_day(month: u32, day: u32) -> bool {
+    (1..=12).contains(&month) && (1..=31).contains(&day)
+}
+
+/// Detects common date and timestamp layouts:
+/// `YYYY-MM-DD`, `DD-MM-YYYY`, `MM/DD/YYYY`, `YYYY/MM/DD`, optionally followed
+/// by a `HH:MM[:SS]` time component separated by a space or `T`.
+#[must_use]
+pub fn is_date(v: &str) -> bool {
+    // Split off an optional time suffix.
+    let date_part = match v.split_once([' ', 'T']) {
+        Some((d, t)) => {
+            if !is_time(t) {
+                return false;
+            }
+            d
+        }
+        None => v,
+    };
+    let bytes = date_part.as_bytes();
+    if bytes.len() < 8 || bytes.len() > 10 {
+        return false;
+    }
+    let mut parts = [0u32; 3];
+    let mut count = 0;
+    let mut sep = 0u8;
+    for chunk in date_part.split(|c: char| is_date_sep(c as u8)) {
+        if count >= 3 || chunk.is_empty() || !chunk.bytes().all(|b| b.is_ascii_digit()) {
+            return false;
+        }
+        parts[count] = chunk.parse().unwrap_or(u32::MAX);
+        count += 1;
+    }
+    // Determine the separator actually used (all must match).
+    for &b in bytes {
+        if is_date_sep(b) {
+            if sep == 0 {
+                sep = b;
+            } else if sep != b {
+                return false;
+            }
+        }
+    }
+    if count != 3 {
+        return false;
+    }
+    let [a, b, c] = parts;
+    // YYYY-MM-DD / YYYY/MM/DD
+    if (1000..=2999).contains(&a) && valid_month_day(b, c) {
+        return true;
+    }
+    // DD-MM-YYYY / MM/DD/YYYY
+    if (1000..=2999).contains(&c) && (valid_month_day(b, a) || valid_month_day(a, b)) {
+        return true;
+    }
+    false
+}
+
+fn is_time(t: &str) -> bool {
+    let mut it = t.split(':');
+    let (Some(h), Some(m)) = (it.next(), it.next()) else {
+        return false;
+    };
+    let s = it.next();
+    if it.next().is_some() {
+        return false;
+    }
+    let ok_num = |x: &str, max: u32| {
+        x.len() == 2 && x.bytes().all(|b| b.is_ascii_digit()) && x.parse::<u32>().unwrap_or(99) <= max
+    };
+    ok_num(h, 23)
+        && ok_num(m, 59)
+        && s.is_none_or(|s| ok_num(s.trim_end_matches('Z'), 59))
+}
+
+/// Infers the [`AtomicType`] of a single cell value.
+#[must_use]
+pub fn infer_value_type(value: &str) -> AtomicType {
+    let v = value.trim();
+    if is_missing(v) {
+        AtomicType::Empty
+    } else if is_integer(v) {
+        AtomicType::Integer
+    } else if is_float(v) {
+        AtomicType::Float
+    } else if is_boolean(v) {
+        AtomicType::Boolean
+    } else if is_date(v) {
+        AtomicType::Date
+    } else {
+        AtomicType::String
+    }
+}
+
+/// Infers the column-level type by majority vote over non-empty cells.
+///
+/// Mixed integer/float columns resolve to [`AtomicType::Float`] (matching
+/// Pandas' promotion rules); columns whose cells are all empty resolve to
+/// [`AtomicType::Empty`]. Ties are broken in favour of [`AtomicType::String`]
+/// since any value can be read as a string.
+#[must_use]
+pub fn infer_column_type<S: AsRef<str>>(values: &[S]) -> AtomicType {
+    let mut counts = [0usize; 6];
+    for v in values {
+        let t = infer_value_type(v.as_ref());
+        counts[t as usize] += 1;
+    }
+    let non_empty: usize = counts[..5].iter().sum();
+    if non_empty == 0 {
+        return AtomicType::Empty;
+    }
+    let int_f = counts[AtomicType::Integer as usize] + counts[AtomicType::Float as usize];
+    // Numeric promotion: if numeric cells dominate, the column is numeric.
+    if int_f * 2 > non_empty {
+        return if counts[AtomicType::Float as usize] > 0 {
+            AtomicType::Float
+        } else {
+            AtomicType::Integer
+        };
+    }
+    let candidates = [AtomicType::Boolean, AtomicType::Date, AtomicType::String];
+    let mut best = AtomicType::String;
+    let mut best_count = 0usize;
+    for t in candidates {
+        let c = counts[t as usize];
+        if c > best_count {
+            best = t;
+            best_count = c;
+        }
+    }
+    if int_f > best_count {
+        // Numeric plurality but not majority: still numeric by plurality.
+        if counts[AtomicType::Float as usize] > 0 {
+            AtomicType::Float
+        } else {
+            AtomicType::Integer
+        }
+    } else {
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers() {
+        for v in ["0", "42", "-7", "+13", "1234567890"] {
+            assert_eq!(infer_value_type(v), AtomicType::Integer, "{v}");
+        }
+    }
+
+    #[test]
+    fn floats() {
+        for v in ["3.14", "-0.5", "1e-3", "2.5E2", ".5", "5."] {
+            assert_eq!(infer_value_type(v), AtomicType::Float, "{v}");
+        }
+    }
+
+    #[test]
+    fn not_numbers() {
+        for v in ["abc", "12a", "1_000", "1,000", "inf", "NaN3", "e5", "+-3"] {
+            let t = infer_value_type(v);
+            assert!(!t.is_numeric(), "{v} inferred {t:?}");
+        }
+    }
+
+    #[test]
+    fn booleans() {
+        for v in ["true", "FALSE", "Yes", "no", "T", "f"] {
+            assert_eq!(infer_value_type(v), AtomicType::Boolean, "{v}");
+        }
+    }
+
+    #[test]
+    fn dates() {
+        for v in [
+            "2021-06-14",
+            "14/06/2021",
+            "06/14/2021",
+            "2021/06/14",
+            "2021-06-14 13:45",
+            "2021-06-14T13:45:59",
+        ] {
+            assert_eq!(infer_value_type(v), AtomicType::Date, "{v}");
+        }
+    }
+
+    #[test]
+    fn non_dates() {
+        for v in [
+            "2021-13-44",
+            "2021-06",
+            "14-15-16",
+            "2021-06-14 99:99",
+            "20210614",
+            "2021--06--14",
+            "2021-06/14",
+        ] {
+            assert_ne!(infer_value_type(v), AtomicType::Date, "{v}");
+        }
+    }
+
+    #[test]
+    fn missing_markers() {
+        for v in ["", "  ", "nan", "NULL", "N/A", "-", "?"] {
+            assert_eq!(infer_value_type(v), AtomicType::Empty, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn strings() {
+        for v in ["hello", "Enterococcus faecium", "a1b2", "42nd street"] {
+            assert_eq!(infer_value_type(v), AtomicType::String, "{v}");
+        }
+    }
+
+    #[test]
+    fn column_majority_integer() {
+        let t = infer_column_type(&["1", "2", "3", "x"]);
+        assert_eq!(t, AtomicType::Integer);
+    }
+
+    #[test]
+    fn column_promotes_mixed_numeric_to_float() {
+        let t = infer_column_type(&["1", "2.5", "3"]);
+        assert_eq!(t, AtomicType::Float);
+    }
+
+    #[test]
+    fn column_all_empty() {
+        let t = infer_column_type(&["", "nan", "NULL"]);
+        assert_eq!(t, AtomicType::Empty);
+    }
+
+    #[test]
+    fn column_string_majority() {
+        let t = infer_column_type(&["a", "b", "c", "1"]);
+        assert_eq!(t, AtomicType::String);
+    }
+
+    #[test]
+    fn column_ignores_missing_in_vote() {
+        let t = infer_column_type(&["1", "nan", "nan", "2"]);
+        assert_eq!(t, AtomicType::Integer);
+    }
+
+    #[test]
+    fn column_date_majority() {
+        let t = infer_column_type(&["2020-01-01", "2020-01-02", "x"]);
+        assert_eq!(t, AtomicType::Date);
+    }
+
+    #[test]
+    fn empty_slice_is_empty() {
+        let vals: [&str; 0] = [];
+        assert_eq!(infer_column_type(&vals), AtomicType::Empty);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AtomicType::Integer.to_string(), "integer");
+        assert_eq!(AtomicType::String.to_string(), "string");
+    }
+
+    #[test]
+    fn huge_digit_string_not_integer_overflow() {
+        // 25 digits exceeds the i64-safe length cap; must not panic.
+        let t = infer_value_type("1234567890123456789012345");
+        assert_ne!(t, AtomicType::Integer);
+    }
+}

@@ -1,0 +1,149 @@
+//! A named column of string-typed cells with a lazily inferred atomic type.
+
+use serde::{Deserialize, Serialize};
+
+use crate::atomic::{infer_column_type, is_missing, AtomicType};
+
+/// A single table column: a name plus cell values (all represented as text,
+/// as parsed from CSV).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    name: String,
+    values: Vec<String>,
+    /// Cached column type; recomputed on mutation.
+    atomic: AtomicType,
+}
+
+impl Column {
+    /// Creates a column from a name and values, inferring its atomic type.
+    #[must_use]
+    pub fn new(name: impl Into<String>, values: Vec<String>) -> Self {
+        let atomic = infer_column_type(&values);
+        Column { name: name.into(), values, atomic }
+    }
+
+    /// Creates a column from string slices.
+    #[must_use]
+    pub fn from_slice<S: AsRef<str>>(name: impl Into<String>, values: &[S]) -> Self {
+        Column::new(
+            name,
+            values.iter().map(|v| v.as_ref().to_string()).collect(),
+        )
+    }
+
+    /// The column (header) name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The inferred atomic type of the column.
+    #[must_use]
+    pub fn atomic_type(&self) -> AtomicType {
+        self.atomic
+    }
+
+    /// The cell values.
+    #[must_use]
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the column has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Fraction of cells that are missing/empty markers; 0 for empty columns.
+    #[must_use]
+    pub fn missing_fraction(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let missing = self.values.iter().filter(|v| is_missing(v)).count();
+        missing as f64 / self.values.len() as f64
+    }
+
+    /// Number of distinct values (exact, by sorting clones; intended for
+    /// statistics over modest columns, not hot paths).
+    #[must_use]
+    pub fn distinct_count(&self) -> usize {
+        let mut sorted: Vec<&str> = self.values.iter().map(String::as_str).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Replaces all values, re-inferring the atomic type. Used by the
+    /// anonymization pass.
+    pub fn replace_values(&mut self, values: Vec<String>) {
+        self.atomic = infer_column_type(&values);
+        self.values = values;
+    }
+
+    /// Renames the column.
+    pub fn rename(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Whether the header name is unspecified (empty or a Pandas-style
+    /// `Unnamed: N` placeholder), per the curation rules of §3.3.
+    #[must_use]
+    pub fn is_unnamed(&self) -> bool {
+        let n = self.name.trim();
+        n.is_empty() || n.to_ascii_lowercase().starts_with("unnamed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_type_on_construction() {
+        let c = Column::from_slice("price", &["1.5", "2.0", "3.25"]);
+        assert_eq!(c.atomic_type(), AtomicType::Float);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn missing_fraction() {
+        let c = Column::from_slice("state", &["nan", "CA", "", "NY"]);
+        assert!((c.missing_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_fraction_empty_column() {
+        let c = Column::new("x", vec![]);
+        assert_eq!(c.missing_fraction(), 0.0);
+    }
+
+    #[test]
+    fn distinct_count() {
+        let c = Column::from_slice("g", &["a", "b", "a", "c", "b"]);
+        assert_eq!(c.distinct_count(), 3);
+    }
+
+    #[test]
+    fn replace_values_reinfers() {
+        let mut c = Column::from_slice("v", &["1", "2"]);
+        assert_eq!(c.atomic_type(), AtomicType::Integer);
+        c.replace_values(vec!["x".into(), "y".into()]);
+        assert_eq!(c.atomic_type(), AtomicType::String);
+    }
+
+    #[test]
+    fn unnamed_detection() {
+        assert!(Column::from_slice("", &["1"]).is_unnamed());
+        assert!(Column::from_slice("Unnamed: 3", &["1"]).is_unnamed());
+        assert!(!Column::from_slice("id", &["1"]).is_unnamed());
+    }
+}

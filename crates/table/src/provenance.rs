@@ -1,0 +1,70 @@
+//! Provenance metadata: where a table came from.
+//!
+//! GitTables keeps the source URL of every table so that tables split across
+//! files in the same repository (e.g. daily snapshots) can later be unioned
+//! (§4.1 of the paper). We record the repository, file path, license, and the
+//! topic query that retrieved the file.
+
+use serde::{Deserialize, Serialize};
+
+/// Source information for an extracted table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Repository identifier, e.g. `"alice/rides"`.
+    pub repository: String,
+    /// Path of the CSV file inside the repository.
+    pub path: String,
+    /// SPDX-style license identifier of the repository, if any.
+    pub license: Option<String>,
+    /// The WordNet topic whose query retrieved this file.
+    pub topic: String,
+    /// Size of the raw CSV file in bytes.
+    pub file_size: usize,
+}
+
+impl Provenance {
+    /// Creates provenance for a repository file.
+    #[must_use]
+    pub fn new(repository: impl Into<String>, path: impl Into<String>) -> Self {
+        Provenance {
+            repository: repository.into(),
+            path: path.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the license.
+    #[must_use]
+    pub fn with_license(mut self, license: impl Into<String>) -> Self {
+        self.license = Some(license.into());
+        self
+    }
+
+    /// Sets the retrieving topic.
+    #[must_use]
+    pub fn with_topic(mut self, topic: impl Into<String>) -> Self {
+        self.topic = topic.into();
+        self
+    }
+
+    /// A stable URL-like identifier, `"<repository>/<path>"`.
+    #[must_use]
+    pub fn url(&self) -> String {
+        format!("{}/{}", self.repository, self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_url() {
+        let p = Provenance::new("alice/rides", "data/rides.csv")
+            .with_license("mit")
+            .with_topic("ride");
+        assert_eq!(p.url(), "alice/rides/data/rides.csv");
+        assert_eq!(p.license.as_deref(), Some("mit"));
+        assert_eq!(p.topic, "ride");
+    }
+}

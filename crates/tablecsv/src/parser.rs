@@ -1,0 +1,305 @@
+//! Streaming RFC-4180-style record parser.
+//!
+//! The parser walks the raw bytes once, yielding one record (a `Vec<String>`)
+//! per logical CSV row. It supports:
+//!
+//! * quoted fields (embedded delimiters, quotes escaped by doubling, embedded
+//!   newlines inside quotes),
+//! * LF / CRLF / lone-CR line endings,
+//! * comment lines (skipped entirely when the first non-space byte matches the
+//!   dialect's comment byte),
+//! * lenient handling of a quote appearing mid-field (treated as a literal,
+//!   like Pandas' default).
+//!
+//! Invalid UTF-8 is replaced lossily — GitHub CSVs are occasionally
+//! mis-encoded and the paper's pipeline tolerates that.
+
+use crate::{CsvError, Dialect};
+
+/// A streaming CSV record parser over an input buffer.
+#[derive(Debug)]
+pub struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    dialect: Dialect,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over `input` with the given dialect.
+    #[must_use]
+    pub fn new(input: &'a str, dialect: Dialect) -> Self {
+        Parser { input: input.as_bytes(), pos: 0, dialect }
+    }
+
+    /// Creates a parser over raw bytes (invalid UTF-8 is replaced lossily).
+    #[must_use]
+    pub fn from_bytes(input: &'a [u8], dialect: Dialect) -> Self {
+        Parser { input, pos: 0, dialect }
+    }
+
+    /// Whether the parser has consumed all input.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Current byte offset.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    /// Consumes a line terminator at the current position if present.
+    fn eat_newline(&mut self) {
+        match self.peek() {
+            Some(b'\r') => {
+                self.pos += 1;
+                if self.peek() == Some(b'\n') {
+                    self.pos += 1;
+                }
+            }
+            Some(b'\n') => self.pos += 1,
+            _ => {}
+        }
+    }
+
+    /// Returns true if the line starting at `pos` is a comment line.
+    fn at_comment_line(&self) -> bool {
+        let Some(comment) = self.dialect.comment else {
+            return false;
+        };
+        let mut i = self.pos;
+        while let Some(&b) = self.input.get(i) {
+            match b {
+                b' ' => i += 1,
+                b'\n' | b'\r' => return false,
+                other => return other == comment,
+            }
+        }
+        false
+    }
+
+    /// Skips to the start of the next line.
+    fn skip_line(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'\n' || b == b'\r' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.eat_newline();
+    }
+
+    /// Reads the next record. Returns `Ok(None)` at end of input.
+    ///
+    /// # Errors
+    /// Returns [`CsvError::UnterminatedQuote`] if a quoted field never closes.
+    pub fn next_record(&mut self) -> Result<Option<Vec<String>>, CsvError> {
+        // Skip comment lines (possibly several in a row).
+        while !self.is_done() && self.at_comment_line() {
+            self.skip_line();
+        }
+        if self.is_done() {
+            return Ok(None);
+        }
+        let mut record = Vec::new();
+        let mut field = Vec::<u8>::new();
+        loop {
+            match self.peek() {
+                None => {
+                    record.push(take_field(&mut field));
+                    return Ok(Some(record));
+                }
+                Some(b'\n') | Some(b'\r') => {
+                    self.eat_newline();
+                    record.push(take_field(&mut field));
+                    return Ok(Some(record));
+                }
+                Some(b) if b == self.dialect.delimiter => {
+                    self.pos += 1;
+                    record.push(take_field(&mut field));
+                }
+                Some(b) if b == self.dialect.quote && field.is_empty() => {
+                    // Quoted field.
+                    let start = self.pos;
+                    self.pos += 1;
+                    self.read_quoted(&mut field, start)?;
+                }
+                Some(b) => {
+                    field.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Reads the body of a quoted field (opening quote already consumed) into
+    /// `field`. Stops after the closing quote; trailing junk before the next
+    /// delimiter/newline is appended literally (lenient mode).
+    fn read_quoted(&mut self, field: &mut Vec<u8>, start: usize) -> Result<(), CsvError> {
+        let q = self.dialect.quote;
+        loop {
+            match self.peek() {
+                None => return Err(CsvError::UnterminatedQuote { offset: start }),
+                Some(b) if b == q => {
+                    self.pos += 1;
+                    if self.peek() == Some(q) {
+                        // Doubled quote: literal quote character.
+                        field.push(q);
+                        self.pos += 1;
+                    } else {
+                        return Ok(());
+                    }
+                }
+                Some(b) => {
+                    field.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Parses all remaining records.
+    ///
+    /// # Errors
+    /// Propagates the first [`CsvError`] encountered.
+    pub fn records(mut self) -> Result<Vec<Vec<String>>, CsvError> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+fn take_field(buf: &mut Vec<u8>) -> String {
+    let s = String::from_utf8_lossy(buf).into_owned();
+    buf.clear();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Vec<Vec<String>> {
+        Parser::new(s, Dialect::default()).records().unwrap()
+    }
+
+    #[test]
+    fn simple_records() {
+        let r = parse("a,b,c\n1,2,3\n");
+        assert_eq!(r, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let r = parse("a,b\n1,2");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn crlf_and_cr_endings() {
+        let r = parse("a,b\r\n1,2\r3,4\n");
+        assert_eq!(r, vec![vec!["a", "b"], vec!["1", "2"], vec!["3", "4"]]);
+    }
+
+    #[test]
+    fn quoted_with_delimiter_and_newline() {
+        let r = parse("name,notes\n\"Smith, John\",\"line1\nline2\"\n");
+        assert_eq!(r[1][0], "Smith, John");
+        assert_eq!(r[1][1], "line1\nline2");
+    }
+
+    #[test]
+    fn doubled_quote_escape() {
+        let r = parse("q\n\"say \"\"hi\"\"\"\n");
+        assert_eq!(r[1][0], "say \"hi\"");
+    }
+
+    #[test]
+    fn quote_mid_field_is_literal() {
+        let r = parse("a\nit\"s\n");
+        assert_eq!(r[1][0], "it\"s");
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        let err = Parser::new("a\n\"open", Dialect::default())
+            .records()
+            .unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn comment_lines_skipped() {
+        let r = parse("# header comment\na,b\n  # indented comment\n1,2\n");
+        assert_eq!(r, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn comment_disabled() {
+        let d = Dialect { comment: None, ..Dialect::default() };
+        let r = Parser::new("#a,b\n1,2\n", d).records().unwrap();
+        assert_eq!(r[0], vec!["#a", "b"]);
+    }
+
+    #[test]
+    fn empty_fields() {
+        let r = parse("a,,c\n,,\n");
+        assert_eq!(r[0], vec!["a", "", "c"]);
+        assert_eq!(r[1], vec!["", "", ""]);
+    }
+
+    #[test]
+    fn empty_line_is_single_empty_field() {
+        let r = parse("a\n\nb\n");
+        assert_eq!(r, vec![vec!["a"], vec![""], vec!["b"]]);
+    }
+
+    #[test]
+    fn semicolon_dialect() {
+        let r = Parser::new("a;b\n1;2\n", Dialect::semicolon())
+            .records()
+            .unwrap();
+        assert_eq!(r[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn tab_dialect() {
+        let r = Parser::new("a\tb\n1\t2\n", Dialect::tsv()).records().unwrap();
+        assert_eq!(r[0], vec!["a", "b"]);
+    }
+
+    #[test]
+    fn lossy_utf8() {
+        let bytes = b"a,b\n\xff\xfe,2\n";
+        let r = Parser::from_bytes(bytes, Dialect::default())
+            .records()
+            .unwrap();
+        assert_eq!(r[1][1], "2");
+        assert!(!r[1][0].is_empty());
+    }
+
+    #[test]
+    fn streaming_interface() {
+        let mut p = Parser::new("a,b\n1,2\n", Dialect::default());
+        assert!(!p.is_done());
+        assert_eq!(p.next_record().unwrap().unwrap(), vec!["a", "b"]);
+        assert_eq!(p.next_record().unwrap().unwrap(), vec!["1", "2"]);
+        assert!(p.next_record().unwrap().is_none());
+        assert!(p.is_done());
+    }
+
+    #[test]
+    fn quote_comment_interaction() {
+        // '#' inside a quoted field is not a comment.
+        let r = parse("a,b\n\"#not comment\",2\n");
+        assert_eq!(r[1][0], "#not comment");
+    }
+}

@@ -1,0 +1,302 @@
+//! High-level CSV reading with the paper's §3.3 parsing & curation rules.
+//!
+//! [`read_csv`] performs, in order:
+//!
+//! 1. **Dialect sniffing** (or uses a caller-forced dialect).
+//! 2. **Preamble skipping** — leading empty lines and `#`-comment lines.
+//! 3. **Header extraction** — the first surviving record is the header row.
+//! 4. **Bad-line removal** — empty lines and rows whose field count deviates
+//!    from the header width are discarded (and counted).
+//! 5. **Trailing-delimiter realignment** — when *all* rows carry exactly one
+//!    extra, empty trailing field (or the header carries one extra empty
+//!    name), the redundant separator column is removed instead of declaring
+//!    every row bad.
+//! 6. **Rejection** of files where the bad-line fraction exceeds a threshold,
+//!    reproducing the 0.7 % of files the paper could not parse into tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{sniff, CsvError, Dialect, Parser};
+
+/// Options controlling [`read_csv`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadOptions {
+    /// Force a dialect instead of sniffing.
+    pub dialect: Option<Dialect>,
+    /// Maximum tolerated fraction of bad lines before the file is rejected.
+    pub max_bad_line_fraction: f64,
+    /// Maximum number of records read (guards against adversarial input).
+    pub max_rows: usize,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            dialect: None,
+            max_bad_line_fraction: 0.5,
+            max_rows: 1_000_000,
+        }
+    }
+}
+
+/// What happened to each raw row; used for pipeline statistics
+/// (`expt_pipeline_rates`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowFate {
+    /// Kept as a data row.
+    Kept,
+    /// Dropped: empty line.
+    EmptyLine,
+    /// Dropped: field count deviated from the header width.
+    WidthMismatch,
+}
+
+/// The result of reading a CSV file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParsedCsv {
+    /// Detected (or forced) dialect.
+    pub dialect: Dialect,
+    /// Header names (first row).
+    pub header: Vec<String>,
+    /// Data records, all exactly `header.len()` wide.
+    pub records: Vec<Vec<String>>,
+    /// Number of rows dropped as bad lines.
+    pub bad_lines: usize,
+    /// Number of preamble lines (comments/empties before the header) skipped.
+    /// Comment lines are consumed silently by the parser, so this counts only
+    /// the leading *empty* records.
+    pub preamble_lines: usize,
+    /// Whether trailing-delimiter realignment was applied.
+    pub realigned: bool,
+}
+
+fn is_blank_record(rec: &[String]) -> bool {
+    rec.iter().all(|f| f.trim().is_empty())
+}
+
+/// Reads a CSV document applying the GitTables parsing rules. See the module
+/// documentation for the exact sequence.
+///
+/// # Errors
+/// * [`CsvError::Empty`] for whitespace-only input,
+/// * [`CsvError::UndetectableDialect`] when sniffing fails,
+/// * [`CsvError::UnterminatedQuote`] on an unclosed quoted field,
+/// * [`CsvError::NoRows`] when nothing but the header survives,
+/// * [`CsvError::TooManyBadLines`] when bad rows exceed the threshold.
+pub fn read_csv(input: &str, options: &ReadOptions) -> Result<ParsedCsv, CsvError> {
+    // Strip a UTF-8 byte-order mark; exported CSVs from Windows tooling
+    // commonly carry one and it must not become part of the first header.
+    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
+    if input.trim().is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let dialect = match options.dialect {
+        Some(d) => d,
+        None => sniff(input).ok_or(CsvError::UndetectableDialect)?,
+    };
+    let mut parser = Parser::new(input, dialect);
+
+    // Preamble: skip leading blank records (comments are eaten by the parser).
+    let mut preamble_lines = 0usize;
+    let header = loop {
+        match parser.next_record()? {
+            None => return Err(CsvError::NoRows),
+            Some(rec) if is_blank_record(&rec) => preamble_lines += 1,
+            Some(rec) => break rec,
+        }
+    };
+    let width = header.len();
+
+    let mut raw_rows: Vec<Vec<String>> = Vec::new();
+    let mut bad_lines = 0usize;
+    let mut empty_lines = 0usize;
+    while let Some(rec) = parser.next_record()? {
+        if raw_rows.len() >= options.max_rows {
+            break;
+        }
+        if is_blank_record(&rec) {
+            empty_lines += 1;
+            continue;
+        }
+        raw_rows.push(rec);
+    }
+
+    // Trailing-delimiter realignment (paper §3.3): all data rows one wider
+    // than the header with an empty last field ⇒ drop that field; or header
+    // one wider than all rows with an empty last name ⇒ drop that name.
+    let mut header = header;
+    let mut realigned = false;
+    if !raw_rows.is_empty() {
+        let all_one_wider = raw_rows
+            .iter()
+            .all(|r| r.len() == width + 1 && r.last().is_some_and(|f| f.trim().is_empty()));
+        if all_one_wider {
+            for r in &mut raw_rows {
+                r.pop();
+            }
+            realigned = true;
+        } else if width >= 2
+            && header.last().is_some_and(|h| h.trim().is_empty())
+            && raw_rows.iter().all(|r| r.len() == width - 1)
+        {
+            header.pop();
+            realigned = true;
+        }
+    }
+    let width = header.len();
+
+    // Bad-line removal: rows whose width still deviates.
+    let mut records = Vec::with_capacity(raw_rows.len());
+    for rec in raw_rows {
+        if rec.len() == width {
+            records.push(rec);
+        } else {
+            bad_lines += 1;
+        }
+    }
+    bad_lines += empty_lines;
+
+    let total = records.len() + bad_lines;
+    if total > 0 && bad_lines as f64 / total as f64 > options.max_bad_line_fraction {
+        return Err(CsvError::TooManyBadLines { bad: bad_lines, total });
+    }
+    if records.is_empty() {
+        return Err(CsvError::NoRows);
+    }
+    Ok(ParsedCsv {
+        dialect,
+        header,
+        records,
+        bad_lines,
+        preamble_lines,
+        realigned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(s: &str) -> ParsedCsv {
+        read_csv(s, &ReadOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn basic() {
+        let p = read("a,b\n1,2\n3,4\n");
+        assert_eq!(p.header, vec!["a", "b"]);
+        assert_eq!(p.records.len(), 2);
+        assert_eq!(p.bad_lines, 0);
+    }
+
+    #[test]
+    fn preamble_comments_and_blanks() {
+        let p = read("# generated\n\n# more\na,b\n1,2\n");
+        assert_eq!(p.header, vec!["a", "b"]);
+        assert_eq!(p.preamble_lines, 1); // the blank line
+        assert_eq!(p.records.len(), 1);
+    }
+
+    #[test]
+    fn bad_lines_dropped() {
+        let p = read("a,b\n1,2\n1,2,3\nonly_one\n3,4\n");
+        assert_eq!(p.records.len(), 2);
+        assert_eq!(p.bad_lines, 2);
+    }
+
+    #[test]
+    fn interior_empty_lines_counted_bad() {
+        let p = read("a,b\n1,2\n\n3,4\n");
+        assert_eq!(p.records.len(), 2);
+        assert_eq!(p.bad_lines, 1);
+    }
+
+    #[test]
+    fn trailing_delimiter_realignment_rows() {
+        // Every data row ends with a redundant separator.
+        let p = read("a,b\n1,2,\n3,4,\n");
+        assert!(p.realigned);
+        assert_eq!(p.records, vec![vec!["1", "2"], vec!["3", "4"]]);
+        assert_eq!(p.bad_lines, 0);
+    }
+
+    #[test]
+    fn trailing_delimiter_realignment_header() {
+        // Header ends with a redundant separator instead.
+        let p = read_csv(
+            "a,b,\n1,2\n3,4\n",
+            &ReadOptions { dialect: Some(Dialect::default()), ..Default::default() },
+        )
+        .unwrap();
+        assert!(p.realigned);
+        assert_eq!(p.header, vec!["a", "b"]);
+        assert_eq!(p.records.len(), 2);
+    }
+
+    #[test]
+    fn no_realignment_when_inconsistent() {
+        // Only one of two rows has the trailing separator: that row is bad.
+        let p = read("a,b\n1,2,\n3,4\n");
+        assert!(!p.realigned);
+        assert_eq!(p.records.len(), 1);
+        assert_eq!(p.bad_lines, 1);
+    }
+
+    #[test]
+    fn too_many_bad_lines_rejected() {
+        let opts = ReadOptions { dialect: Some(Dialect::default()), ..Default::default() };
+        let err = read_csv("a,b\n1\n2\n3\n1,2\n", &opts).unwrap_err();
+        assert!(matches!(err, CsvError::TooManyBadLines { bad: 3, total: 4 }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(read_csv("", &ReadOptions::default()).unwrap_err(), CsvError::Empty);
+        assert_eq!(read_csv("  \n ", &ReadOptions::default()).unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn header_only_rejected() {
+        let err = read_csv("a,b\n", &ReadOptions::default()).unwrap_err();
+        assert_eq!(err, CsvError::NoRows);
+    }
+
+    #[test]
+    fn forced_dialect() {
+        let opts = ReadOptions { dialect: Some(Dialect::semicolon()), ..Default::default() };
+        let p = read_csv("a;b\n1;2\n", &opts).unwrap();
+        assert_eq!(p.header, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn sniffed_semicolon() {
+        let p = read("x;y;z\n1;2;3\n4;5;6\n");
+        assert_eq!(p.dialect.delimiter, b';');
+        assert_eq!(p.records.len(), 2);
+    }
+
+    #[test]
+    fn max_rows_cap() {
+        let mut s = String::from("a,b\n");
+        for i in 0..100 {
+            s.push_str(&format!("{i},{i}\n"));
+        }
+        let opts = ReadOptions { max_rows: 10, ..Default::default() };
+        let p = read_csv(&s, &opts).unwrap();
+        assert_eq!(p.records.len(), 10);
+    }
+
+    #[test]
+    fn utf8_bom_stripped() {
+        let p = read("\u{feff}id,name\n1,a\n2,b\n");
+        assert_eq!(p.header[0], "id");
+        assert_eq!(p.records.len(), 2);
+    }
+
+    #[test]
+    fn quoted_fields_survive() {
+        let p = read("name,notes\n\"Doe, Jane\",\"says \"\"hi\"\"\"\nBob,ok\n");
+        assert_eq!(p.records[0][0], "Doe, Jane");
+        assert_eq!(p.records[0][1], "says \"hi\"");
+    }
+}

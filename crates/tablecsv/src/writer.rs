@@ -1,0 +1,120 @@
+//! CSV writing (quoting-aware), used for corpus export and round-trip tests.
+
+use crate::Dialect;
+
+/// Returns `true` if the field must be quoted under `dialect`.
+fn needs_quoting(field: &str, dialect: Dialect) -> bool {
+    field.bytes().any(|b| {
+        b == dialect.delimiter
+            || b == dialect.quote
+            || b == b'\n'
+            || b == b'\r'
+            || dialect.comment == Some(b)
+    }) || field.starts_with(' ')
+        || field.ends_with(' ')
+}
+
+fn write_field(out: &mut String, field: &str, dialect: Dialect) {
+    if needs_quoting(field, dialect) {
+        let q = dialect.quote as char;
+        out.push(q);
+        for ch in field.chars() {
+            if ch as u32 == u32::from(dialect.quote) {
+                out.push(q);
+            }
+            out.push(ch);
+        }
+        out.push(q);
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Serializes a header and records to CSV text under `dialect`.
+///
+/// Every row is terminated with `\n`. Fields containing the delimiter, the
+/// quote, newlines, or the comment byte are quoted; quotes are escaped by
+/// doubling, so output always round-trips through [`crate::Parser`].
+#[must_use]
+pub fn write_csv<S: AsRef<str>, R: AsRef<[S]>>(
+    header: &[S],
+    records: &[R],
+    dialect: Dialect,
+) -> String {
+    let mut out = String::new();
+    let delim = dialect.delimiter as char;
+    let write_row = |row: &[S], out: &mut String| {
+        for (i, f) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(delim);
+            }
+            write_field(out, f.as_ref(), dialect);
+        }
+        out.push('\n');
+    };
+    write_row(header, &mut out);
+    for rec in records {
+        write_row(rec.as_ref(), &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_csv, ReadOptions};
+
+    #[test]
+    fn simple_output() {
+        let s = write_csv(&["a", "b"], &[["1", "2"]], Dialect::default());
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn quoting_delimiter_and_quote() {
+        let s = write_csv(&["x"], &[["a,b"], ["say \"hi\""]], Dialect::default());
+        assert_eq!(s, "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn quotes_comment_byte_fields() {
+        // A field starting with '#' must be quoted or it would be skipped.
+        let s = write_csv(&["x"], &[["#tag"]], Dialect::default());
+        assert!(s.contains("\"#tag\""));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let header = ["id", "note", "when"];
+        let records = [
+            ["1", "plain", "2020-01-01"],
+            ["2", "has,comma", "2020-01-02"],
+            ["3", "has\nnewline", "2020-01-03"],
+            ["4", "quote \" inside", "#2020"],
+        ];
+        let s = write_csv(&header, &records, Dialect::default());
+        let p = read_csv(&s, &ReadOptions::default()).unwrap();
+        assert_eq!(p.header, header);
+        assert_eq!(p.records.len(), records.len());
+        for (got, want) in p.records.iter().zip(records.iter()) {
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn roundtrip_semicolon() {
+        let s = write_csv(&["a", "b"], &[["1;x", "2"]], Dialect::semicolon());
+        let p = read_csv(
+            &s,
+            &ReadOptions { dialect: Some(Dialect::semicolon()), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(p.records[0][0], "1;x");
+    }
+
+    #[test]
+    fn leading_trailing_space_quoted() {
+        let s = write_csv(&["a"], &[[" padded "]], Dialect::default());
+        assert_eq!(s, "a\n\" padded \"\n");
+    }
+}

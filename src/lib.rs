@@ -1,0 +1,2 @@
+//! Workspace-level re-exports for examples and integration tests.
+pub use gittables_core as core;

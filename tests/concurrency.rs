@@ -1,0 +1,107 @@
+//! Concurrency tests: the host and annotators are shared immutably across
+//! pipeline workers; verify they behave under parallel access.
+
+use std::sync::Arc;
+
+use gittables_annotate::{SemanticAnnotator, SyntacticAnnotator};
+use gittables_githost::{GitHost, Query, RepoFile, Repository};
+use gittables_ontology::dbpedia;
+use gittables_table::Table;
+
+fn populated_host(n: usize) -> GitHost {
+    let host = GitHost::new();
+    for i in 0..n {
+        host.add_repository(Repository {
+            full_name: format!("u{i}/r{i}"),
+            license: Some("mit".into()),
+            fork: false,
+            files: vec![RepoFile::new("f.csv", format!("id,v\n{i},{}\n", i * 2))],
+        });
+    }
+    host
+}
+
+#[test]
+fn parallel_searches_agree_with_serial() {
+    let host = Arc::new(populated_host(500));
+    let serial = host.search_api().count(&Query::csv("id"));
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let host = host.clone();
+        handles.push(std::thread::spawn(move || {
+            let api = host.search_api();
+            (0..20)
+                .map(|_| api.count(&Query::csv("id")))
+                .collect::<Vec<_>>()
+        }));
+    }
+    for h in handles {
+        for c in h.join().expect("search thread") {
+            assert_eq!(c, serial);
+        }
+    }
+}
+
+#[test]
+fn concurrent_insert_and_search_is_safe() {
+    let host = Arc::new(GitHost::new());
+    let writer = {
+        let host = host.clone();
+        std::thread::spawn(move || {
+            for i in 0..200 {
+                host.add_repository(Repository {
+                    full_name: format!("w/r{i}"),
+                    license: None,
+                    fork: false,
+                    files: vec![RepoFile::new("f.csv", "id\n1\n")],
+                });
+            }
+        })
+    };
+    let reader = {
+        let host = host.clone();
+        std::thread::spawn(move || {
+            let api = host.search_api();
+            let mut last = 0;
+            for _ in 0..200 {
+                let c = api.count(&Query::csv("id"));
+                assert!(c >= last, "count must be monotone");
+                last = c;
+            }
+        })
+    };
+    writer.join().expect("writer");
+    reader.join().expect("reader");
+    assert_eq!(host.search_api().count(&Query::csv("id")), 200);
+}
+
+#[test]
+fn annotators_shared_across_threads() {
+    let ont = Arc::new(dbpedia());
+    let sem = Arc::new(SemanticAnnotator::new(ont.clone()));
+    let syn = Arc::new(SyntacticAnnotator::new(ont));
+    let table = Arc::new(
+        Table::from_rows(
+            "t",
+            &["id", "species", "country", "total_price"],
+            &[&["1", "Homo sapiens", "Vietnam", "9.5"]],
+        )
+        .unwrap(),
+    );
+    let expected_sem = sem.annotate(&table);
+    let expected_syn = syn.annotate(&table);
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let sem = sem.clone();
+        let syn = syn.clone();
+        let table = table.clone();
+        handles.push(std::thread::spawn(move || {
+            (sem.annotate(&table), syn.annotate(&table))
+        }));
+    }
+    for h in handles {
+        let (s, y) = h.join().expect("annotator thread");
+        assert_eq!(s, expected_sem);
+        assert_eq!(y, expected_syn);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests of the ML substrate: classifier contracts that must hold
+//! for any data.
+
+use gittables_ml::{
+    Classifier, Dataset, ForestConfig, LogisticConfig, LogisticRegression, Mlp, MlpConfig,
+    RandomForest,
+};
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..40, 1usize..4, any::<u64>()).prop_map(|(n, dim, seed)| {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (state >> 33) as f32 / (1u64 << 31) as f32 - 0.5
+        };
+        let mut d = Dataset::new(vec![], vec![], vec!["a".into(), "b".into()]);
+        for i in 0..n {
+            let y = i % 2;
+            let x: Vec<f32> = (0..dim)
+                .map(|_| next() + if y == 0 { -1.0 } else { 1.0 })
+                .collect();
+            d.push(x, y);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every classifier predicts a valid class index for any input after
+    /// fitting on any dataset, and prediction is deterministic.
+    #[test]
+    fn classifiers_total_and_deterministic(d in dataset_strategy(), probe in proptest::collection::vec(-10.0f32..10.0, 0..4)) {
+        let k = d.num_classes();
+        let mut forest = RandomForest::new(ForestConfig { n_trees: 3, ..Default::default() });
+        let mut logistic = LogisticRegression::new(LogisticConfig { epochs: 3, ..Default::default() });
+        let mut mlp = Mlp::new(MlpConfig { epochs: 3, hidden: 4, ..Default::default() });
+        forest.fit(&d);
+        logistic.fit(&d);
+        mlp.fit(&d);
+        for model in [&forest as &dyn Classifier, &logistic, &mlp] {
+            let p1 = model.predict(&probe);
+            let p2 = model.predict(&probe);
+            prop_assert!(p1 < k.max(1));
+            prop_assert_eq!(p1, p2);
+        }
+    }
+
+    /// Forest probability vectors are valid distributions.
+    #[test]
+    fn forest_proba_is_distribution(d in dataset_strategy(), probe in proptest::collection::vec(-10.0f32..10.0, 1..4)) {
+        let mut forest = RandomForest::new(ForestConfig { n_trees: 5, ..Default::default() });
+        forest.fit(&d);
+        let p = forest.predict_proba(&probe);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for v in p {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // Importances form a (sub-)distribution too.
+        let imp = forest.feature_importance();
+        let total: f64 = imp.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+        for v in imp {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    /// Stratified folds partition the sample set for any k.
+    #[test]
+    fn folds_partition(d in dataset_strategy(), k in 2usize..6, seed in any::<u64>()) {
+        let folds = d.stratified_folds(k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![false; d.len()];
+        for f in &folds {
+            for &i in f {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}
