@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn coverage() {
-        let t = TableAnnotations { annotations: vec![ann(0), ann(2)], num_columns: 4 };
+        let t = TableAnnotations {
+            annotations: vec![ann(0), ann(2)],
+            num_columns: 4,
+        };
         assert!((t.coverage() - 0.5).abs() < 1e-12);
         assert!(t.any());
         assert!(t.for_column(2).is_some());

@@ -35,7 +35,11 @@ impl ContextualAnnotator {
     /// Wraps a semantic annotator with default re-ranking parameters.
     #[must_use]
     pub fn new(semantic: SemanticAnnotator) -> Self {
-        ContextualAnnotator { semantic, coherence_weight: 0.12, candidates: 5 }
+        ContextualAnnotator {
+            semantic,
+            coherence_weight: 0.12,
+            candidates: 5,
+        }
     }
 
     /// Convenience constructor from an ontology.
@@ -128,15 +132,18 @@ impl ContextualAnnotator {
                 annotations.push(a);
             }
         }
-        TableAnnotations { annotations, num_columns: table.num_columns() }
+        TableAnnotations {
+            annotations,
+            num_columns: table.num_columns(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gittables_ontology::{dbpedia, OntologyKind};
     use crate::annotation::Method;
+    use gittables_ontology::{dbpedia, OntologyKind};
 
     fn annotator() -> ContextualAnnotator {
         ContextualAnnotator::from_ontology(Arc::new(dbpedia()))

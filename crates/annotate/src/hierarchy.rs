@@ -26,7 +26,10 @@ pub struct HierarchyScorer {
 
 impl Default for HierarchyScorer {
     fn default() -> Self {
-        HierarchyScorer { hierarchy_credit: 0.5, sibling_credit: 0.25 }
+        HierarchyScorer {
+            hierarchy_credit: 0.5,
+            sibling_credit: 0.25,
+        }
     }
 }
 
@@ -121,7 +124,10 @@ mod tests {
     fn mean_score() {
         let o = dbpedia();
         let s = HierarchyScorer::default();
-        let m = s.mean_score(&o, [("city", "city"), ("city", "location"), ("city", "voltage")]);
+        let m = s.mean_score(
+            &o,
+            [("city", "city"), ("city", "location"), ("city", "voltage")],
+        );
         assert!((m - 0.5).abs() < 1e-12);
         assert_eq!(s.mean_score(&o, std::iter::empty()), 0.0);
     }

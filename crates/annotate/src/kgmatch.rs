@@ -60,37 +60,101 @@ impl KnowledgeGraph {
         };
         add(
             &[
-                "new york", "london", "coquitlam", "cambridge", "toronto", "chicago",
-                "los angeles", "san francisco", "boston", "seattle", "berlin", "paris",
-                "amsterdam", "brussels", "vancouver", "austin", "denver", "portland",
-                "madrid", "rome", "sydney", "melbourne", "tokyo", "hanoi", "mumbai",
-                "lagos", "nairobi", "lima", "pittsburgh", "buffalo",
+                "new york",
+                "london",
+                "coquitlam",
+                "cambridge",
+                "toronto",
+                "chicago",
+                "los angeles",
+                "san francisco",
+                "boston",
+                "seattle",
+                "berlin",
+                "paris",
+                "amsterdam",
+                "brussels",
+                "vancouver",
+                "austin",
+                "denver",
+                "portland",
+                "madrid",
+                "rome",
+                "sydney",
+                "melbourne",
+                "tokyo",
+                "hanoi",
+                "mumbai",
+                "lagos",
+                "nairobi",
+                "lima",
+                "pittsburgh",
+                "buffalo",
             ],
             "city",
         );
         add(
             &[
-                "united states", "usa", "canada", "belgium", "germany", "united kingdom",
-                "france", "netherlands", "australia", "spain", "italy", "vietnam", "japan",
-                "brazil", "india", "mexico", "china", "sweden", "norway", "poland",
-                "kenya", "nigeria", "egypt", "argentina", "chile", "thailand",
-                "indonesia", "turkey", "south africa", "new zealand",
+                "united states",
+                "usa",
+                "canada",
+                "belgium",
+                "germany",
+                "united kingdom",
+                "france",
+                "netherlands",
+                "australia",
+                "spain",
+                "italy",
+                "vietnam",
+                "japan",
+                "brazil",
+                "india",
+                "mexico",
+                "china",
+                "sweden",
+                "norway",
+                "poland",
+                "kenya",
+                "nigeria",
+                "egypt",
+                "argentina",
+                "chile",
+                "thailand",
+                "indonesia",
+                "turkey",
+                "south africa",
+                "new zealand",
             ],
             "country",
         );
         add(
             &[
-                "enterococcus faecium", "escherichia coli", "staphylococcus aureus",
-                "klebsiella pneumoniae", "pseudomonas aeruginosa", "homo sapiens",
-                "mus musculus", "drosophila melanogaster", "danio rerio",
-                "saccharomyces cerevisiae", "canis lupus", "felis catus",
+                "enterococcus faecium",
+                "escherichia coli",
+                "staphylococcus aureus",
+                "klebsiella pneumoniae",
+                "pseudomonas aeruginosa",
+                "homo sapiens",
+                "mus musculus",
+                "drosophila melanogaster",
+                "danio rerio",
+                "saccharomyces cerevisiae",
+                "canis lupus",
+                "felis catus",
             ],
             "species",
         );
         add(
             &[
-                "enterococcus spp", "escherichia spp", "staphylococcus spp",
-                "klebsiella spp", "mammalia", "aves", "insecta", "plantae",
+                "enterococcus spp",
+                "escherichia spp",
+                "staphylococcus spp",
+                "klebsiella spp",
+                "mammalia",
+                "aves",
+                "insecta",
+                "plantae",
             ],
             "organism group",
         );
@@ -98,8 +162,20 @@ impl KnowledgeGraph {
         // Common first names link to `name`.
         add(
             &[
-                "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
-                "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+                "james",
+                "mary",
+                "john",
+                "patricia",
+                "robert",
+                "jennifer",
+                "michael",
+                "linda",
+                "william",
+                "elizabeth",
+                "david",
+                "barbara",
+                "richard",
+                "susan",
             ],
             "name",
         );
@@ -137,7 +213,10 @@ impl CellValueMatcher {
     /// Creates a matcher over the built-in KG.
     #[must_use]
     pub fn new() -> Self {
-        CellValueMatcher { kg: KnowledgeGraph::builtin(), min_support: 0.5 }
+        CellValueMatcher {
+            kg: KnowledgeGraph::builtin(),
+            min_support: 0.5,
+        }
     }
 }
 
@@ -172,7 +251,11 @@ impl KgMatcher for CellValueMatcher {
             if let Some((&label, &count)) = votes.iter().max_by_key(|(_, c)| **c) {
                 let support = count as f64 / total as f64;
                 if support >= self.min_support {
-                    out.push(KgPrediction { column: i, label: label.to_string(), support });
+                    out.push(KgPrediction {
+                        column: i,
+                        label: label.to_string(),
+                        support,
+                    });
                 }
             }
         }
@@ -228,7 +311,11 @@ impl KgMatcher for PatternMatcher {
     }
 
     fn predict(&self, table: &Table) -> Vec<KgPrediction> {
-        let min_support = if self.min_support > 0.0 { self.min_support } else { 0.8 };
+        let min_support = if self.min_support > 0.0 {
+            self.min_support
+        } else {
+            0.8
+        };
         let mut out = Vec::new();
         for (i, col) in table.columns().iter().enumerate() {
             out.extend(predict_pattern_column(i, col, min_support));
@@ -281,7 +368,11 @@ impl KgMatcher for HeaderMatcher {
                 if norm.is_empty() || gittables_ontology::contains_digit(&norm) {
                     return None;
                 }
-                Some(KgPrediction { column: i, label: norm, support: 1.0 })
+                Some(KgPrediction {
+                    column: i,
+                    label: norm,
+                    support: 1.0,
+                })
             })
             .collect()
     }
@@ -289,10 +380,7 @@ impl KgMatcher for HeaderMatcher {
 
 /// Precision/recall of predictions against gold `(column, label)` pairs.
 #[must_use]
-pub fn score_predictions(
-    predictions: &[KgPrediction],
-    gold: &[(usize, String)],
-) -> (f64, f64) {
+pub fn score_predictions(predictions: &[KgPrediction], gold: &[(usize, String)]) -> (f64, f64) {
     if predictions.is_empty() {
         return (0.0, 0.0);
     }
@@ -402,8 +490,16 @@ mod tests {
     #[test]
     fn scoring() {
         let preds = vec![
-            KgPrediction { column: 0, label: "city".into(), support: 1.0 },
-            KgPrediction { column: 1, label: "country".into(), support: 1.0 },
+            KgPrediction {
+                column: 0,
+                label: "city".into(),
+                support: 1.0,
+            },
+            KgPrediction {
+                column: 1,
+                label: "country".into(),
+                support: 1.0,
+            },
         ];
         let gold = vec![(0usize, "city".to_string()), (2, "species".to_string())];
         let (p, r) = score_predictions(&preds, &gold);

@@ -130,7 +130,10 @@ impl SemanticAnnotator {
             .enumerate()
             .filter_map(|(i, c)| self.annotate_name(i, c.name()))
             .collect();
-        TableAnnotations { annotations, num_columns: table.num_columns() }
+        TableAnnotations {
+            annotations,
+            num_columns: table.num_columns(),
+        }
     }
 }
 
@@ -191,7 +194,13 @@ mod tests {
         let syn = SyntacticAnnotator::new(ont);
         let table = gittables_table::Table::from_rows(
             "t",
-            &["cust_name", "tot_price", "ship_city", "created_at", "nr_items"],
+            &[
+                "cust_name",
+                "tot_price",
+                "ship_city",
+                "created_at",
+                "nr_items",
+            ],
             &[&["a", "1.0", "NY", "2020-01-01", "3"]],
         )
         .unwrap();

@@ -56,7 +56,10 @@ impl SyntacticAnnotator {
             .enumerate()
             .filter_map(|(i, c)| self.annotate_name(i, c.name()))
             .collect();
-        TableAnnotations { annotations, num_columns: table.num_columns() }
+        TableAnnotations {
+            annotations,
+            num_columns: table.num_columns(),
+        }
     }
 }
 
@@ -72,8 +75,22 @@ mod tests {
     fn table() -> Table {
         Table::from_rows(
             "t",
-            &["Isolate Id", "Species", "Organism Group", "country", "col3", "xyzzynope"],
-            &[&["1", "Enterococcus faecium", "Enterococcus spp", "Vietnam", "a", "b"]],
+            &[
+                "Isolate Id",
+                "Species",
+                "Organism Group",
+                "country",
+                "col3",
+                "xyzzynope",
+            ],
+            &[&[
+                "1",
+                "Enterococcus faecium",
+                "Enterococcus spp",
+                "Vietnam",
+                "a",
+                "b",
+            ]],
         )
         .unwrap()
     }

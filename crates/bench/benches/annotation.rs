@@ -11,12 +11,33 @@ fn sample_table() -> Table {
     Table::from_rows(
         "t",
         &[
-            "Isolate Id", "Study", "Species", "Organism Group", "Country",
-            "State", "Gender", "Age Group", "total_price", "created_at",
-            "cust_name", "ship_city",
+            "Isolate Id",
+            "Study",
+            "Species",
+            "Organism Group",
+            "Country",
+            "State",
+            "Gender",
+            "Age Group",
+            "total_price",
+            "created_at",
+            "cust_name",
+            "ship_city",
         ],
-        &[&["1", "TEST", "Enterococcus faecium", "Enterococcus spp", "Vietnam",
-            "nan", "Male", "19 to 64 Years", "58.3", "2020-01-01", "J Smith", "Hanoi"]],
+        &[&[
+            "1",
+            "TEST",
+            "Enterococcus faecium",
+            "Enterococcus spp",
+            "Vietnam",
+            "nan",
+            "Male",
+            "19 to 64 Years",
+            "58.3",
+            "2020-01-01",
+            "J Smith",
+            "Hanoi",
+        ]],
     )
     .expect("valid table")
 }

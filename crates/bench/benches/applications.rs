@@ -6,19 +6,24 @@ use gittables_bench::{build_corpus, ExptArgs};
 use gittables_core::apps::{DataSearch, NearestCompletion};
 
 fn bench_applications(c: &mut Criterion) {
-    let args = ExptArgs { topics: 6, repos: 15, ..Default::default() };
+    let args = ExptArgs {
+        topics: 6,
+        repos: 15,
+        ..Default::default()
+    };
     let (corpus, _) = build_corpus(&args);
     let nc = NearestCompletion::build(&corpus);
     let ds = DataSearch::build(&corpus);
-    eprintln!("[applications bench] corpus {} tables, {} schemas", corpus.len(), nc.len());
+    eprintln!(
+        "[applications bench] corpus {} tables, {} schemas",
+        corpus.len(),
+        nc.len()
+    );
 
     let mut group = c.benchmark_group("applications");
     group.bench_function("schema_completion_k10", |b| {
         b.iter(|| {
-            black_box(nc.complete(
-                black_box(&["orderNumber", "orderDate", "requiredDate"]),
-                10,
-            ))
+            black_box(nc.complete(black_box(&["orderNumber", "orderDate", "requiredDate"]), 10))
         });
     });
     group.bench_function("data_search_k10", |b| {

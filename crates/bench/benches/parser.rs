@@ -13,7 +13,11 @@ fn sample(seed: u64, messy: bool) -> String {
     let sampler = SchemaSampler::default();
     let plan = sampler.sample(&mut rng, "order", Domain::Business);
     let table = generate_table(&mut rng, &plan);
-    let model = if messy { MessModel::default() } else { MessModel::clean() };
+    let model = if messy {
+        MessModel::default()
+    } else {
+        MessModel::clean()
+    };
     render_csv(&mut rng, &table, &model)
 }
 

@@ -48,7 +48,10 @@ fn bench_sniffer(c: &mut Criterion) {
             agree += 1;
         }
     }
-    eprintln!("[sniffer ablation] naive agrees with consistency on {agree}/{} files", files.len());
+    eprintln!(
+        "[sniffer ablation] naive agrees with consistency on {agree}/{} files",
+        files.len()
+    );
 }
 
 criterion_group!(benches, bench_sniffer);

@@ -44,7 +44,10 @@ fn main() {
             vec!["annotated by both".into(), both.to_string()],
             vec![
                 "choice changed by context".into(),
-                format!("{changed} ({:.1}%)", 100.0 * changed as f64 / both.max(1) as f64),
+                format!(
+                    "{changed} ({:.1}%)",
+                    100.0 * changed as f64 / both.max(1) as f64
+                ),
             ],
             vec!["annotated only with context".into(), ctx_only.to_string()],
         ],

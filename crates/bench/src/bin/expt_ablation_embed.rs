@@ -16,16 +16,49 @@ fn main() {
     let ont = Arc::new(dbpedia());
 
     let configs: Vec<(&str, NgramEmbedder)> = vec![
-        ("dim=16", NgramEmbedder { dim: 16, ..NgramEmbedder::default() }),
-        ("dim=32", NgramEmbedder { dim: 32, ..NgramEmbedder::default() }),
+        (
+            "dim=16",
+            NgramEmbedder {
+                dim: 16,
+                ..NgramEmbedder::default()
+            },
+        ),
+        (
+            "dim=32",
+            NgramEmbedder {
+                dim: 32,
+                ..NgramEmbedder::default()
+            },
+        ),
         ("dim=64 (default)", NgramEmbedder::default()),
-        ("dim=128", NgramEmbedder { dim: 128, ..NgramEmbedder::default() }),
-        ("ngrams 3..=4", NgramEmbedder { n_max: 4, ..NgramEmbedder::default() }),
-        ("ngrams 2..=6", NgramEmbedder { n_min: 2, ..NgramEmbedder::default() }),
+        (
+            "dim=128",
+            NgramEmbedder {
+                dim: 128,
+                ..NgramEmbedder::default()
+            },
+        ),
+        (
+            "ngrams 3..=4",
+            NgramEmbedder {
+                n_max: 4,
+                ..NgramEmbedder::default()
+            },
+        ),
+        (
+            "ngrams 2..=6",
+            NgramEmbedder {
+                n_min: 2,
+                ..NgramEmbedder::default()
+            },
+        ),
         ("no lexicon", NgramEmbedder::without_lexicon()),
         (
             "strong lexicon",
-            NgramEmbedder { synonym_weight: 1.2, ..NgramEmbedder::default() },
+            NgramEmbedder {
+                synonym_weight: 1.2,
+                ..NgramEmbedder::default()
+            },
         ),
     ];
 
@@ -43,7 +76,13 @@ fn main() {
     }
     print_table(
         "Ablation: embedder configuration vs gold agreement",
-        &["config", "evaluated", "agreement", "syntactic-exact diffs", "unannotated"],
+        &[
+            "config",
+            "evaluated",
+            "agreement",
+            "syntactic-exact diffs",
+            "unannotated",
+        ],
         &rows,
     );
     println!("\nexpected shape: agreement is stable across dims ≥32 (the hash-embedding");

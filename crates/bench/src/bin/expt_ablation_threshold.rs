@@ -37,7 +37,12 @@ fn main() {
     }
     print_table(
         "Ablation: similarity threshold vs coverage and gold agreement",
-        &["threshold", "column coverage", "gold agreement", "unannotated gold cols"],
+        &[
+            "threshold",
+            "column coverage",
+            "gold agreement",
+            "unannotated gold cols",
+        ],
         &rows,
     );
     println!("\nexpected shape: coverage falls monotonically with the threshold while");

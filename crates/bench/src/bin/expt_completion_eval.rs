@@ -23,7 +23,13 @@ fn main() {
     }
     print_table(
         &format!("Schema completion leave-one-out (k = {k})"),
-        &["prefix len N", "schemas evaluated", "exact hit@k", "soft hit@k", "semantic hit@k"],
+        &[
+            "prefix len N",
+            "schemas evaluated",
+            "exact hit@k",
+            "soft hit@k",
+            "semantic hit@k",
+        ],
         &rows,
     );
     println!("\nexact = a top-k completion starts with the held-out schema's true next");

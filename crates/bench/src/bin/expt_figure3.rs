@@ -53,7 +53,12 @@ fn main() {
     }
     print_table(
         "Figure 3: initial response sizes and segmented retrieval per topic",
-        &["Query", "Initial count", "Queries executed", "Files retrieved"],
+        &[
+            "Query",
+            "Initial count",
+            "Queries executed",
+            "Files retrieved",
+        ],
         &rows,
     );
     println!("\n(the paper's screenshot shows 15.7M results for \"id\"; the point —");

@@ -40,5 +40,8 @@ fn main() {
     let mut sorted = rows.clone();
     sorted.sort_unstable();
     let median = sorted.get(n / 2).copied().unwrap_or(0);
-    println!("row median {median} << mean {mean_rows:.0} => long tail: {}", (median as f64) < mean_rows);
+    println!(
+        "row median {median} << mean {mean_rows:.0} => long tail: {}",
+        (median as f64) < mean_rows
+    );
 }

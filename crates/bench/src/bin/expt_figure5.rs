@@ -19,12 +19,14 @@ fn main() {
         let rows: Vec<Vec<String>> = s
             .top_types
             .iter()
-            .map(|(label, count)| {
-                vec![label.clone(), count.to_string(), bar(*count, max, 30)]
-            })
+            .map(|(label, count)| vec![label.clone(), count.to_string(), bar(*count, max, 30)])
             .collect();
         print_table(
-            &format!("Figure 5: top-25 types — {} / {}", method.name(), ont.name()),
+            &format!(
+                "Figure 5: top-25 types — {} / {}",
+                method.name(),
+                ont.name()
+            ),
             &["type", "# columns", ""],
             &rows,
         );

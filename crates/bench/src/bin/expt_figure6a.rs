@@ -24,7 +24,11 @@ fn main() {
             ontology.name(),
             bench.tables.len(),
             bench.distinct_types,
-            if ontology == OntologyKind::DBpedia { 122 } else { 59 }
+            if ontology == OntologyKind::DBpedia {
+                122
+            } else {
+                59
+            }
         );
         let matchers: Vec<Box<dyn KgMatcher>> = vec![
             Box::new(CellValueMatcher::new()),

@@ -39,9 +39,11 @@ fn main() {
             println!("  {}", table.row(r).expect("row").join(" | "));
         }
         let schema = top.schema.to_string().to_lowercase();
-        let relevant = ["status", "price", "product", "order", "quantity", "sales", "amount"]
-            .iter()
-            .any(|k| schema.contains(k));
+        let relevant = [
+            "status", "price", "product", "order", "quantity", "sales", "amount",
+        ]
+        .iter()
+        .any(|k| schema.contains(k));
         println!("\nshape check: top schema contains order/sales vocabulary: {relevant}");
     }
 }

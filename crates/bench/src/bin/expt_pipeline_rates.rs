@@ -57,6 +57,12 @@ fn main() {
     for (reason, count) in reasons {
         println!("  {reason:<20} {count}");
     }
-    println!("\nlicense-mode report: kept {} of {} parsed", pub_report.kept, pub_report.parsed);
-    println!("extraction: {} search queries executed for {} topics", report.queries_executed, args.topics);
+    println!(
+        "\nlicense-mode report: kept {} of {} parsed",
+        pub_report.kept, pub_report.parsed
+    );
+    println!(
+        "extraction: {} search queries executed for {} topics",
+        report.queries_executed, args.topics
+    );
 }

@@ -6,9 +6,9 @@
 //! the header while the human chose a less granular type, e.g. `City` →
 //! `location`). Extra knob: `--tables <n>` (default 300).
 
+use gittables_annotate::{SemanticAnnotator, SyntacticAnnotator};
 use gittables_bench::{print_table, ExptArgs};
 use gittables_core::t2d_eval::{evaluate_semantic, evaluate_syntactic};
-use gittables_annotate::{SemanticAnnotator, SyntacticAnnotator};
 use gittables_ontology::dbpedia;
 use gittables_synth::t2d::generate_benchmark;
 use std::sync::Arc;
@@ -18,7 +18,9 @@ fn main() {
     let n_tables = args.get_num("tables", 300usize);
     let bench = generate_benchmark(args.seed, n_tables, 17);
     let total_cols: usize = bench.iter().map(|t| t.columns.len()).sum();
-    eprintln!("benchmark: {n_tables} tables, {total_cols} gold-labeled columns (paper: 779 tables)");
+    eprintln!(
+        "benchmark: {n_tables} tables, {total_cols} gold-labeled columns (paper: 779 tables)"
+    );
 
     let ont = Arc::new(dbpedia());
     let syn = evaluate_syntactic(&bench, &SyntacticAnnotator::new(ont.clone()));
@@ -26,7 +28,15 @@ fn main() {
 
     print_table(
         "T2Dv2-style annotation agreement",
-        &["Approach", "Evaluated cols", "Agree", "Paper agree", "Measured agree", "Syntactic-exact among diffs", "Paper"],
+        &[
+            "Approach",
+            "Evaluated cols",
+            "Agree",
+            "Paper agree",
+            "Measured agree",
+            "Syntactic-exact among diffs",
+            "Paper",
+        ],
         &[
             vec![
                 "Semantic".into(),
@@ -64,10 +74,7 @@ fn main() {
         }
     }
     let ont2 = dbpedia();
-    let graded = scorer.mean_score(
-        &ont2,
-        pairs.iter().map(|(p, g)| (p.as_str(), g.as_str())),
-    );
+    let graded = scorer.mean_score(&ont2, pairs.iter().map(|(p, g)| (p.as_str(), g.as_str())));
     println!(
         "\nhierarchy-aware graded agreement (semantic): {:.0}% vs exact {:.0}% —\nthe gap is the credit recovered for city-vs-location-style disagreements.",
         100.0 * graded,

@@ -22,14 +22,56 @@ fn main() {
 
     print_table(
         "Table 1: corpora comparison (paper reference rows + measured)",
-        &["Name", "Table source", "# tables", "Avg # rows", "Avg # cols"],
         &[
-            vec!["WDC WebTables (paper)".into(), "HTML pages".into(), "90M".into(), "11".into(), "4".into()],
-            vec!["Dresden WTC (paper)".into(), "HTML pages".into(), "59M".into(), "17".into(), "6".into()],
-            vec!["WikiTables (paper)".into(), "Wikipedia".into(), "2M".into(), "15".into(), "6".into()],
-            vec!["Open Data PW (paper)".into(), "Open Data CSVs".into(), "107K".into(), "365".into(), "14".into()],
-            vec!["VizNet (paper)".into(), "WebTables, Plotly".into(), "31M".into(), "17".into(), "3".into()],
-            vec!["GitTables (paper)".into(), "CSVs from GitHub".into(), "1M".into(), "142".into(), "12".into()],
+            "Name",
+            "Table source",
+            "# tables",
+            "Avg # rows",
+            "Avg # cols",
+        ],
+        &[
+            vec![
+                "WDC WebTables (paper)".into(),
+                "HTML pages".into(),
+                "90M".into(),
+                "11".into(),
+                "4".into(),
+            ],
+            vec![
+                "Dresden WTC (paper)".into(),
+                "HTML pages".into(),
+                "59M".into(),
+                "17".into(),
+                "6".into(),
+            ],
+            vec![
+                "WikiTables (paper)".into(),
+                "Wikipedia".into(),
+                "2M".into(),
+                "15".into(),
+                "6".into(),
+            ],
+            vec![
+                "Open Data PW (paper)".into(),
+                "Open Data CSVs".into(),
+                "107K".into(),
+                "365".into(),
+                "14".into(),
+            ],
+            vec![
+                "VizNet (paper)".into(),
+                "WebTables, Plotly".into(),
+                "31M".into(),
+                "17".into(),
+                "3".into(),
+            ],
+            vec![
+                "GitTables (paper)".into(),
+                "CSVs from GitHub".into(),
+                "1M".into(),
+                "142".into(),
+                "12".into(),
+            ],
             vec![
                 "web tables (measured)".into(),
                 "synthetic HTML-like".into(),
@@ -51,5 +93,8 @@ fn main() {
         stats.avg_rows / web_rows,
         stats.avg_columns / web_cols
     );
-    println!("avg cells per GitTables table: {:.0} (paper: 1038)", stats.avg_cells);
+    println!(
+        "avg cells per GitTables table: {:.0} (paper: 1038)",
+        stats.avg_cells
+    );
 }

@@ -8,7 +8,7 @@
 use gittables_annotate::Method;
 use gittables_bench::{build_corpus, print_table, ExptArgs};
 use gittables_corpus::AnnotationStats;
-use gittables_ontology::{OntologyKind, dbpedia, schema_org};
+use gittables_ontology::{dbpedia, schema_org, OntologyKind};
 
 fn main() {
     let args = ExptArgs::parse();
@@ -22,12 +22,42 @@ fn main() {
 
     print_table(
         "Table 2: annotated relational table datasets (paper rows + measured)",
-        &["Dataset", "# tables", "Avg rows", "Avg cols", "# types", "Ontology"],
         &[
-            vec!["T2Dv2 (paper)".into(), "779".into(), "17".into(), "4".into(), "275".into(), "DBpedia".into()],
-            vec!["SemTab (paper)".into(), "132K".into(), "224".into(), "4".into(), "-".into(), "DBpedia".into()],
-            vec!["TURL (paper)".into(), "407K".into(), "18".into(), "3".into(), "255".into(), "Freebase".into()],
-            vec!["GitTables (paper)".into(), "962K".into(), "142".into(), "12".into(), "2.4K".into(), "DBpedia+Schema.org".into()],
+            "Dataset", "# tables", "Avg rows", "Avg cols", "# types", "Ontology",
+        ],
+        &[
+            vec![
+                "T2Dv2 (paper)".into(),
+                "779".into(),
+                "17".into(),
+                "4".into(),
+                "275".into(),
+                "DBpedia".into(),
+            ],
+            vec![
+                "SemTab (paper)".into(),
+                "132K".into(),
+                "224".into(),
+                "4".into(),
+                "-".into(),
+                "DBpedia".into(),
+            ],
+            vec![
+                "TURL (paper)".into(),
+                "407K".into(),
+                "18".into(),
+                "3".into(),
+                "255".into(),
+                "Freebase".into(),
+            ],
+            vec![
+                "GitTables (paper)".into(),
+                "962K".into(),
+                "142".into(),
+                "12".into(),
+                "2.4K".into(),
+                "DBpedia+Schema.org".into(),
+            ],
             vec![
                 "GitTables (measured)".into(),
                 annotated.to_string(),

@@ -32,7 +32,10 @@ fn main() {
     let mut total_cols = 0usize;
     for t in &corpus.tables {
         total_cols += t.table.num_columns();
-        for a in &t.annotations(Method::Syntactic, OntologyKind::SchemaOrg).annotations {
+        for a in &t
+            .annotations(Method::Syntactic, OntologyKind::SchemaOrg)
+            .annotations
+        {
             if let Some((label, _)) = PAPER_ROWS.iter().find(|(l, _)| *l == a.label) {
                 *counts.entry(label).or_default() += 1;
             }
@@ -55,7 +58,12 @@ fn main() {
         .collect();
     print_table(
         "Table 3: PII semantic types and Faker classes",
-        &["Semantic type", "Paper % columns", "Measured % columns", "Faker class"],
+        &[
+            "Semantic type",
+            "Paper % columns",
+            "Measured % columns",
+            "Faker class",
+        ],
         &rows,
     );
     println!(

@@ -37,7 +37,13 @@ fn main() {
 
     print_table(
         "Table 4: atomic data type distribution",
-        &["Atomic data type", "GitTables (paper)", "GitTables (measured)", "WDC (paper)", "web tables (measured)"],
+        &[
+            "Atomic data type",
+            "GitTables (paper)",
+            "GitTables (measured)",
+            "WDC (paper)",
+            "web tables (measured)",
+        ],
         &[
             vec![
                 "Numeric".into(),

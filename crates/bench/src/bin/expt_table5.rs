@@ -31,7 +31,15 @@ fn main() {
     }
     print_table(
         "Table 5: annotation statistics by method x ontology (measured)",
-        &["Method", "Ontology", "# ann. tables", "# ann. columns", "# types", "# popular types", "coverage"],
+        &[
+            "Method",
+            "Ontology",
+            "# ann. tables",
+            "# ann. columns",
+            "# types",
+            "# popular types",
+            "coverage",
+        ],
         &rows,
     );
     println!("\npaper reference:");

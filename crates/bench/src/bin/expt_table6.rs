@@ -10,12 +10,20 @@ use gittables_bench::{build_corpus, print_table, ExptArgs};
 use gittables_corpus::bias_audit;
 
 const PAPER: &[(&str, &str, &str)] = &[
-    ("country", "0.086%", "United States, Canada, Belgium, Germany"),
+    (
+        "country",
+        "0.086%",
+        "United States, Canada, Belgium, Germany",
+    ),
     ("city", "0.056%", "New York, London, Coquitlam, Cambridge"),
     ("gender", "0.040%", "Male, Female, F, M"),
     ("ethnicity", "0.030%", "French, Dutch, Spanish, Mexican"),
     ("race", "0.007%", "Men, Human, White"),
-    ("nationality", "0.003%", "Hispanic, White, Caucasian (White)"),
+    (
+        "nationality",
+        "0.003%",
+        "Hispanic, White, Caucasian (White)",
+    ),
 ];
 
 fn main() {
@@ -30,8 +38,11 @@ fn main() {
                 .iter()
                 .find(|r| r.semantic_type == *ty)
                 .expect("audited type present");
-            let measured_vals: Vec<&str> =
-                row.frequent_values.iter().map(|(v, _)| v.as_str()).collect();
+            let measured_vals: Vec<&str> = row
+                .frequent_values
+                .iter()
+                .map(|(v, _)| v.as_str())
+                .collect();
             vec![
                 (*ty).to_string(),
                 (*paper_pct).to_string(),
@@ -43,7 +54,13 @@ fn main() {
         .collect();
     print_table(
         "Table 6: bias audit over person/geography semantic types",
-        &["Type", "Paper %cols", "Measured %cols", "Paper frequent values", "Measured frequent values"],
+        &[
+            "Type",
+            "Paper %cols",
+            "Measured %cols",
+            "Paper frequent values",
+            "Measured frequent values",
+        ],
         &rows,
     );
     // Shape check: the dominant country must be United States (merged w/ USA).

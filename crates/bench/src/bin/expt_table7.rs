@@ -46,19 +46,30 @@ fn main() {
 
     print_table(
         "Table 7: F1 of semantic type detection across corpora",
-        &["Train corpus", "Evaluation corpus", "Paper F1", "Measured F1"],
+        &[
+            "Train corpus",
+            "Evaluation corpus",
+            "Paper F1",
+            "Measured F1",
+        ],
         &[
             vec![
                 "GitTables".into(),
                 "GitTables".into(),
                 "0.86".into(),
-                format!("{:.2} (±{:.2})", git_git.mean_macro_f1, git_git.std_macro_f1),
+                format!(
+                    "{:.2} (±{:.2})",
+                    git_git.mean_macro_f1, git_git.std_macro_f1
+                ),
             ],
             vec![
                 "VizNet (web)".into(),
                 "VizNet (web)".into(),
                 "0.77".into(),
-                format!("{:.2} (±{:.2})", web_web.mean_macro_f1, web_web.std_macro_f1),
+                format!(
+                    "{:.2} (±{:.2})",
+                    web_web.mean_macro_f1, web_web.std_macro_f1
+                ),
             ],
             vec![
                 "VizNet (web)".into(),

@@ -13,19 +13,43 @@ const TARGETS: &[(&str, &[&str], &[&str], &str)] = &[
     (
         "employees",
         &["emp_no", "birth_date", "first_name"],
-        &["emp_no", "birth_date", "first_name", "last_name", "gender", "hire_date"],
+        &[
+            "emp_no",
+            "birth_date",
+            "first_name",
+            "last_name",
+            "gender",
+            "hire_date",
+        ],
         "0.44",
     ),
     (
         "orders",
         &["orderNumber", "orderDate", "requiredDate"],
-        &["orderNumber", "orderDate", "requiredDate", "shippedDate", "status", "comments", "customerNumber"],
+        &[
+            "orderNumber",
+            "orderDate",
+            "requiredDate",
+            "shippedDate",
+            "status",
+            "comments",
+            "customerNumber",
+        ],
         "0.50",
     ),
     (
         "WorkOrder",
         &["WorkOrderID", "ProductID", "OrderQty"],
-        &["WorkOrderID", "ProductID", "OrderQty", "StockedQty", "ScrappedQty", "StartDate", "EndDate", "DueDate"],
+        &[
+            "WorkOrderID",
+            "ProductID",
+            "OrderQty",
+            "StockedQty",
+            "ScrappedQty",
+            "StartDate",
+            "EndDate",
+            "DueDate",
+        ],
         "0.53",
     ),
 ];
@@ -67,7 +91,13 @@ fn main() {
     }
     print_table(
         "Table 8: nearest completions for CTU schema prefixes",
-        &["Schema", "Header prefix", "Attributes from nearest completion", "Paper cos", "Measured cos"],
+        &[
+            "Schema",
+            "Header prefix",
+            "Attributes from nearest completion",
+            "Paper cos",
+            "Measured cos",
+        ],
         &rows,
     );
     println!(

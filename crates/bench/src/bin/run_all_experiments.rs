@@ -43,9 +43,7 @@ fn main() {
     let mut failures = Vec::new();
     for name in EXPERIMENTS {
         println!("\n############ {name} ############");
-        let status = Command::new(exe_dir.join(name))
-            .args(&args)
-            .status();
+        let status = Command::new(exe_dir.join(name)).args(&args).status();
         match status {
             Ok(s) if s.success() => {}
             other => {

@@ -32,7 +32,12 @@ pub struct ExptArgs {
 
 impl Default for ExptArgs {
     fn default() -> Self {
-        ExptArgs { seed: 42, topics: 12, repos: 40, extra: Vec::new() }
+        ExptArgs {
+            seed: 42,
+            topics: 12,
+            repos: 40,
+            extra: Vec::new(),
+        }
     }
 }
 
@@ -75,7 +80,9 @@ impl ExptArgs {
     /// An extra option parsed to a number, with default.
     #[must_use]
     pub fn get_num<T: std::str::FromStr + Copy>(&self, key: &str, default: T) -> T {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -180,8 +187,7 @@ mod tests {
         use gittables_synth::schema::Domain;
         let t = mixed_topics(18);
         assert_eq!(t.len(), 18);
-        let domains: std::collections::HashSet<Domain> =
-            t.iter().map(|t| t.domain).collect();
+        let domains: std::collections::HashSet<Domain> = t.iter().map(|t| t.domain).collect();
         assert!(domains.len() >= 8, "only {domains:?}");
     }
 
@@ -202,7 +208,11 @@ mod tests {
 
     #[test]
     fn small_corpus_builds() {
-        let args = ExptArgs { topics: 2, repos: 4, ..Default::default() };
+        let args = ExptArgs {
+            topics: 2,
+            repos: 4,
+            ..Default::default()
+        };
         let (corpus, report) = build_corpus(&args);
         assert!(!corpus.is_empty());
         assert!(report.parsed > 0);

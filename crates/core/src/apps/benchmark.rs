@@ -67,9 +67,16 @@ pub fn build_cta_benchmark(
         for (_, l) in &gold {
             types.insert(l.clone());
         }
-        tables.push(CtaTable { table: t.table.clone(), gold });
+        tables.push(CtaTable {
+            table: t.table.clone(),
+            gold,
+        });
     }
-    CtaBenchmark { ontology, tables, distinct_types: types.len() }
+    CtaBenchmark {
+        ontology,
+        tables,
+        distinct_types: types.len(),
+    }
 }
 
 /// One row of the Fig. 6a result: a system's precision/recall on one

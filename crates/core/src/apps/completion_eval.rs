@@ -75,7 +75,11 @@ pub fn evaluate_completion(
 ) -> CompletionEval {
     let nc = NearestCompletion::build(corpus);
     let encoder = gittables_embed::SentenceEncoder::default();
-    let mut eval = CompletionEval { k, prefix_len, ..Default::default() };
+    let mut eval = CompletionEval {
+        k,
+        prefix_len,
+        ..Default::default()
+    };
     let mut done = 0usize;
     for at in &corpus.tables {
         if done >= max_schemas {
@@ -110,18 +114,16 @@ pub fn evaluate_completion(
         {
             eval.exact_hits += 1;
         }
-        if others.iter().any(|c| {
-            c.completion
-                .iter()
-                .any(|a| normalize_label(a) == gold_next)
-        }) {
+        if others
+            .iter()
+            .any(|c| c.completion.iter().any(|a| normalize_label(a) == gold_next))
+        {
             eval.soft_hits += 1;
         }
         let gold_emb = encoder.embed(&gold_next);
         if others.iter().any(|c| {
             c.completion.iter().any(|a| {
-                gittables_embed::cosine(&gold_emb, &encoder.embed(a))
-                    >= SEMANTIC_HIT_THRESHOLD
+                gittables_embed::cosine(&gold_emb, &encoder.embed(a)) >= SEMANTIC_HIT_THRESHOLD
             })
         }) {
             eval.semantic_hits += 1;

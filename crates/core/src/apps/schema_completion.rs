@@ -45,10 +45,7 @@ impl NearestCompletion {
             if schema.is_empty() || !seen.insert(schema.attributes().to_vec()) {
                 continue;
             }
-            let embeddings = schema
-                .iter()
-                .map(|a| encoder.embed(a))
-                .collect();
+            let embeddings = schema.iter().map(|a| encoder.embed(a)).collect();
             schemas.push((schema, embeddings));
         }
         NearestCompletion { encoder, schemas }
@@ -123,8 +120,20 @@ mod tests {
     fn corpus() -> Corpus {
         let mut c = Corpus::new("t");
         let schemas: Vec<Vec<&str>> = vec![
-            vec!["order id", "order date", "required date", "shipped date", "status"],
-            vec!["emp no", "birth date", "first name", "last name", "hire date"],
+            vec![
+                "order id",
+                "order date",
+                "required date",
+                "shipped date",
+                "status",
+            ],
+            vec![
+                "emp no",
+                "birth date",
+                "first name",
+                "last name",
+                "hire date",
+            ],
             vec!["species", "genus", "family", "habitat"],
             vec!["order id", "customer", "total"],
         ];

@@ -68,7 +68,11 @@ impl DataSearch {
                 score: f64::from(cosine(&qe, e)),
             })
             .collect();
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         hits.truncate(k);
         hits
     }
@@ -83,7 +87,14 @@ mod tests {
     fn corpus() -> Corpus {
         let mut c = Corpus::new("t");
         let schemas: Vec<Vec<&str>> = vec![
-            vec!["id", "quantity", "total_price", "status", "product_id", "order_id"],
+            vec![
+                "id",
+                "quantity",
+                "total_price",
+                "status",
+                "product_id",
+                "order_id",
+            ],
             vec!["species", "genus", "habitat", "diet"],
             vec!["player", "team", "goals", "assists"],
         ];

@@ -25,16 +25,31 @@ pub struct BenchmarkQuery {
 /// The built-in query set, one or more per domain.
 #[must_use]
 pub fn default_queries() -> Vec<BenchmarkQuery> {
-    let q = |text: &str, domain| BenchmarkQuery { text: text.to_string(), domain };
+    let q = |text: &str, domain| BenchmarkQuery {
+        text: text.to_string(),
+        domain,
+    };
     vec![
         q("status and sales amount per product", Domain::Business),
-        q("orders with price quantity and shipping status", Domain::Business),
+        q(
+            "orders with price quantity and shipping status",
+            Domain::Business,
+        ),
         q("employee names salaries and departments", Domain::People),
-        q("species observed with organism group and country", Domain::Science),
-        q("measurement values with temperature and pressure", Domain::Science),
+        q(
+            "species observed with organism group and country",
+            Domain::Science,
+        ),
+        q(
+            "measurement values with temperature and pressure",
+            Domain::Science,
+        ),
         q("songs albums and artists with ratings", Domain::Media),
         q("match scores per team and season", Domain::Sports),
-        q("event bookings with venue date and capacity", Domain::Events),
+        q(
+            "event bookings with venue date and capacity",
+            Domain::Events,
+        ),
         q("requests errors latency and cpu per host", Domain::Tech),
         q("cities with population latitude and longitude", Domain::Geo),
     ]
@@ -78,10 +93,7 @@ pub fn evaluate_search(
     queries
         .iter()
         .map(|q| {
-            let relevant_total = domains
-                .iter()
-                .filter(|d| **d == Some(q.domain))
-                .count();
+            let relevant_total = domains.iter().filter(|d| **d == Some(q.domain)).count();
             let hits = search.search(&q.text, k);
             let rels: Vec<bool> = hits
                 .iter()
@@ -93,7 +105,13 @@ pub fn evaluate_search(
             let dcg: f64 = rels
                 .iter()
                 .enumerate()
-                .map(|(i, &r)| if r { 1.0 / ((i as f64 + 2.0).log2()) } else { 0.0 })
+                .map(|(i, &r)| {
+                    if r {
+                        1.0 / ((i as f64 + 2.0).log2())
+                    } else {
+                        0.0
+                    }
+                })
                 .sum();
             let ideal_hits = relevant_total.min(k);
             let idcg: f64 = (0..ideal_hits)
@@ -129,9 +147,18 @@ mod tests {
     fn corpus() -> Corpus {
         // Mixed-domain topics so every query has relevant tables.
         let topics = vec![
-            Topic { noun: "order".into(), domain: Domain::Business },
-            Topic { noun: "species".into(), domain: Domain::Science },
-            Topic { noun: "team".into(), domain: Domain::Sports },
+            Topic {
+                noun: "order".into(),
+                domain: Domain::Business,
+            },
+            Topic {
+                noun: "species".into(),
+                domain: Domain::Science,
+            },
+            Topic {
+                noun: "team".into(),
+                domain: Domain::Sports,
+            },
         ];
         let config = PipelineConfig {
             topics,

@@ -13,8 +13,8 @@ use std::hash::{Hash, Hasher};
 use gittables_annotate::Method;
 use gittables_corpus::Corpus;
 use gittables_ml::{
-    cross_validate, CvReport, Classifier, Dataset, FeatureExtractor, ForestConfig,
-    LogisticConfig, LogisticRegression, Mlp, MlpConfig, RandomForest,
+    cross_validate, Classifier, CvReport, Dataset, FeatureExtractor, ForestConfig, LogisticConfig,
+    LogisticRegression, Mlp, MlpConfig, RandomForest,
 };
 use gittables_ontology::OntologyKind;
 use gittables_synth::tablegen::GeneratedTable;
@@ -83,7 +83,9 @@ pub fn build_type_dataset(
                 if counts[class] >= config.per_type {
                     continue;
                 }
-                let Some(col) = t.table.column(a.column) else { continue };
+                let Some(col) = t.table.column(a.column) else {
+                    continue;
+                };
                 if col.is_empty() {
                     continue;
                 }
@@ -140,15 +142,24 @@ pub fn build_webtable_type_dataset(
 pub fn train_sherlock(data: &Dataset, config: &TypeDetectionConfig) -> CvReport {
     if config.classifier == "logistic" {
         cross_validate(data, config.folds, config.seed, || {
-            LogisticRegression::new(LogisticConfig { seed: config.seed, ..Default::default() })
+            LogisticRegression::new(LogisticConfig {
+                seed: config.seed,
+                ..Default::default()
+            })
         })
     } else if config.classifier == "mlp" {
         cross_validate(data, config.folds, config.seed, || {
-            Mlp::new(MlpConfig { seed: config.seed, ..Default::default() })
+            Mlp::new(MlpConfig {
+                seed: config.seed,
+                ..Default::default()
+            })
         })
     } else {
         cross_validate(data, config.folds, config.seed, || {
-            RandomForest::new(ForestConfig { seed: config.seed, ..Default::default() })
+            RandomForest::new(ForestConfig {
+                seed: config.seed,
+                ..Default::default()
+            })
         })
     }
 }
@@ -167,9 +178,15 @@ pub fn train_eval_cross(
             ..Default::default()
         }))
     } else if config.classifier == "mlp" {
-        Box::new(Mlp::new(MlpConfig { seed: config.seed, ..Default::default() }))
+        Box::new(Mlp::new(MlpConfig {
+            seed: config.seed,
+            ..Default::default()
+        }))
     } else {
-        Box::new(RandomForest::new(ForestConfig { seed: config.seed, ..Default::default() }))
+        Box::new(RandomForest::new(ForestConfig {
+            seed: config.seed,
+            ..Default::default()
+        }))
     };
     model.fit(train);
     let pred = model.predict_all(&eval.features);
@@ -180,8 +197,8 @@ pub fn train_eval_cross(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gittables_corpus::AnnotatedTable;
     use gittables_annotate::{Annotation, TableAnnotations};
+    use gittables_corpus::AnnotatedTable;
     use gittables_table::Table;
 
     fn labeled_corpus() -> Corpus {

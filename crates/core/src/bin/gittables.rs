@@ -27,7 +27,9 @@ fn opt(args: &[String], key: &str) -> Option<String> {
 }
 
 fn num<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
-    opt(args, key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    opt(args, key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn load(args: &[String]) -> Result<Corpus, String> {
@@ -93,7 +95,12 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let ds = DataSearch::build(&corpus);
     for hit in ds.search(&query, k) {
         let t = &corpus.tables[hit.table_index].table;
-        println!("{:.3}  {:<40} {}", hit.score, t.provenance().url(), hit.schema);
+        println!(
+            "{:.3}  {:<40} {}",
+            hit.score,
+            t.provenance().url(),
+            hit.schema
+        );
     }
     Ok(())
 }

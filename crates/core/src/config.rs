@@ -106,7 +106,10 @@ mod tests {
     fn workers_default_positive() {
         let s = PipelineConfig::small(1);
         assert!(s.effective_workers() >= 1);
-        let w = PipelineConfig { workers: 3, ..PipelineConfig::small(1) };
+        let w = PipelineConfig {
+            workers: 3,
+            ..PipelineConfig::small(1)
+        };
         assert_eq!(w.effective_workers(), 3);
     }
 }

@@ -77,7 +77,11 @@ pub fn extract_topic(host: &GitHost, topic: &str, cap: usize) -> (Vec<RawCsvFile
     let api = host.search_api();
     let base = Query::csv(topic);
     let initial_count = api.count(&base);
-    let mut stats = ExtractStats { initial_count, queries_executed: 1, ..Default::default() };
+    let mut stats = ExtractStats {
+        initial_count,
+        queries_executed: 1,
+        ..Default::default()
+    };
 
     let results: Vec<SearchResult> = if initial_count == 0 {
         Vec::new()
@@ -86,7 +90,15 @@ pub fn extract_topic(host: &GitHost, topic: &str, cap: usize) -> (Vec<RawCsvFile
     } else {
         let mut ranges = Vec::new();
         let mut queries = 0usize;
-        segment(&api, &base, 0, MAX_FILE_SIZE, cap, &mut ranges, &mut queries);
+        segment(
+            &api,
+            &base,
+            0,
+            MAX_FILE_SIZE,
+            cap,
+            &mut ranges,
+            &mut queries,
+        );
         stats.queries_executed += queries;
         let mut all = Vec::new();
         for (lo, hi) in ranges {

@@ -21,9 +21,8 @@ pub enum ParseFailure {
 /// Returns [`ParseFailure`] when the file cannot be parsed — the paper's
 /// 0.7 % unparseable files.
 pub fn parse_file(raw: &RawCsvFile, options: &ReadOptions) -> Result<Table, ParseFailure> {
-    let parsed = read_csv(&raw.content, options).map_err(|e: CsvError| {
-        ParseFailure::Csv(e.to_string())
-    })?;
+    let parsed =
+        read_csv(&raw.content, options).map_err(|e: CsvError| ParseFailure::Csv(e.to_string()))?;
     let name = raw
         .path
         .rsplit('/')
@@ -33,8 +32,8 @@ pub fn parse_file(raw: &RawCsvFile, options: &ReadOptions) -> Result<Table, Pars
         .to_string();
     let table = Table::from_string_rows(name, &parsed.header, parsed.records)
         .map_err(|e| ParseFailure::Table(e.to_string()))?;
-    let mut prov = Provenance::new(raw.repository.clone(), raw.path.clone())
-        .with_topic(raw.topic.clone());
+    let mut prov =
+        Provenance::new(raw.repository.clone(), raw.path.clone()).with_topic(raw.topic.clone());
     prov.license = raw.license.clone();
     prov.file_size = raw.content.len();
     Ok(table.with_provenance(prov))

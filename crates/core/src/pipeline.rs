@@ -72,6 +72,26 @@ impl PipelineReport {
         }
         self.pii_columns as f64 / self.total_columns as f64
     }
+
+    /// Folds another report's per-file stage counters into `self`.
+    ///
+    /// The merge is associative and commutative, so partial reports from
+    /// workers can be combined in any grouping and the totals match a
+    /// serial run exactly. `fetched` and `queries_executed` describe the
+    /// extraction stage, which happens before fan-out — they are summed
+    /// here too, so worker-local reports must leave them zero.
+    pub fn merge(&mut self, other: PipelineReport) {
+        self.fetched += other.fetched;
+        self.parsed += other.parsed;
+        self.parse_failed += other.parse_failed;
+        self.kept += other.kept;
+        self.pii_columns += other.pii_columns;
+        self.total_columns += other.total_columns;
+        self.queries_executed += other.queries_executed;
+        for (k, v) in other.filtered {
+            *self.filtered.entry(k).or_default() += v;
+        }
+    }
 }
 
 /// The end-to-end pipeline. Construction builds both ontologies and all four
@@ -93,10 +113,8 @@ impl Pipeline {
     pub fn new(config: PipelineConfig) -> Self {
         let dbp = Arc::new(dbpedia());
         let sch = Arc::new(schema_org());
-        let sem_dbp =
-            SemanticAnnotator::new(dbp.clone()).with_threshold(config.semantic_threshold);
-        let sem_sch =
-            SemanticAnnotator::new(sch.clone()).with_threshold(config.semantic_threshold);
+        let sem_dbp = SemanticAnnotator::new(dbp.clone()).with_threshold(config.semantic_threshold);
+        let sem_sch = SemanticAnnotator::new(sch.clone()).with_threshold(config.semantic_threshold);
         Pipeline {
             syn_dbp: SyntacticAnnotator::new(dbp.clone()),
             syn_sch: SyntacticAnnotator::new(sch.clone()),
@@ -232,11 +250,11 @@ impl Pipeline {
         // local report.
         let mut results: Vec<(usize, AnnotatedTable)> = Vec::with_capacity(raw_files.len());
         let mut partials: Vec<PipelineReport> = Vec::new();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut handles = Vec::new();
             for (w, chunk) in raw_files.chunks(chunk_size).enumerate() {
                 let base = w * chunk_size;
-                handles.push(s.spawn(move |_| {
+                handles.push(s.spawn(move || {
                     let mut local_report = PipelineReport::default();
                     let mut local: Vec<(usize, AnnotatedTable)> = Vec::new();
                     for (i, raw) in chunk.iter().enumerate() {
@@ -252,18 +270,71 @@ impl Pipeline {
                 results.extend(local);
                 partials.push(local_report);
             }
-        })
-        .expect("pipeline scope");
+        });
 
         for p in partials {
-            report.parsed += p.parsed;
-            report.parse_failed += p.parse_failed;
-            report.kept += p.kept;
-            report.pii_columns += p.pii_columns;
-            report.total_columns += p.total_columns;
-            for (k, v) in p.filtered {
-                *report.filtered.entry(k).or_default() += v;
-            }
+            report.merge(p);
+        }
+        results.sort_by_key(|(i, _)| *i);
+        let mut corpus = Corpus::new(format!("gittables-synth-{}", self.config.seed));
+        for (_, at) in results {
+            corpus.push(at);
+        }
+        (corpus, report)
+    }
+
+    /// Runs the full pipeline with a rayon-style per-repository fan-out.
+    ///
+    /// Where [`Pipeline::run`] splits the raw file list into fixed-size
+    /// chunks, this shards it by repository — the unit the extraction
+    /// API hands back and the natural grain for scaling out, since
+    /// per-repository work (parse → curate → annotate → anonymize) is
+    /// independent across repositories. Shard partial reports are merged
+    /// associatively via [`PipelineReport::merge`] and tables are
+    /// re-emitted in extraction order, so the resulting corpus and
+    /// report are identical to a serial [`Pipeline::run`] on the same
+    /// host — scheduling can never change the output.
+    #[must_use]
+    pub fn run_parallel(&self, host: &GitHost) -> (Corpus, PipelineReport) {
+        use rayon::prelude::*;
+
+        let (raw_files, queries) = self.extract_all(host);
+        let mut report = PipelineReport {
+            fetched: raw_files.len(),
+            queries_executed: queries,
+            ..Default::default()
+        };
+
+        // Shard by repository, keeping first-appearance order so the
+        // shard list itself is deterministic.
+        let mut shard_of: HashMap<&str, usize> = HashMap::new();
+        let mut shards: Vec<Vec<(usize, &RawCsvFile)>> = Vec::new();
+        for (i, raw) in raw_files.iter().enumerate() {
+            let shard = *shard_of.entry(raw.repository.as_str()).or_insert_with(|| {
+                shards.push(Vec::new());
+                shards.len() - 1
+            });
+            shards[shard].push((i, raw));
+        }
+
+        let partials: Vec<(Vec<(usize, AnnotatedTable)>, PipelineReport)> = shards
+            .par_iter()
+            .map(|shard| {
+                let mut local_report = PipelineReport::default();
+                let mut local = Vec::with_capacity(shard.len());
+                for &(i, raw) in shard {
+                    if let Some(at) = self.process_file(raw, &mut local_report) {
+                        local.push((i, at));
+                    }
+                }
+                (local, local_report)
+            })
+            .collect();
+
+        let mut results: Vec<(usize, AnnotatedTable)> = Vec::with_capacity(raw_files.len());
+        for (local, local_report) in partials {
+            results.extend(local);
+            report.merge(local_report);
         }
         results.sort_by_key(|(i, _)| *i);
         let mut corpus = Corpus::new(format!("gittables-synth-{}", self.config.seed));
@@ -295,7 +366,11 @@ mod tests {
         let (corpus, report) = run_small(42);
         assert!(!corpus.is_empty());
         assert_eq!(report.kept, corpus.len());
-        assert!(report.parse_rate() > 0.9, "parse rate {}", report.parse_rate());
+        assert!(
+            report.parse_rate() > 0.9,
+            "parse rate {}",
+            report.parse_rate()
+        );
         assert!(report.fetched >= report.parsed + report.parse_failed);
     }
 
@@ -313,8 +388,14 @@ mod tests {
 
     #[test]
     fn single_worker_matches_parallel() {
-        let p1 = Pipeline::new(PipelineConfig { workers: 1, ..PipelineConfig::small(3) });
-        let p4 = Pipeline::new(PipelineConfig { workers: 4, ..PipelineConfig::small(3) });
+        let p1 = Pipeline::new(PipelineConfig {
+            workers: 1,
+            ..PipelineConfig::small(3)
+        });
+        let p4 = Pipeline::new(PipelineConfig {
+            workers: 4,
+            ..PipelineConfig::small(3)
+        });
         let h1 = GitHost::new();
         p1.populate_host(&h1);
         let h4 = GitHost::new();
@@ -323,6 +404,26 @@ mod tests {
         let (c4, r4) = p4.run(&h4);
         assert_eq!(c1, c4);
         assert_eq!(r1, r4);
+    }
+
+    #[test]
+    fn parallel_run_equals_serial_run() {
+        // Same seeded RepoGenerator content on both hosts; the rayon
+        // fan-out must reproduce the serial corpus and report exactly.
+        let serial = Pipeline::new(PipelineConfig {
+            workers: 1,
+            ..PipelineConfig::small(13)
+        });
+        let sharded = Pipeline::new(PipelineConfig::small(13));
+        let hs = GitHost::new();
+        serial.populate_host(&hs);
+        let hp = GitHost::new();
+        sharded.populate_host(&hp);
+        let (cs, rs) = serial.run(&hs);
+        let (cp, rp) = sharded.run_parallel(&hp);
+        assert_eq!(rs, rp);
+        assert_eq!(cs, cp);
+        assert_eq!(rp.parsed + rp.parse_failed, rp.fetched);
     }
 
     #[test]

@@ -10,7 +10,9 @@ use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
 use gittables_corpus::Corpus;
-use gittables_ml::{cross_validate, CvReport, Dataset, FeatureExtractor, ForestConfig, RandomForest};
+use gittables_ml::{
+    cross_validate, CvReport, Dataset, FeatureExtractor, ForestConfig, RandomForest,
+};
 use gittables_synth::WebTableGenerator;
 
 /// Samples up to `n` deduplicated column feature vectors from a corpus.
@@ -47,11 +49,7 @@ pub fn sample_corpus_columns(
 /// Samples up to `n` deduplicated column feature vectors from generated web
 /// tables.
 #[must_use]
-pub fn sample_webtable_columns(
-    seed: u64,
-    n: usize,
-    extractor: &FeatureExtractor,
-) -> Vec<Vec<f32>> {
+pub fn sample_webtable_columns(seed: u64, n: usize, extractor: &FeatureExtractor) -> Vec<Vec<f32>> {
     let gen = WebTableGenerator::new(seed);
     let mut seen = HashSet::new();
     let mut out = Vec::with_capacity(n);
@@ -101,7 +99,10 @@ pub fn domain_shift_experiment(
         data.push(f, 1);
     }
     cross_validate(&data, folds, seed, || {
-        RandomForest::new(ForestConfig { seed, ..Default::default() })
+        RandomForest::new(ForestConfig {
+            seed,
+            ..Default::default()
+        })
     })
 }
 

@@ -28,7 +28,11 @@ fn build_stats_search_complete_roundtrip() {
         ])
         .output()
         .expect("run build");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let stats = bin()
         .args(["stats", "--corpus", corpus.to_str().unwrap()])
@@ -74,7 +78,11 @@ fn build_stats_search_complete_roundtrip() {
 #[test]
 fn annotate_csv_file() {
     let csv = temp_path("in.csv");
-    std::fs::write(&csv, "id,species,price\n1,Homo sapiens,2.5\n2,Mus musculus,3.5\n").unwrap();
+    std::fs::write(
+        &csv,
+        "id,species,price\n1,Homo sapiens,2.5\n2,Mus musculus,3.5\n",
+    )
+    .unwrap();
     let out = bin()
         .args(["annotate", "--csv", csv.to_str().unwrap()])
         .output()

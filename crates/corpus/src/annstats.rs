@@ -23,7 +23,11 @@ impl Histogram {
     /// Creates an empty histogram with `n` bins over `[lo, hi]`.
     #[must_use]
     pub fn new(lo: f64, hi: f64, n: usize) -> Self {
-        Histogram { lo, hi, bins: vec![0; n.max(1)] }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; n.max(1)],
+        }
     }
 
     /// Adds a value (clamped into range).
@@ -112,7 +116,10 @@ impl AnnotationStats {
             .map(|(l, c)| ((*l).to_string(), *c))
             .collect();
         sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let popular = sorted.iter().filter(|(_, c)| *c > popular_threshold).count();
+        let popular = sorted
+            .iter()
+            .filter(|(_, c)| *c > popular_threshold)
+            .count();
         AnnotationStats {
             method,
             ontology,
@@ -183,13 +190,7 @@ mod tests {
             let mut at = AnnotatedTable::new(t);
             if i < 2 {
                 at.syntactic_dbpedia = TableAnnotations {
-                    annotations: vec![ann(
-                        0,
-                        "id",
-                        Method::Syntactic,
-                        OntologyKind::DBpedia,
-                        1.0,
-                    )],
+                    annotations: vec![ann(0, "id", Method::Syntactic, OntologyKind::DBpedia, 1.0)],
                     num_columns: 2,
                 };
             }

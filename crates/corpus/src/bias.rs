@@ -10,7 +10,12 @@ use crate::corpus::Corpus;
 
 /// The semantic types audited in Table 6.
 pub const AUDITED_TYPES: &[&str] = &[
-    "country", "city", "gender", "ethnicity", "race", "nationality",
+    "country",
+    "city",
+    "gender",
+    "ethnicity",
+    "race",
+    "nationality",
 ];
 
 /// One row of the Table 6 audit.
@@ -48,7 +53,11 @@ pub fn bias_audit(corpus: &Corpus, method: Method, top_k: usize) -> Vec<BiasRow>
                         continue;
                     }
                     // Paper footnote: merge "USA" into "United States".
-                    let key = if v == "USA" { "United States".to_string() } else { v.clone() };
+                    let key = if v == "USA" {
+                        "United States".to_string()
+                    } else {
+                        v.clone()
+                    };
                     *values.entry(key).or_default() += 1;
                 }
             }

@@ -27,7 +27,10 @@ impl AnnotatedTable {
     #[must_use]
     pub fn new(table: Table) -> Self {
         let n = table.num_columns();
-        let empty = || TableAnnotations { annotations: Vec::new(), num_columns: n };
+        let empty = || TableAnnotations {
+            annotations: Vec::new(),
+            num_columns: n,
+        };
         AnnotatedTable {
             table,
             syntactic_dbpedia: empty(),
@@ -76,7 +79,10 @@ impl Corpus {
     /// Creates an empty corpus.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Corpus { tables: Vec::new(), name: name.into() }
+        Corpus {
+            tables: Vec::new(),
+            name: name.into(),
+        }
     }
 
     /// Number of tables.
@@ -159,9 +165,18 @@ mod tests {
     #[test]
     fn annotation_slots() {
         let mut t = table("id");
-        assert_eq!(t.annotations(Method::Syntactic, OntologyKind::DBpedia).num_columns, 2);
-        t.annotations_mut(Method::Semantic, OntologyKind::SchemaOrg).num_columns = 5;
-        assert_eq!(t.annotations(Method::Semantic, OntologyKind::SchemaOrg).num_columns, 5);
+        assert_eq!(
+            t.annotations(Method::Syntactic, OntologyKind::DBpedia)
+                .num_columns,
+            2
+        );
+        t.annotations_mut(Method::Semantic, OntologyKind::SchemaOrg)
+            .num_columns = 5;
+        assert_eq!(
+            t.annotations(Method::Semantic, OntologyKind::SchemaOrg)
+                .num_columns,
+            5
+        );
     }
 
     #[test]

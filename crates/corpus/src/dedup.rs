@@ -68,7 +68,10 @@ pub fn table_sketch(table: &gittables_table::Table) -> u64 {
 pub fn exact_duplicates(corpus: &Corpus) -> Vec<DuplicateGroup> {
     let mut by_fp: HashMap<u64, Vec<usize>> = HashMap::new();
     for (i, at) in corpus.tables.iter().enumerate() {
-        by_fp.entry(table_fingerprint(&at.table)).or_default().push(i);
+        by_fp
+            .entry(table_fingerprint(&at.table))
+            .or_default()
+            .push(i);
     }
     let mut out: Vec<DuplicateGroup> = by_fp
         .into_values()
@@ -138,8 +141,15 @@ mod tests {
     fn sketch_stable_under_middle_changes() {
         // The sketch samples head/tail rows only, so two long tables sharing
         // head & tail hash equal — near-duplicate detection for snapshots.
-        let rows_a: Vec<[&'static str; 2]> =
-            vec![["1", "x"], ["2", "y"], ["3", "z"], ["4", "w"], ["5", "q"], ["6", "t"], ["7", "u"]];
+        let rows_a: Vec<[&'static str; 2]> = vec![
+            ["1", "x"],
+            ["2", "y"],
+            ["3", "z"],
+            ["4", "w"],
+            ["5", "q"],
+            ["6", "t"],
+            ["7", "u"],
+        ];
         let mut rows_b = rows_a.clone();
         rows_b[4] = ["5", "CHANGED"]; // middle row (not in head-4 or tail-2)
         let a = t("a", &rows_a);

@@ -55,7 +55,13 @@ pub fn export_csv(corpus: &Corpus, root: &Path) -> Result<usize, PersistError> {
 /// Makes a string filesystem-safe.
 fn sanitize(s: &str) -> String {
     s.chars()
-        .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -120,7 +120,9 @@ pub fn join_tables(corpus: &Corpus, candidate: &JoinCandidate) -> Result<Table, 
         }
         header.push(format!("{}.{}", right.name(), c.name()));
     }
-    let left_key_col = left.column(candidate.left_key).ok_or(TableError::NoColumns)?;
+    let left_key_col = left
+        .column(candidate.left_key)
+        .ok_or(TableError::NoColumns)?;
     let mut rows = Vec::new();
     for lr in 0..left.num_rows() {
         let key = &left_key_col.values()[lr];
@@ -217,7 +219,11 @@ mod tests {
         assert_eq!(joined.num_rows(), 2);
         // 3 left columns + 2 non-key right columns.
         assert_eq!(joined.num_columns(), 5);
-        assert!(joined.schema().attributes().iter().any(|a| a.contains("price")));
+        assert!(joined
+            .schema()
+            .attributes()
+            .iter()
+            .any(|a| a.contains("price")));
         let price_col = joined
             .columns()
             .iter()

@@ -16,11 +16,11 @@
 
 pub mod annstats;
 pub mod bias;
+#[allow(clippy::module_inception)]
+pub mod corpus;
 pub mod dedup;
 pub mod export;
 pub mod join;
-#[allow(clippy::module_inception)]
-pub mod corpus;
 pub mod persist;
 pub mod stats;
 pub mod union;
@@ -28,8 +28,8 @@ pub mod union;
 pub use annstats::{AnnotationStats, Histogram};
 pub use bias::{bias_audit, BiasRow};
 pub use corpus::{AnnotatedTable, Corpus};
-pub use stats::CorpusStats;
 pub use dedup::{dedup_indices, exact_duplicates, DuplicateGroup};
 pub use export::export_csv;
 pub use join::{join_candidates, join_tables, JoinCandidate};
+pub use stats::CorpusStats;
 pub use union::{union_groups, union_tables, UnionGroup};

@@ -59,7 +59,9 @@ impl CorpusStats {
                 }
             }
             if !t.provenance().repository.is_empty() {
-                *per_repo.entry(t.provenance().repository.as_str()).or_default() += 1;
+                *per_repo
+                    .entry(t.provenance().repository.as_str())
+                    .or_default() += 1;
             }
         }
         let nf = n.max(1) as f64;
@@ -114,7 +116,11 @@ pub fn row_dims(corpus: &Corpus) -> Vec<usize> {
 /// Column dimensions of all tables.
 #[must_use]
 pub fn col_dims(corpus: &Corpus) -> Vec<usize> {
-    corpus.tables.iter().map(|t| t.table.num_columns()).collect()
+    corpus
+        .tables
+        .iter()
+        .map(|t| t.table.num_columns())
+        .collect()
 }
 
 #[cfg(test)]

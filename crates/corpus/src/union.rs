@@ -40,9 +40,17 @@ pub fn union_groups(corpus: &Corpus, min_members: usize) -> Vec<UnionGroup> {
     let mut out: Vec<UnionGroup> = groups
         .into_iter()
         .filter(|(_, members)| members.len() >= min_members.max(1))
-        .map(|((repository, schema), members)| UnionGroup { repository, schema, members })
+        .map(|((repository, schema), members)| UnionGroup {
+            repository,
+            schema,
+            members,
+        })
         .collect();
-    out.sort_by(|a, b| a.repository.cmp(&b.repository).then(a.schema.cmp(&b.schema)));
+    out.sort_by(|a, b| {
+        a.repository
+            .cmp(&b.repository)
+            .then(a.schema.cmp(&b.schema))
+    });
     out
 }
 
@@ -68,7 +76,10 @@ pub fn union_tables(corpus: &Corpus, group: &UnionGroup) -> Result<Table, TableE
     }
     let name = format!("{}-union", group.repository.replace('/', "_"));
     let table = Table::from_string_rows(&name, &group.schema, rows)?;
-    Ok(table.with_provenance(Provenance::new(group.repository.clone(), format!("{name}.csv"))))
+    Ok(table.with_provenance(Provenance::new(
+        group.repository.clone(),
+        format!("{name}.csv"),
+    )))
 }
 
 #[cfg(test)]
@@ -88,9 +99,13 @@ mod tests {
             c.push(AnnotatedTable::new(t));
         }
         // A table with a different schema in a/x: not union-compatible.
-        let t = Table::from_rows("other", &["x", "y", "z"], &[&["1", "2", "3"], &["4", "5", "6"]])
-            .unwrap()
-            .with_provenance(Provenance::new("a/x", "other.csv"));
+        let t = Table::from_rows(
+            "other",
+            &["x", "y", "z"],
+            &[&["1", "2", "3"], &["4", "5", "6"]],
+        )
+        .unwrap()
+        .with_provenance(Provenance::new("a/x", "other.csv"));
         c.push(AnnotatedTable::new(t));
         c
     }

@@ -6,25 +6,58 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 const FAKE_FIRST: &[&str] = &[
-    "Alex", "Sam", "Jordan", "Taylor", "Casey", "Riley", "Morgan", "Avery",
-    "Quinn", "Rowan", "Skyler", "Emerson", "Finley", "Harper", "Kendall",
-    "Logan", "Marley", "Nico", "Parker", "Reese",
+    "Alex", "Sam", "Jordan", "Taylor", "Casey", "Riley", "Morgan", "Avery", "Quinn", "Rowan",
+    "Skyler", "Emerson", "Finley", "Harper", "Kendall", "Logan", "Marley", "Nico", "Parker",
+    "Reese",
 ];
 
 const FAKE_LAST: &[&str] = &[
-    "Doe", "Roe", "Bloggs", "Smithson", "Example", "Sample", "Tester",
-    "Placeholder", "Mockman", "Fakerly", "Stand", "Proxy", "Dummy", "Blank",
-    "Veil", "Mask", "Shade", "Cover", "Cloak", "Alias",
+    "Doe",
+    "Roe",
+    "Bloggs",
+    "Smithson",
+    "Example",
+    "Sample",
+    "Tester",
+    "Placeholder",
+    "Mockman",
+    "Fakerly",
+    "Stand",
+    "Proxy",
+    "Dummy",
+    "Blank",
+    "Veil",
+    "Mask",
+    "Shade",
+    "Cover",
+    "Cloak",
+    "Alias",
 ];
 
 const FAKE_CITIES: &[&str] = &[
-    "Springfield", "Rivertown", "Lakeside", "Hillview", "Greenfield",
-    "Fairview", "Brookside", "Meadowbrook", "Clearwater", "Stonebridge",
+    "Springfield",
+    "Rivertown",
+    "Lakeside",
+    "Hillview",
+    "Greenfield",
+    "Fairview",
+    "Brookside",
+    "Meadowbrook",
+    "Clearwater",
+    "Stonebridge",
 ];
 
 const FAKE_STREETS: &[&str] = &[
-    "Main St", "Oak Ave", "Maple Dr", "Cedar Ln", "Elm St", "Pine Rd",
-    "Willow Way", "Birch Blvd", "Aspen Ct", "Chestnut Pl",
+    "Main St",
+    "Oak Ave",
+    "Maple Dr",
+    "Cedar Ln",
+    "Elm St",
+    "Pine Rd",
+    "Willow Way",
+    "Birch Blvd",
+    "Aspen Ct",
+    "Chestnut Pl",
 ];
 
 /// Which Faker class replaces a PII semantic type (paper Table 3's mapping).
@@ -84,7 +117,9 @@ impl Faker {
     /// Creates a faker seeded for reproducible anonymization.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Faker { rng: StdRng::seed_from_u64(seed) }
+        Faker {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     fn pick<'a>(&mut self, items: &[&'a str]) -> &'a str {
@@ -164,8 +199,14 @@ mod tests {
     fn table3_mapping() {
         assert_eq!(FakerClass::for_pii_label("name"), Some(FakerClass::Name));
         assert_eq!(FakerClass::for_pii_label("person"), Some(FakerClass::Name));
-        assert_eq!(FakerClass::for_pii_label("birth date"), Some(FakerClass::Date));
-        assert_eq!(FakerClass::for_pii_label("postal code"), Some(FakerClass::Postcode));
+        assert_eq!(
+            FakerClass::for_pii_label("birth date"),
+            Some(FakerClass::Date)
+        );
+        assert_eq!(
+            FakerClass::for_pii_label("postal code"),
+            Some(FakerClass::Postcode)
+        );
         assert_eq!(FakerClass::for_pii_label("price"), None);
     }
 

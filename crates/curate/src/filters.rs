@@ -108,16 +108,14 @@ mod tests {
     use gittables_table::Table;
 
     fn ok_table() -> Table {
-        Table::from_rows(
-            "t",
-            &["id", "name"],
-            &[&["1", "a"], &["2", "b"]],
-        )
-        .unwrap()
+        Table::from_rows("t", &["id", "name"], &[&["1", "a"], &["2", "b"]]).unwrap()
     }
 
     fn cfg() -> CurationConfig {
-        CurationConfig { require_license: false, ..Default::default() }
+        CurationConfig {
+            require_license: false,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -138,20 +136,25 @@ mod tests {
     #[test]
     fn tiny_tables_dropped() {
         let one_row = Table::from_rows("t", &["a", "b"], &[&["1", "2"]]).unwrap();
-        assert_eq!(cfg().evaluate(&one_row, true), Err(FilterReason::TooFewRows));
+        assert_eq!(
+            cfg().evaluate(&one_row, true),
+            Err(FilterReason::TooFewRows)
+        );
         let one_col = Table::from_rows("t", &["a"], &[&["1"], &["2"]]).unwrap();
-        assert_eq!(cfg().evaluate(&one_col, true), Err(FilterReason::TooFewColumns));
+        assert_eq!(
+            cfg().evaluate(&one_col, true),
+            Err(FilterReason::TooFewColumns)
+        );
     }
 
     #[test]
     fn mostly_unnamed_dropped() {
-        let t = Table::from_rows(
-            "t",
-            &["id", "", ""],
-            &[&["1", "x", "y"], &["2", "u", "v"]],
-        )
-        .unwrap();
-        assert_eq!(cfg().evaluate(&t, true), Err(FilterReason::MostlyUnnamedColumns));
+        let t =
+            Table::from_rows("t", &["id", "", ""], &[&["1", "x", "y"], &["2", "u", "v"]]).unwrap();
+        assert_eq!(
+            cfg().evaluate(&t, true),
+            Err(FilterReason::MostlyUnnamedColumns)
+        );
         // Exactly half unnamed is tolerated.
         let t = Table::from_rows("t", &["id", ""], &[&["1", "x"], &["2", "y"]]).unwrap();
         assert_eq!(cfg().evaluate(&t, true), Ok(()));
@@ -168,8 +171,7 @@ mod tests {
     #[test]
     fn social_media_dropped() {
         for name in ["twitter_handle", "Tweet Text", "reddit_user", "FacebookURL"] {
-            let t = Table::from_rows("t", &["id", name], &[&["1", "x"], &["2", "y"]])
-                .unwrap();
+            let t = Table::from_rows("t", &["id", name], &[&["1", "x"], &["2", "y"]]).unwrap();
             assert_eq!(
                 cfg().evaluate(&t, true),
                 Err(FilterReason::SocialMediaColumn),

@@ -46,10 +46,7 @@ impl PiiReport {
 /// Detects PII columns from Schema.org annotations, applying the
 /// `name`-co-occurrence rule.
 #[must_use]
-pub fn detect_pii_columns(
-    annotations: &TableAnnotations,
-    ontology: &Ontology,
-) -> Vec<PiiColumn> {
+pub fn detect_pii_columns(annotations: &TableAnnotations, ontology: &Ontology) -> Vec<PiiColumn> {
     let mut raw: Vec<PiiColumn> = annotations
         .annotations
         .iter()
@@ -59,7 +56,11 @@ pub fn detect_pii_columns(
                 return None;
             }
             let class = FakerClass::for_pii_label(&ty.label)?;
-            Some(PiiColumn { column: a.column, label: ty.label.clone(), class })
+            Some(PiiColumn {
+                column: a.column,
+                label: ty.label.clone(),
+                class,
+            })
         })
         .collect();
     // `name` columns require a co-occurring *other* PII type.
@@ -87,7 +88,10 @@ pub fn anonymize_table(
             col.replace_values(fresh);
         }
     }
-    PiiReport { anonymized: pii, num_columns }
+    PiiReport {
+        anonymized: pii,
+        num_columns,
+    }
 }
 
 #[cfg(test)]

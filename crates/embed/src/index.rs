@@ -55,7 +55,12 @@ impl EmbeddingIndex {
                 }
             }
         }
-        EmbeddingIndex { embedder, labels, vectors, inverted }
+        EmbeddingIndex {
+            embedder,
+            labels,
+            vectors,
+            inverted,
+        }
     }
 
     /// Number of indexed labels.
@@ -90,7 +95,10 @@ impl EmbeddingIndex {
             .vectors
             .iter()
             .enumerate()
-            .map(|(i, v)| Neighbor { index: i, similarity: cosine(&qv, v) })
+            .map(|(i, v)| Neighbor {
+                index: i,
+                similarity: cosine(&qv, v),
+            })
             .collect();
         top_k(&mut hits, k);
         hits
@@ -107,7 +115,10 @@ impl EmbeddingIndex {
         let qv = self.embedder.embed(query);
         let mut hits: Vec<Neighbor> = candidates
             .into_iter()
-            .map(|i| Neighbor { index: i, similarity: cosine(&qv, &self.vectors[i]) })
+            .map(|i| Neighbor {
+                index: i,
+                similarity: cosine(&qv, &self.vectors[i]),
+            })
             .collect();
         top_k(&mut hits, k);
         hits
@@ -169,7 +180,14 @@ mod tests {
     fn index() -> EmbeddingIndex {
         EmbeddingIndex::build(
             NgramEmbedder::default(),
-            &["id", "name", "birth date", "country", "price", "order number"],
+            &[
+                "id",
+                "name",
+                "birth date",
+                "country",
+                "price",
+                "order number",
+            ],
         )
     }
 

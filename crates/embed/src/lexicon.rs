@@ -26,12 +26,29 @@ pub const SYNONYM_GROUPS: &[&[&str]] = &[
     &["birthday", "birthdate", "dob", "born"],
     &["firstname", "forename", "given"],
     &["surname", "lastname", "family"],
-    &["company", "organization", "organisation", "firm", "employer", "corp"],
+    &[
+        "company",
+        "organization",
+        "organisation",
+        "firm",
+        "employer",
+        "corp",
+    ],
     &["job", "occupation", "profession", "role", "position"],
     &["date", "day", "time", "timestamp", "datetime", "when"],
     &["year", "yr"],
     &["quantity", "qty", "count", "num", "number", "total"],
-    &["description", "desc", "summary", "abstract", "notes", "note", "comment", "remarks", "text"],
+    &[
+        "description",
+        "desc",
+        "summary",
+        "abstract",
+        "notes",
+        "note",
+        "comment",
+        "remarks",
+        "text",
+    ],
     &["status", "state", "condition", "stage"],
     &["type", "kind", "category", "class", "group", "genre"],
     &["value", "val", "measure", "measurement", "reading"],

@@ -87,7 +87,10 @@ impl NgramEmbedder {
     /// An embedder without the synonym lexicon (syntactic-only ablation).
     #[must_use]
     pub fn without_lexicon() -> Self {
-        NgramEmbedder { synonym_weight: 0.0, ..Self::default() }
+        NgramEmbedder {
+            synonym_weight: 0.0,
+            ..Self::default()
+        }
     }
 
     /// Deterministic pseudo-Gaussian unit vector for one n-gram.
@@ -216,7 +219,10 @@ mod tests {
         let without = NgramEmbedder::without_lexicon();
         let s_with = with.cosine("sex", "gender");
         let s_without = without.cosine("sex", "gender");
-        assert!(s_with > s_without + 0.15, "with={s_with}, without={s_without}");
+        assert!(
+            s_with > s_without + 0.15,
+            "with={s_with}, without={s_without}"
+        );
     }
 
     #[test]
@@ -237,7 +243,10 @@ mod tests {
     #[test]
     fn different_seed_changes_embedding() {
         let a = NgramEmbedder::default();
-        let b = NgramEmbedder { seed: 42, ..NgramEmbedder::default() };
+        let b = NgramEmbedder {
+            seed: 42,
+            ..NgramEmbedder::default()
+        };
         assert_ne!(a.embed("id"), b.embed("id"));
     }
 

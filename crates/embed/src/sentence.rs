@@ -48,7 +48,10 @@ pub struct SentenceEncoder {
 
 impl Default for SentenceEncoder {
     fn default() -> Self {
-        SentenceEncoder { embedder: NgramEmbedder::default(), sif_a: 1e-2 }
+        SentenceEncoder {
+            embedder: NgramEmbedder::default(),
+            sif_a: 1e-2,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ impl SentenceEncoder {
     /// Creates an encoder over a custom embedder.
     #[must_use]
     pub fn new(embedder: NgramEmbedder) -> Self {
-        SentenceEncoder { embedder, sif_a: 1e-2 }
+        SentenceEncoder {
+            embedder,
+            sif_a: 1e-2,
+        }
     }
 
     /// The underlying word embedder.

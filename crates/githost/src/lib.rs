@@ -40,4 +40,6 @@ pub mod search;
 
 pub use host::GitHost;
 pub use model::{RepoFile, Repository};
-pub use search::{Query, SearchApi, SearchResponse, SearchResult, MAX_RESULTS_PER_QUERY, PAGE_SIZE};
+pub use search::{
+    Query, SearchApi, SearchResponse, SearchResult, MAX_RESULTS_PER_QUERY, PAGE_SIZE,
+};

@@ -15,7 +15,10 @@ impl RepoFile {
     /// Creates a file.
     #[must_use]
     pub fn new(path: impl Into<String>, content: impl Into<String>) -> Self {
-        RepoFile { path: path.into(), content: content.into() }
+        RepoFile {
+            path: path.into(),
+            content: content.into(),
+        }
     }
 
     /// File size in bytes (what the `size:` qualifier filters on).

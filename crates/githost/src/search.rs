@@ -80,7 +80,11 @@ impl Query {
         if term.is_empty() {
             return None;
         }
-        Some(Query { term: term.to_lowercase(), extension, size })
+        Some(Query {
+            term: term.to_lowercase(),
+            extension,
+            size,
+        })
     }
 }
 
@@ -199,7 +203,11 @@ impl<'a> SearchApi<'a> {
                 })
                 .collect()
         };
-        SearchResponse { total_count, items, has_next_page: end < capped }
+        SearchResponse {
+            total_count,
+            items,
+            has_next_page: end < capped,
+        }
     }
 
     /// Convenience: the initial response size only (used to plan query
@@ -281,7 +289,10 @@ mod tests {
         });
         let api = host.search_api();
         let with_ext = api.count(&Query::csv("id"));
-        let without_ext = api.count(&Query { extension: None, ..Query::csv("id") });
+        let without_ext = api.count(&Query {
+            extension: None,
+            ..Query::csv("id")
+        });
         assert_eq!(with_ext, 5);
         assert_eq!(without_ext, 6);
     }
@@ -305,7 +316,10 @@ mod tests {
             full_name: "big/one".into(),
             license: None,
             fork: false,
-            files: vec![RepoFile::new("big.csv", format!("id\n{}", "x".repeat(MAX_FILE_SIZE)))],
+            files: vec![RepoFile::new(
+                "big.csv",
+                format!("id\n{}", "x".repeat(MAX_FILE_SIZE)),
+            )],
         });
         assert_eq!(host.search_api().count(&Query::csv("id")), 0);
     }
@@ -333,7 +347,7 @@ mod tests {
         assert!(first.has_next_page);
         let all = api.search_all_pages(&q);
         assert_eq!(all.len(), MAX_RESULTS_PER_QUERY); // capped
-        // Page past the cap is empty.
+                                                      // Page past the cap is empty.
         let past = api.search(&q, 11);
         assert!(past.items.is_empty());
         assert!(!past.has_next_page);

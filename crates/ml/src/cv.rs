@@ -33,8 +33,7 @@ pub fn cross_validate<C: Classifier, F: FnMut() -> C>(
     let mut results = Vec::with_capacity(k);
     for test_idx in &folds {
         let test_set: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
-        let train_idx: Vec<usize> =
-            (0..data.len()).filter(|i| !test_set.contains(i)).collect();
+        let train_idx: Vec<usize> = (0..data.len()).filter(|i| !test_set.contains(i)).collect();
         let train = data.subset(&train_idx);
         let test = data.subset(test_idx);
         let mut model = factory();
@@ -45,8 +44,18 @@ pub fn cross_validate<C: Classifier, F: FnMut() -> C>(
     let n = results.len().max(1) as f64;
     let mean_acc = results.iter().map(|m| m.accuracy).sum::<f64>() / n;
     let mean_f1 = results.iter().map(|m| m.macro_f1).sum::<f64>() / n;
-    let std_acc = (results.iter().map(|m| (m.accuracy - mean_acc).powi(2)).sum::<f64>() / n).sqrt();
-    let std_f1 = (results.iter().map(|m| (m.macro_f1 - mean_f1).powi(2)).sum::<f64>() / n).sqrt();
+    let std_acc = (results
+        .iter()
+        .map(|m| (m.accuracy - mean_acc).powi(2))
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    let std_f1 = (results
+        .iter()
+        .map(|m| (m.macro_f1 - mean_f1).powi(2))
+        .sum::<f64>()
+        / n)
+        .sqrt();
     CvReport {
         folds: results,
         mean_accuracy: mean_acc,
@@ -81,7 +90,10 @@ mod tests {
         let report = cross_validate(&d, 5, 42, || {
             RandomForest::new(ForestConfig {
                 n_trees: 9,
-                tree: TreeConfig { max_features: 1, ..Default::default() },
+                tree: TreeConfig {
+                    max_features: 1,
+                    ..Default::default()
+                },
                 ..Default::default()
             })
         });
@@ -110,7 +122,11 @@ mod tests {
         let d = blobs(60);
         let run = || {
             cross_validate(&d, 3, 7, || {
-                RandomForest::new(ForestConfig { n_trees: 5, seed: 2, ..Default::default() })
+                RandomForest::new(ForestConfig {
+                    n_trees: 5,
+                    seed: 2,
+                    ..Default::default()
+                })
             })
             .mean_accuracy
         };

@@ -20,7 +20,11 @@ impl Dataset {
     #[must_use]
     pub fn new(features: Vec<Vec<f32>>, labels: Vec<usize>, class_names: Vec<String>) -> Self {
         debug_assert_eq!(features.len(), labels.len());
-        Dataset { features, labels, class_names }
+        Dataset {
+            features,
+            labels,
+            class_names,
+        }
     }
 
     /// Number of samples.
@@ -38,9 +42,9 @@ impl Dataset {
     /// Number of classes.
     #[must_use]
     pub fn num_classes(&self) -> usize {
-        self.class_names.len().max(
-            self.labels.iter().max().map_or(0, |m| m + 1),
-        )
+        self.class_names
+            .len()
+            .max(self.labels.iter().max().map_or(0, |m| m + 1))
     }
 
     /// Feature dimensionality (0 if empty).
@@ -131,9 +135,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let features = (0..10)
-            .map(|i| vec![i as f32, (i * 2) as f32])
-            .collect();
+        let features = (0..10).map(|i| vec![i as f32, (i * 2) as f32]).collect();
         let labels = (0..10).map(|i| i % 2).collect();
         Dataset::new(features, labels, vec!["even".into(), "odd".into()])
     }

@@ -50,7 +50,10 @@ pub struct FeatureExtractor {
 impl Default for FeatureExtractor {
     fn default() -> Self {
         FeatureExtractor {
-            embedder: NgramEmbedder { dim: EMBED_DIM, ..NgramEmbedder::default() },
+            embedder: NgramEmbedder {
+                dim: EMBED_DIM,
+                ..NgramEmbedder::default()
+            },
             max_cells: 256,
         }
     }
@@ -72,8 +75,17 @@ fn aggregates(values: &[f64]) -> [f64; CHAR_AGGREGATES] {
     let median = median_of(values);
     let std = var.sqrt();
     let (skew, kurt) = if std > 1e-12 {
-        let m3 = values.iter().map(|v| ((v - mean) / std).powi(3)).sum::<f64>() / n;
-        let m4 = values.iter().map(|v| ((v - mean) / std).powi(4)).sum::<f64>() / n - 3.0;
+        let m3 = values
+            .iter()
+            .map(|v| ((v - mean) / std).powi(3))
+            .sum::<f64>()
+            / n;
+        let m4 = values
+            .iter()
+            .map(|v| ((v - mean) / std).powi(4))
+            .sum::<f64>()
+            / n
+            - 3.0;
         (m3, m4)
     } else {
         (0.0, 0.0)
@@ -98,7 +110,10 @@ impl FeatureExtractor {
     /// Creates an extractor with a custom embedder.
     #[must_use]
     pub fn new(embedder: NgramEmbedder, max_cells: usize) -> Self {
-        FeatureExtractor { embedder, max_cells }
+        FeatureExtractor {
+            embedder,
+            max_cells,
+        }
     }
 
     /// Extracts the 1 188-dimensional feature vector of a column's values.
@@ -224,9 +239,8 @@ impl FeatureExtractor {
             }
         }
 
-        let frac = |pred: &dyn Fn(&str) -> bool| {
-            cells.iter().filter(|c| pred(c)).count() as f64 / nf
-        };
+        let frac =
+            |pred: &dyn Fn(&str) -> bool| cells.iter().filter(|c| pred(c)).count() as f64 / nf;
         let type_of = |c: &str| infer_value_type(c);
         let frac_numeric = frac(&|c| type_of(c).is_numeric());
         let frac_date = frac(&|c| type_of(c) == AtomicType::Date);
@@ -237,22 +251,14 @@ impl FeatureExtractor {
         let frac_negative = frac(&|c| c.trim_start().starts_with('-'));
         let frac_integer = frac(&|c| type_of(c) == AtomicType::Integer);
 
-        let per_cell = |f: &dyn Fn(&str) -> f64| {
-            cells.iter().map(|c| f(c)).sum::<f64>() / nf
-        };
+        let per_cell = |f: &dyn Fn(&str) -> f64| cells.iter().map(|c| f(c)).sum::<f64>() / nf;
         let mean_digits = per_cell(&|c| c.bytes().filter(u8::is_ascii_digit).count() as f64);
-        let mean_letters =
-            per_cell(&|c| c.chars().filter(|ch| ch.is_alphabetic()).count() as f64);
-        let mean_upper =
-            per_cell(&|c| c.chars().filter(|ch| ch.is_uppercase()).count() as f64);
-        let mean_lower =
-            per_cell(&|c| c.chars().filter(|ch| ch.is_lowercase()).count() as f64);
+        let mean_letters = per_cell(&|c| c.chars().filter(|ch| ch.is_alphabetic()).count() as f64);
+        let mean_upper = per_cell(&|c| c.chars().filter(|ch| ch.is_uppercase()).count() as f64);
+        let mean_lower = per_cell(&|c| c.chars().filter(|ch| ch.is_lowercase()).count() as f64);
         let mean_space = per_cell(&|c| c.chars().filter(|ch| ch.is_whitespace()).count() as f64);
-        let mean_punct = per_cell(&|c| {
-            c.chars()
-                .filter(|ch| ch.is_ascii_punctuation())
-                .count() as f64
-        });
+        let mean_punct =
+            per_cell(&|c| c.chars().filter(|ch| ch.is_ascii_punctuation()).count() as f64);
         let mean_tokens = per_cell(&|c| c.split_whitespace().count() as f64);
 
         // Numeric-value moments over parseable cells.
@@ -396,7 +402,10 @@ mod tests {
     #[test]
     fn max_cells_bounds_cost() {
         let many: Vec<String> = (0..10_000).map(|i| i.to_string()).collect();
-        let e = FeatureExtractor { max_cells: 100, ..Default::default() };
+        let e = FeatureExtractor {
+            max_cells: 100,
+            ..Default::default()
+        };
         let f = e.extract(&many);
         // n-values global stat reflects the cap.
         let n_idx = TRACKED_CHARS * CHAR_AGGREGATES + EMBED_DIM * EMBED_AGGREGATES;

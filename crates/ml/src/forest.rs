@@ -49,7 +49,11 @@ impl RandomForest {
     /// Creates an unfitted forest.
     #[must_use]
     pub fn new(config: ForestConfig) -> Self {
-        RandomForest { trees: Vec::new(), num_classes: 0, config }
+        RandomForest {
+            trees: Vec::new(),
+            num_classes: 0,
+            config,
+        }
     }
 
     /// Mean impurity-based feature importance across trees, normalized to
@@ -135,7 +139,10 @@ mod tests {
             let y = i % 3;
             let (cx, cy) = [(0.0, 3.0), (-3.0, -2.0), (3.0, -2.0)][y];
             d.push(
-                vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0f32)],
+                vec![
+                    cx + rng.gen_range(-1.0..1.0),
+                    cy + rng.gen_range(-1.0..1.0f32),
+                ],
                 y,
             );
         }
@@ -147,7 +154,10 @@ mod tests {
         let d = blobs(300, 1);
         let mut f = RandomForest::new(ForestConfig {
             n_trees: 15,
-            tree: TreeConfig { max_features: 2, ..Default::default() },
+            tree: TreeConfig {
+                max_features: 2,
+                ..Default::default()
+            },
             ..Default::default()
         });
         f.fit(&d);
@@ -163,7 +173,10 @@ mod tests {
     #[test]
     fn proba_sums_to_one() {
         let d = blobs(90, 2);
-        let mut f = RandomForest::new(ForestConfig { n_trees: 7, ..Default::default() });
+        let mut f = RandomForest::new(ForestConfig {
+            n_trees: 7,
+            ..Default::default()
+        });
         f.fit(&d);
         let p = f.predict_proba(&[0.0, 3.0]);
         assert_eq!(p.len(), 3);
@@ -174,7 +187,11 @@ mod tests {
     fn deterministic() {
         let d = blobs(90, 3);
         let run = || {
-            let mut f = RandomForest::new(ForestConfig { n_trees: 9, seed: 4, ..Default::default() });
+            let mut f = RandomForest::new(ForestConfig {
+                n_trees: 9,
+                seed: 4,
+                ..Default::default()
+            });
             f.fit(&d);
             f.predict_all(&d.features)
         };
@@ -184,7 +201,10 @@ mod tests {
     #[test]
     fn empty_dataset_does_not_panic() {
         let d = Dataset::new(vec![], vec![], vec!["a".into()]);
-        let mut f = RandomForest::new(ForestConfig { n_trees: 3, ..Default::default() });
+        let mut f = RandomForest::new(ForestConfig {
+            n_trees: 3,
+            ..Default::default()
+        });
         f.fit(&d);
         assert_eq!(f.predict(&[1.0]), 0);
     }
@@ -204,7 +224,10 @@ mod tests {
         }
         let mut f = RandomForest::new(ForestConfig {
             n_trees: 15,
-            tree: TreeConfig { max_features: 2, ..Default::default() },
+            tree: TreeConfig {
+                max_features: 2,
+                ..Default::default()
+            },
             ..Default::default()
         });
         f.fit(&d);

@@ -25,7 +25,13 @@ pub struct LogisticConfig {
 
 impl Default for LogisticConfig {
     fn default() -> Self {
-        LogisticConfig { epochs: 30, lr: 0.05, l2: 1e-4, batch: 32, seed: 0 }
+        LogisticConfig {
+            epochs: 30,
+            lr: 0.05,
+            l2: 1e-4,
+            batch: 32,
+            seed: 0,
+        }
     }
 }
 
@@ -45,7 +51,12 @@ impl LogisticRegression {
     /// Creates an unfitted model.
     #[must_use]
     pub fn new(config: LogisticConfig) -> Self {
-        LogisticRegression { config, weights: Vec::new(), mean: Vec::new(), std: Vec::new() }
+        LogisticRegression {
+            config,
+            weights: Vec::new(),
+            mean: Vec::new(),
+            std: Vec::new(),
+        }
     }
 
     fn scores(&self, x: &[f32]) -> Vec<f32> {
@@ -142,7 +153,13 @@ mod tests {
         for i in 0..n {
             let y = i % 2;
             let cx = if y == 0 { -1.5 } else { 1.5 };
-            d.push(vec![cx + rng.gen_range(-1.0..1.0f32), rng.gen_range(-1.0..1.0f32)], y);
+            d.push(
+                vec![
+                    cx + rng.gen_range(-1.0..1.0f32),
+                    rng.gen_range(-1.0..1.0f32),
+                ],
+                y,
+            );
         }
         d
     }
@@ -176,7 +193,10 @@ mod tests {
     fn deterministic() {
         let d = blobs(100, 3);
         let run = || {
-            let mut m = LogisticRegression::new(LogisticConfig { seed: 1, ..Default::default() });
+            let mut m = LogisticRegression::new(LogisticConfig {
+                seed: 1,
+                ..Default::default()
+            });
             m.fit(&d);
             m.predict_all(&d.features)
         };

@@ -72,7 +72,11 @@ pub fn compute(pred: &[usize], gold: &[usize], k: usize) -> Metrics {
     }
     Metrics {
         accuracy: accuracy(pred, gold),
-        macro_f1: if f1_count > 0 { f1_sum / f1_count as f64 } else { 0.0 },
+        macro_f1: if f1_count > 0 {
+            f1_sum / f1_count as f64
+        } else {
+            0.0
+        },
         per_class,
     }
 }

@@ -28,7 +28,14 @@ pub struct MlpConfig {
 
 impl Default for MlpConfig {
     fn default() -> Self {
-        MlpConfig { hidden: 64, epochs: 40, lr: 0.02, l2: 1e-4, batch: 32, seed: 0 }
+        MlpConfig {
+            hidden: 64,
+            epochs: 40,
+            lr: 0.02,
+            l2: 1e-4,
+            batch: 32,
+            seed: 0,
+        }
     }
 }
 
@@ -50,7 +57,13 @@ impl Mlp {
     /// Creates an unfitted network.
     #[must_use]
     pub fn new(config: MlpConfig) -> Self {
-        Mlp { config, w1: Vec::new(), w2: Vec::new(), mean: Vec::new(), std: Vec::new() }
+        Mlp {
+            config,
+            w1: Vec::new(),
+            w2: Vec::new(),
+            mean: Vec::new(),
+            std: Vec::new(),
+        }
     }
 
     fn standardized(&self, x: &[f32]) -> Vec<f32> {
@@ -200,7 +213,10 @@ mod tests {
             let y = f32::from(u8::from(rng.gen_bool(0.5)));
             let label = usize::from((x > 0.5) != (y > 0.5));
             d.push(
-                vec![x + rng.gen_range(-0.15..0.15), y + rng.gen_range(-0.15..0.15)],
+                vec![
+                    x + rng.gen_range(-0.15..0.15),
+                    y + rng.gen_range(-0.15..0.15),
+                ],
                 label,
             );
         }
@@ -210,7 +226,12 @@ mod tests {
     #[test]
     fn learns_xor() {
         let d = xor(400, 1);
-        let mut m = Mlp::new(MlpConfig { hidden: 16, epochs: 200, lr: 0.1, ..Default::default() });
+        let mut m = Mlp::new(MlpConfig {
+            hidden: 16,
+            epochs: 200,
+            lr: 0.1,
+            ..Default::default()
+        });
         m.fit(&d);
         let correct = m
             .predict_all(&d.features)
@@ -235,7 +256,11 @@ mod tests {
     fn deterministic() {
         let d = xor(100, 3);
         let run = || {
-            let mut m = Mlp::new(MlpConfig { seed: 9, epochs: 20, ..Default::default() });
+            let mut m = Mlp::new(MlpConfig {
+                seed: 9,
+                epochs: 20,
+                ..Default::default()
+            });
             m.fit(&d);
             m.predict_all(&d.features)
         };
@@ -253,7 +278,10 @@ mod tests {
     #[test]
     fn short_query_vector_safe() {
         let d = xor(50, 4);
-        let mut m = Mlp::new(MlpConfig { epochs: 5, ..Default::default() });
+        let mut m = Mlp::new(MlpConfig {
+            epochs: 5,
+            ..Default::default()
+        });
         m.fit(&d);
         let _ = m.predict(&[]);
     }

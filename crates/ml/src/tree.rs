@@ -64,7 +64,12 @@ impl DecisionTree {
     /// Creates an unfitted tree.
     #[must_use]
     pub fn new(config: TreeConfig) -> Self {
-        DecisionTree { config, root: None, num_classes: 0, importance: Vec::new() }
+        DecisionTree {
+            config,
+            root: None,
+            num_classes: 0,
+            importance: Vec::new(),
+        }
     }
 
     /// Impurity-based feature importances (unnormalized), one per feature.
@@ -120,7 +125,9 @@ impl DecisionTree {
             || idx.len() < self.config.min_samples_split
             || node_gini == 0.0
         {
-            return Node::Leaf { class: Self::majority(&counts) };
+            return Node::Leaf {
+                class: Self::majority(&counts),
+            };
         }
         let dim = data.dim();
         let n_features = if self.config.max_features == 0 {
@@ -176,7 +183,9 @@ impl DecisionTree {
             }
         }
         let Some((gain, feature, threshold)) = best else {
-            return Node::Leaf { class: Self::majority(&counts) };
+            return Node::Leaf {
+                class: Self::majority(&counts),
+            };
         };
         if feature < importance.len() && total_n > 0.0 {
             importance[feature] += gain * idx.len() as f64 / total_n;
@@ -186,7 +195,12 @@ impl DecisionTree {
             .partition(|&&i| data.features[i][feature] <= threshold);
         let left = self.build(data, &left_idx, depth + 1, rng, importance, total_n);
         let right = self.build(data, &right_idx, depth + 1, rng, importance, total_n);
-        Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 }
 
@@ -210,7 +224,12 @@ impl Classifier for DecisionTree {
         loop {
             match node {
                 Node::Leaf { class } => return *class,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     node = if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
                         left
                     } else {
@@ -234,10 +253,7 @@ mod tests {
             let y = i % 2;
             let cx = if y == 0 { -2.0 } else { 2.0 };
             d.push(
-                vec![
-                    cx + rng.gen_range(-0.8..0.8),
-                    rng.gen_range(-1.0..1.0f32),
-                ],
+                vec![cx + rng.gen_range(-0.8..0.8), rng.gen_range(-1.0..1.0f32)],
                 y,
             );
         }
@@ -247,14 +263,13 @@ mod tests {
     #[test]
     fn separable_data_learned() {
         let d = blobs(200, 1);
-        let mut t = DecisionTree::new(TreeConfig { max_features: 2, ..Default::default() });
+        let mut t = DecisionTree::new(TreeConfig {
+            max_features: 2,
+            ..Default::default()
+        });
         t.fit(&d);
         let preds = t.predict_all(&d.features);
-        let correct = preds
-            .iter()
-            .zip(&d.labels)
-            .filter(|(p, y)| p == y)
-            .count();
+        let correct = preds.iter().zip(&d.labels).filter(|(p, y)| p == y).count();
         assert!(correct >= 195, "{correct}/200");
     }
 
@@ -282,7 +297,10 @@ mod tests {
     fn deterministic() {
         let d = blobs(100, 2);
         let mk = || {
-            let mut t = DecisionTree::new(TreeConfig { seed: 5, ..Default::default() });
+            let mut t = DecisionTree::new(TreeConfig {
+                seed: 5,
+                ..Default::default()
+            });
             t.fit(&d);
             t.predict_all(&d.features)
         };
@@ -293,7 +311,10 @@ mod tests {
     fn depth_limit_respected() {
         // max_depth 0 ⇒ a single leaf (majority class).
         let d = blobs(100, 3);
-        let mut t = DecisionTree::new(TreeConfig { max_depth: 0, ..Default::default() });
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        });
         t.fit(&d);
         let p0 = t.predict(&[-2.0, 0.0]);
         let p1 = t.predict(&[2.0, 0.0]);

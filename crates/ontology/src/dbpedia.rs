@@ -14,7 +14,14 @@ pub const DBPEDIA_TYPE_COUNT: usize = 2831;
 pub fn dbpedia() -> Ontology {
     let mut b = OntologyBuilder::new(OntologyKind::DBpedia);
     for ty in DBPEDIA_CORE {
-        b.add(ty.label, ty.atomic, ty.domains, ty.superclass, ty.description, ty.pii);
+        b.add(
+            ty.label,
+            ty.atomic,
+            ty.domains,
+            ty.superclass,
+            ty.description,
+            ty.pii,
+        );
     }
     // Ensure every compound suffix base exists so superproperty links resolve.
     for (suffix, atomic) in COMPOUND_SUFFIXES {
@@ -29,7 +36,14 @@ pub fn dbpedia() -> Ontology {
             let label = format!("{prefix} {suffix}");
             let description =
                 format!("The {suffix} of the {prefix}; specializes the generic {suffix} property.");
-            b.add(&label, *atomic, &[domain], Some(suffix), &description, false);
+            b.add(
+                &label,
+                *atomic,
+                &[domain],
+                Some(suffix),
+                &description,
+                false,
+            );
         }
     }
     debug_assert_eq!(b.len(), DBPEDIA_TYPE_COUNT);
@@ -84,6 +98,9 @@ mod tests {
         let o = dbpedia();
         let dist = o.domain_distribution();
         let top: Vec<&str> = dist.iter().take(6).map(|(d, _)| d.as_str()).collect();
-        assert!(top.contains(&"Person") || top.contains(&"Place"), "top domains: {top:?}");
+        assert!(
+            top.contains(&"Person") || top.contains(&"Place"),
+            "top domains: {top:?}"
+        );
     }
 }

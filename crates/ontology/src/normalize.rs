@@ -73,7 +73,10 @@ mod tests {
     fn camel_case_split() {
         assert_eq!(normalize_label("orderDate"), "order date");
         assert_eq!(normalize_label("OrderDate"), "order date");
-        assert_eq!(normalize_label("orderTrackingNumber"), "order tracking number");
+        assert_eq!(
+            normalize_label("orderTrackingNumber"),
+            "order tracking number"
+        );
     }
 
     #[test]

@@ -54,7 +54,11 @@ impl OntologyBuilder {
     /// Starts a builder for `kind`.
     #[must_use]
     pub fn new(kind: OntologyKind) -> Self {
-        OntologyBuilder { kind, types: Vec::new(), index: HashMap::new() }
+        OntologyBuilder {
+            kind,
+            types: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
     /// Adds a type if its normalized label is new; returns its id (existing id
@@ -102,7 +106,11 @@ impl OntologyBuilder {
     /// Finalizes into an [`Ontology`].
     #[must_use]
     pub fn build(self) -> Ontology {
-        Ontology { kind: self.kind, types: self.types, index: self.index }
+        Ontology {
+            kind: self.kind,
+            types: self.types,
+            index: self.index,
+        }
     }
 }
 
@@ -154,7 +162,9 @@ impl Ontology {
         for _ in 0..16 {
             let Some(t) = current else { break };
             let Some(sup) = &t.superclass else { break };
-            let Some(parent) = self.lookup(sup) else { break };
+            let Some(parent) = self.lookup(sup) else {
+                break;
+            };
             if out.iter().any(|p: &&SemanticType| p.id == parent.id) || parent.id == id {
                 break; // cycle
             }
@@ -197,8 +207,10 @@ impl Ontology {
                 *counts.entry(d.as_str()).or_default() += 1;
             }
         }
-        let mut out: Vec<(String, usize)> =
-            counts.into_iter().map(|(d, c)| (d.to_string(), c)).collect();
+        let mut out: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(d, c)| (d.to_string(), c))
+            .collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -210,9 +222,30 @@ mod tests {
 
     fn small() -> Ontology {
         let mut b = OntologyBuilder::new(OntologyKind::DBpedia);
-        b.add("id", AtomicKind::Identifier, &["Thing"], None, "any identifier", false);
-        b.add("product_id", AtomicKind::Identifier, &["Product"], Some("id"), "", false);
-        b.add("order id", AtomicKind::Identifier, &["Order"], Some("id"), "", false);
+        b.add(
+            "id",
+            AtomicKind::Identifier,
+            &["Thing"],
+            None,
+            "any identifier",
+            false,
+        );
+        b.add(
+            "product_id",
+            AtomicKind::Identifier,
+            &["Product"],
+            Some("id"),
+            "",
+            false,
+        );
+        b.add(
+            "order id",
+            AtomicKind::Identifier,
+            &["Order"],
+            Some("id"),
+            "",
+            false,
+        );
         b.add("email", AtomicKind::Text, &["Person"], None, "", true);
         b.build()
     }

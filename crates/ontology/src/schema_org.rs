@@ -17,7 +17,14 @@ pub const SCHEMA_ORG_TYPE_COUNT: usize = 2637;
 pub fn schema_org() -> Ontology {
     let mut b = OntologyBuilder::new(OntologyKind::SchemaOrg);
     for ty in SCHEMA_ORG_CORE {
-        b.add(ty.label, ty.atomic, ty.domains, ty.superclass, ty.description, ty.pii);
+        b.add(
+            ty.label,
+            ty.atomic,
+            ty.domains,
+            ty.superclass,
+            ty.description,
+            ty.pii,
+        );
     }
     for (suffix, atomic) in COMPOUND_SUFFIXES {
         b.add(suffix, *atomic, &["Thing"], None, "", false);
@@ -30,7 +37,14 @@ pub fn schema_org() -> Ontology {
             let label = format!("{prefix} {suffix}");
             let description =
                 format!("The {suffix} of the {prefix}; specializes the generic {suffix} property.");
-            b.add(&label, *atomic, &[domain], Some(suffix), &description, false);
+            b.add(
+                &label,
+                *atomic,
+                &[domain],
+                Some(suffix),
+                &description,
+                false,
+            );
         }
     }
     debug_assert_eq!(b.len(), SCHEMA_ORG_TYPE_COUNT);
@@ -80,7 +94,12 @@ mod tests {
     #[test]
     fn order_properties_present() {
         let o = schema_org();
-        for l in ["order number", "order date", "total price", "tracking number"] {
+        for l in [
+            "order number",
+            "order date",
+            "total price",
+            "tracking number",
+        ] {
             assert!(o.lookup(l).is_some(), "missing {l}");
         }
     }

@@ -199,8 +199,7 @@ mod tests {
         let t = table(1);
         let mut rng = StdRng::seed_from_u64(2);
         let csv = render_csv(&mut rng, &t, &MessModel::clean());
-        let parsed =
-            gittables_tablecsv::read_csv(&csv, &Default::default()).expect("parse back");
+        let parsed = gittables_tablecsv::read_csv(&csv, &Default::default()).expect("parse back");
         assert_eq!(parsed.header, t.header);
         assert_eq!(parsed.records.len(), t.rows.len());
         assert_eq!(parsed.bad_lines, 0);
@@ -227,7 +226,10 @@ mod tests {
     #[test]
     fn garbage_mode_produces_noise() {
         let t = table(5);
-        let model = MessModel { garbage_prob: 1.0, ..MessModel::default() };
+        let model = MessModel {
+            garbage_prob: 1.0,
+            ..MessModel::default()
+        };
         let mut rng = StdRng::seed_from_u64(6);
         let csv = render_csv(&mut rng, &t, &model);
         assert!(!csv.contains(&t.header.join(",")));
@@ -236,7 +238,10 @@ mod tests {
     #[test]
     fn preamble_emitted() {
         let t = table(7);
-        let model = MessModel { preamble_prob: 1.0, ..MessModel::clean() };
+        let model = MessModel {
+            preamble_prob: 1.0,
+            ..MessModel::clean()
+        };
         let mut rng = StdRng::seed_from_u64(8);
         let csv = render_csv(&mut rng, &t, &model);
         assert!(csv.starts_with('#') || csv.starts_with('\n'));

@@ -23,8 +23,14 @@ use crate::wordnet::Topic;
 
 /// Licenses allowing content redistribution (counted as "permissive").
 pub const PERMISSIVE_LICENSES: &[&str] = &[
-    "mit", "apache-2.0", "bsd-3-clause", "bsd-2-clause", "cc0-1.0", "unlicense",
-    "cc-by-4.0", "mpl-2.0",
+    "mit",
+    "apache-2.0",
+    "bsd-3-clause",
+    "bsd-2-clause",
+    "cc0-1.0",
+    "unlicense",
+    "cc-by-4.0",
+    "mpl-2.0",
 ];
 
 /// Licenses that do not permit redistribution of contents (or no license).
@@ -120,7 +126,11 @@ impl RepoGenerator {
     /// Creates a generator with a custom configuration.
     #[must_use]
     pub fn with_config(seed: u64, config: RepoConfig) -> Self {
-        RepoGenerator { config, sampler: SchemaSampler::default(), seed }
+        RepoGenerator {
+            config,
+            sampler: SchemaSampler::default(),
+            seed,
+        }
     }
 
     /// Generates the `index`-th repository for `topic`. The `(seed, topic,
@@ -198,9 +208,18 @@ impl RepoGenerator {
             }
             let dir = if snapshot { "snapshots" } else { "data" };
             let path = format!("{dir}/{}_{f}.csv", topic.noun.replace(' ', "_"));
-            files.push(SynthFile { path, content, topic: topic.noun.clone() });
+            files.push(SynthFile {
+                path,
+                content,
+                topic: topic.noun.clone(),
+            });
         }
-        RepoSpec { full_name, license, fork, files }
+        RepoSpec {
+            full_name,
+            license,
+            fork,
+            files,
+        }
     }
 }
 
@@ -210,7 +229,10 @@ mod tests {
     use crate::schema::Domain;
 
     fn topic() -> Topic {
-        Topic { noun: "order".into(), domain: Domain::Business }
+        Topic {
+            noun: "order".into(),
+            domain: Domain::Business,
+        }
     }
 
     #[test]
@@ -236,7 +258,9 @@ mod tests {
         let g = RepoGenerator::new(13);
         let t = topic();
         let n = 1000;
-        let permissive = (0..n).filter(|&i| g.generate(&t, i).is_permissive()).count();
+        let permissive = (0..n)
+            .filter(|&i| g.generate(&t, i).is_permissive())
+            .count();
         let rate = permissive as f64 / n as f64;
         assert!((0.10..0.24).contains(&rate), "rate {rate}");
     }
@@ -254,7 +278,10 @@ mod tests {
 
     #[test]
     fn snapshot_repos_share_schema() {
-        let cfg = RepoConfig { snapshot_prob: 1.0, ..Default::default() };
+        let cfg = RepoConfig {
+            snapshot_prob: 1.0,
+            ..Default::default()
+        };
         let g = RepoGenerator::with_config(19, cfg);
         let r = g.generate(&topic(), 0);
         assert!(r.files.len() >= 30);
@@ -280,7 +307,10 @@ mod tests {
 
     #[test]
     fn ordinary_repos_small() {
-        let cfg = RepoConfig { snapshot_prob: 0.0, ..Default::default() };
+        let cfg = RepoConfig {
+            snapshot_prob: 0.0,
+            ..Default::default()
+        };
         let g = RepoGenerator::with_config(23, cfg);
         for i in 0..50 {
             let r = g.generate(&topic(), i);

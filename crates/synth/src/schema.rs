@@ -450,13 +450,11 @@ impl Default for SamplerConfig {
 }
 
 /// Samples [`SchemaPlan`]s for a topic.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SchemaSampler {
     /// Sampler configuration.
     pub config: SamplerConfig,
 }
-
 
 /// One standard-normal draw (Box–Muller).
 fn normal<R: Rng>(rng: &mut R) -> f64 {
@@ -519,7 +517,13 @@ impl SchemaSampler {
             // even for string-heavy domains.
             let weights: Vec<f64> = free
                 .iter()
-                .map(|&i| if pool[i].1.is_numeric() { cfg.numeric_bias } else { 1.0 })
+                .map(|&i| {
+                    if pool[i].1.is_numeric() {
+                        cfg.numeric_bias
+                    } else {
+                        1.0
+                    }
+                })
                 .collect();
             let total: f64 = weights.iter().sum();
             let mut pick = rng.gen_range(0.0..total);
@@ -557,7 +561,12 @@ impl SchemaSampler {
             columns[i].kind = ValueKind::Word;
         }
 
-        SchemaPlan { topic: topic.to_string(), domain, rows, columns }
+        SchemaPlan {
+            topic: topic.to_string(),
+            domain,
+            rows,
+            columns,
+        }
     }
 
     fn make_column<R: Rng>(
@@ -588,7 +597,11 @@ impl SchemaSampler {
         } else {
             base.to_string()
         };
-        ColumnSpec { name: style_header(&base, style), kind, missing_prob }
+        ColumnSpec {
+            name: style_header(&base, style),
+            kind,
+            missing_prob,
+        }
     }
 }
 
@@ -596,8 +609,8 @@ impl SchemaSampler {
 /// their canonical spelling most of the time (driving `id`'s dominance in
 /// the paper's Fig. 5).
 const CANONICAL_HEADERS: &[&str] = &[
-    "id", "name", "date", "type", "status", "year", "time", "code", "value",
-    "count", "total", "state", "title", "url", "key", "label",
+    "id", "name", "date", "type", "status", "year", "time", "code", "value", "count", "total",
+    "state", "title", "url", "key", "label",
 ];
 
 /// Common abbreviations seen in real database headers.
@@ -655,7 +668,11 @@ fn mutate_header_inner<R: Rng>(rng: &mut R, base: &str) -> String {
         // Project-specific jargon prefix ("nightly score") — out of any
         // ontology's vocabulary syntactically; the semantic method can still
         // anchor on the base word.
-        4 => format!("{} {}", uniform(rng, WORDS), words.last().unwrap_or(&"field")),
+        4 => format!(
+            "{} {}",
+            uniform(rng, WORDS),
+            words.last().unwrap_or(&"field")
+        ),
         // Fully opaque project jargon ("shard buffer") — matches nothing;
         // these columns stay unannotated under both methods, as a large
         // share of real GitHub columns do.
@@ -809,7 +826,10 @@ mod tests {
 
     #[test]
     fn social_column_injection() {
-        let cfg = SamplerConfig { social_prob: 1.0, ..Default::default() };
+        let cfg = SamplerConfig {
+            social_prob: 1.0,
+            ..Default::default()
+        };
         let s = SchemaSampler::new(cfg);
         let mut rng = StdRng::seed_from_u64(5);
         let p = s.sample(&mut rng, "x", Domain::Media);

@@ -58,9 +58,19 @@ const TEMPLATES: &[(&str, &str, GoldKind, ValueKind)] = &[
     ("city", "city", GoldKind::Exact, ValueKind::City),
     ("City", "location", GoldKind::LessGranular, ValueKind::City),
     ("country", "country", GoldKind::Exact, ValueKind::Country),
-    ("Country", "location", GoldKind::LessGranular, ValueKind::Country),
+    (
+        "Country",
+        "location",
+        GoldKind::LessGranular,
+        ValueKind::Country,
+    ),
     ("name", "name", GoldKind::Exact, ValueKind::FullName),
-    ("Latin name", "latin name", GoldKind::Paraphrase, ValueKind::Species),
+    (
+        "Latin name",
+        "latin name",
+        GoldKind::Paraphrase,
+        ValueKind::Species,
+    ),
     ("species", "species", GoldKind::Exact, ValueKind::Species),
     ("birth date", "birth date", GoldKind::Exact, ValueKind::Date),
     ("Born", "birth date", GoldKind::Paraphrase, ValueKind::Date),
@@ -74,31 +84,91 @@ const TEMPLATES: &[(&str, &str, GoldKind, ValueKind)] = &[
     ("Squad", "team", GoldKind::Paraphrase, ValueKind::Word),
     ("capital", "capital", GoldKind::Exact, ValueKind::City),
     ("Capital", "city", GoldKind::LessGranular, ValueKind::City),
-    ("population", "population", GoldKind::Exact, ValueKind::Count),
+    (
+        "population",
+        "population",
+        GoldKind::Exact,
+        ValueKind::Count,
+    ),
     ("area", "area", GoldKind::Exact, ValueKind::Measurement),
-    ("elevation", "elevation", GoldKind::Exact, ValueKind::Measurement),
+    (
+        "elevation",
+        "elevation",
+        GoldKind::Exact,
+        ValueKind::Measurement,
+    ),
     ("address", "address", GoldKind::Exact, ValueKind::Address),
-    ("Location", "address", GoldKind::LessGranular, ValueKind::Address),
+    (
+        "Location",
+        "address",
+        GoldKind::LessGranular,
+        ValueKind::Address,
+    ),
     ("genre", "genre", GoldKind::Exact, ValueKind::Category),
     ("Kind", "genre", GoldKind::Paraphrase, ValueKind::Category),
     ("status", "status", GoldKind::Exact, ValueKind::Status),
     ("date", "date", GoldKind::Exact, ValueKind::Date),
     ("author", "author", GoldKind::Exact, ValueKind::FullName),
-    ("Writer", "author", GoldKind::Paraphrase, ValueKind::FullName),
+    (
+        "Writer",
+        "author",
+        GoldKind::Paraphrase,
+        ValueKind::FullName,
+    ),
     // Hard cases modelled on real T2Dv2 columns whose human labels use a
     // vocabulary far from the header.
-    ("Nation", "country", GoldKind::Paraphrase, ValueKind::Country),
+    (
+        "Nation",
+        "country",
+        GoldKind::Paraphrase,
+        ValueKind::Country,
+    ),
     ("Town", "city", GoldKind::Paraphrase, ValueKind::City),
-    ("Municipality", "location", GoldKind::LessGranular, ValueKind::City),
-    ("Inhabitants", "population", GoldKind::Paraphrase, ValueKind::Count),
-    ("Surface", "area", GoldKind::Paraphrase, ValueKind::Measurement),
-    ("Height", "elevation", GoldKind::Paraphrase, ValueKind::Measurement),
+    (
+        "Municipality",
+        "location",
+        GoldKind::LessGranular,
+        ValueKind::City,
+    ),
+    (
+        "Inhabitants",
+        "population",
+        GoldKind::Paraphrase,
+        ValueKind::Count,
+    ),
+    (
+        "Surface",
+        "area",
+        GoldKind::Paraphrase,
+        ValueKind::Measurement,
+    ),
+    (
+        "Height",
+        "elevation",
+        GoldKind::Paraphrase,
+        ValueKind::Measurement,
+    ),
     ("Club", "team", GoldKind::Paraphrase, ValueKind::Word),
-    ("Label", "publisher", GoldKind::Paraphrase, ValueKind::LastName),
+    (
+        "Label",
+        "publisher",
+        GoldKind::Paraphrase,
+        ValueKind::LastName,
+    ),
     ("Born", "birth place", GoldKind::Paraphrase, ValueKind::City),
     ("Period", "year", GoldKind::LessGranular, ValueKind::Year),
-    ("Established", "founding date", GoldKind::Paraphrase, ValueKind::Year),
-    ("Headquarters", "location", GoldKind::Paraphrase, ValueKind::City),
+    (
+        "Established",
+        "founding date",
+        GoldKind::Paraphrase,
+        ValueKind::Year,
+    ),
+    (
+        "Headquarters",
+        "location",
+        GoldKind::Paraphrase,
+        ValueKind::City,
+    ),
 ];
 
 /// Generates a T2Dv2-style benchmark of `n_tables` tables with `rows` rows.
@@ -119,7 +189,10 @@ pub fn generate_benchmark(seed: u64, n_tables: usize, rows: usize) -> Vec<GoldTa
                 kind,
             });
         }
-        out.push(GoldTable { name: format!("t2d_{t}"), columns: cols });
+        out.push(GoldTable {
+            name: format!("t2d_{t}"),
+            columns: cols,
+        });
     }
     out
 }

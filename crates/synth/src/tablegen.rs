@@ -71,7 +71,11 @@ pub fn generate_table<R: Rng>(rng: &mut R, plan: &SchemaPlan) -> GeneratedTable 
         }
         rows.push(row);
     }
-    GeneratedTable { header, rows, plan: plan.clone() }
+    GeneratedTable {
+        header,
+        rows,
+        plan: plan.clone(),
+    }
 }
 
 #[cfg(test)]

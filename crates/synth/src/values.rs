@@ -11,29 +11,142 @@ use serde::{Deserialize, Serialize};
 
 /// First names used for person-name generation.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
-    "Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
-    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Daniel",
-    "Nancy", "Matthew", "Lisa", "Anthony", "Betty", "Mark", "Margaret",
-    "Paul", "Sandra", "Steven", "Ashley", "Andrew", "Kimberly", "Kenneth",
-    "Emily", "George", "Donna", "Joshua", "Michelle", "Kevin", "Carol",
-    "Brian", "Amanda", "Edward", "Melissa", "Ronald", "Deborah", "Timothy",
-    "Stephanie", "Jason", "Rebecca", "Jeffrey", "Laura", "Ryan", "Sharon",
-    "Jacob", "Cynthia", "Gary", "Kathleen", "Nicholas", "Amy", "Eric",
-    "Angela", "Stephen", "Anna", "Jonathan", "Ruth", "Larry", "Brenda",
+    "James",
+    "Mary",
+    "John",
+    "Patricia",
+    "Robert",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "William",
+    "Elizabeth",
+    "David",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Daniel",
+    "Nancy",
+    "Matthew",
+    "Lisa",
+    "Anthony",
+    "Betty",
+    "Mark",
+    "Margaret",
+    "Paul",
+    "Sandra",
+    "Steven",
+    "Ashley",
+    "Andrew",
+    "Kimberly",
+    "Kenneth",
+    "Emily",
+    "George",
+    "Donna",
+    "Joshua",
+    "Michelle",
+    "Kevin",
+    "Carol",
+    "Brian",
+    "Amanda",
+    "Edward",
+    "Melissa",
+    "Ronald",
+    "Deborah",
+    "Timothy",
+    "Stephanie",
+    "Jason",
+    "Rebecca",
+    "Jeffrey",
+    "Laura",
+    "Ryan",
+    "Sharon",
+    "Jacob",
+    "Cynthia",
+    "Gary",
+    "Kathleen",
+    "Nicholas",
+    "Amy",
+    "Eric",
+    "Angela",
+    "Stephen",
+    "Anna",
+    "Jonathan",
+    "Ruth",
+    "Larry",
+    "Brenda",
 ];
 
 /// Last names used for person-name generation.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
-    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
-    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
-    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
-    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
-    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
-    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
-    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
-    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
+    "Gomez",
+    "Phillips",
+    "Evans",
+    "Turner",
+    "Diaz",
+    "Parker",
+    "Cruz",
+    "Edwards",
+    "Collins",
+    "Reyes",
+    "Stewart",
+    "Morris",
 ];
 
 /// Countries, weighted toward Western/English-speaking per Table 6.
@@ -161,66 +274,118 @@ pub const NATIONALITIES: &[(&str, u32)] = &[
 
 /// Latin binomial species names (Fig. 2's biological tables).
 pub const SPECIES: &[&str] = &[
-    "Enterococcus faecium", "Escherichia coli", "Staphylococcus aureus",
-    "Klebsiella pneumoniae", "Pseudomonas aeruginosa", "Streptococcus pyogenes",
-    "Bacillus subtilis", "Salmonella enterica", "Listeria monocytogenes",
-    "Clostridium difficile", "Homo sapiens", "Mus musculus",
-    "Drosophila melanogaster", "Arabidopsis thaliana", "Danio rerio",
-    "Saccharomyces cerevisiae", "Caenorhabditis elegans", "Rattus norvegicus",
-    "Gallus gallus", "Canis lupus", "Felis catus", "Panthera leo",
-    "Ursus arctos", "Aquila chrysaetos", "Passer domesticus",
-    "Turdus merula", "Parus major", "Corvus corax", "Larus argentatus",
-    "Quercus robur", "Pinus sylvestris", "Betula pendula",
+    "Enterococcus faecium",
+    "Escherichia coli",
+    "Staphylococcus aureus",
+    "Klebsiella pneumoniae",
+    "Pseudomonas aeruginosa",
+    "Streptococcus pyogenes",
+    "Bacillus subtilis",
+    "Salmonella enterica",
+    "Listeria monocytogenes",
+    "Clostridium difficile",
+    "Homo sapiens",
+    "Mus musculus",
+    "Drosophila melanogaster",
+    "Arabidopsis thaliana",
+    "Danio rerio",
+    "Saccharomyces cerevisiae",
+    "Caenorhabditis elegans",
+    "Rattus norvegicus",
+    "Gallus gallus",
+    "Canis lupus",
+    "Felis catus",
+    "Panthera leo",
+    "Ursus arctos",
+    "Aquila chrysaetos",
+    "Passer domesticus",
+    "Turdus merula",
+    "Parus major",
+    "Corvus corax",
+    "Larus argentatus",
+    "Quercus robur",
+    "Pinus sylvestris",
+    "Betula pendula",
 ];
 
 /// Organism group labels (Fig. 2's "Organism Group" column).
 pub const ORGANISM_GROUPS: &[&str] = &[
-    "Enterococcus spp", "Escherichia spp", "Staphylococcus spp",
-    "Klebsiella spp", "Pseudomonas spp", "Streptococcus spp", "Bacillus spp",
-    "Salmonella spp", "Mammalia", "Aves", "Insecta", "Plantae", "Fungi",
+    "Enterococcus spp",
+    "Escherichia spp",
+    "Staphylococcus spp",
+    "Klebsiella spp",
+    "Pseudomonas spp",
+    "Streptococcus spp",
+    "Bacillus spp",
+    "Salmonella spp",
+    "Mammalia",
+    "Aves",
+    "Insecta",
+    "Plantae",
+    "Fungi",
 ];
 
 /// Status tokens (Fig. 6b's `AVAILABLE` style).
 pub const STATUSES: &[&str] = &[
-    "AVAILABLE", "SOLD", "PENDING", "SHIPPED", "DELIVERED", "CANCELLED",
-    "ACTIVE", "INACTIVE", "OPEN", "CLOSED", "NEW", "DONE", "FAILED",
-    "PASSED", "RUNNING", "QUEUED",
+    "AVAILABLE",
+    "SOLD",
+    "PENDING",
+    "SHIPPED",
+    "DELIVERED",
+    "CANCELLED",
+    "ACTIVE",
+    "INACTIVE",
+    "OPEN",
+    "CLOSED",
+    "NEW",
+    "DONE",
+    "FAILED",
+    "PASSED",
+    "RUNNING",
+    "QUEUED",
 ];
 
 /// Category labels.
 pub const CATEGORIES: &[&str] = &[
-    "electronics", "clothing", "food", "books", "tools", "sports", "toys",
-    "garden", "health", "beauty", "music", "office", "automotive", "pets",
+    "electronics",
+    "clothing",
+    "food",
+    "books",
+    "tools",
+    "sports",
+    "toys",
+    "garden",
+    "health",
+    "beauty",
+    "music",
+    "office",
+    "automotive",
+    "pets",
 ];
 
 /// Product-ish nouns.
 pub const PRODUCTS: &[&str] = &[
-    "widget", "gadget", "bracket", "module", "panel", "cable", "sensor",
-    "adapter", "battery", "charger", "casing", "filter", "valve", "gear",
-    "lens", "frame", "switch", "router", "monitor", "keyboard",
+    "widget", "gadget", "bracket", "module", "panel", "cable", "sensor", "adapter", "battery",
+    "charger", "casing", "filter", "valve", "gear", "lens", "frame", "switch", "router", "monitor",
+    "keyboard",
 ];
 
 /// Generic English words for free-text cells.
 pub const WORDS: &[&str] = &[
-    "alpha", "vector", "signal", "matrix", "report", "summary", "draft",
-    "final", "review", "update", "backup", "primary", "legacy", "nightly",
-    "stable", "branch", "merge", "deploy", "config", "default", "custom",
-    "sample", "series", "cluster", "window", "buffer", "stream", "batch",
-    "shard", "cache", "replica", "metric", "trace", "audit", "policy",
+    "alpha", "vector", "signal", "matrix", "report", "summary", "draft", "final", "review",
+    "update", "backup", "primary", "legacy", "nightly", "stable", "branch", "merge", "deploy",
+    "config", "default", "custom", "sample", "series", "cluster", "window", "buffer", "stream",
+    "batch", "shard", "cache", "replica", "metric", "trace", "audit", "policy",
 ];
 
 /// Age-group buckets (Fig. 2's "Age Group" column).
-pub const AGE_GROUPS: &[&str] = &[
-    "0 to 18 Years", "19 to 64 Years", "65+ Years", "Unknown",
-];
+pub const AGE_GROUPS: &[&str] = &["0 to 18 Years", "19 to 64 Years", "65+ Years", "Unknown"];
 
 /// Street suffixes for address generation.
 const STREET_SUFFIXES: &[&str] = &["St", "Ave", "Blvd", "Rd", "Ln", "Dr", "Way", "Ct"];
 
 /// Email domains.
-const EMAIL_DOMAINS: &[&str] = &[
-    "example.com", "mail.com", "test.org", "corp.net", "uni.edu",
-];
+const EMAIL_DOMAINS: &[&str] = &["example.com", "mail.com", "test.org", "corp.net", "uni.edu"];
 
 /// Picks from a weighted list.
 pub fn weighted<'a, R: Rng>(rng: &mut R, items: &[(&'a str, u32)]) -> &'a str {
@@ -327,11 +492,9 @@ impl ValueKind {
         match self {
             ValueKind::SequentialId => (row + 1).to_string(),
             ValueKind::RandomId => rng.gen_range(1_000..10_000_000u64).to_string(),
-            ValueKind::FullName => format!(
-                "{} {}",
-                uniform(rng, FIRST_NAMES),
-                uniform(rng, LAST_NAMES)
-            ),
+            ValueKind::FullName => {
+                format!("{} {}", uniform(rng, FIRST_NAMES), uniform(rng, LAST_NAMES))
+            }
             ValueKind::FirstName => uniform(rng, FIRST_NAMES).to_string(),
             ValueKind::LastName => uniform(rng, LAST_NAMES).to_string(),
             ValueKind::Email => {

@@ -123,10 +123,8 @@ mod tests {
     fn dimensions_are_web_like() {
         let g = WebTableGenerator::new(1);
         let tables = g.generate_many(500);
-        let mean_rows: f64 =
-            tables.iter().map(|t| t.rows.len()).sum::<usize>() as f64 / 500.0;
-        let mean_cols: f64 =
-            tables.iter().map(|t| t.header.len()).sum::<usize>() as f64 / 500.0;
+        let mean_rows: f64 = tables.iter().map(|t| t.rows.len()).sum::<usize>() as f64 / 500.0;
+        let mean_cols: f64 = tables.iter().map(|t| t.header.len()).sum::<usize>() as f64 / 500.0;
         assert!((8.0..22.0).contains(&mean_rows), "rows {mean_rows}");
         assert!((2.0..6.0).contains(&mean_cols), "cols {mean_cols}");
     }

@@ -168,16 +168,33 @@ pub const NOUN_CORE: &[(&str, Domain)] = &[
 /// Adjective-like modifiers used to expand the core into compound topics,
 /// mimicking WordNet's compound noun entries.
 const MODIFIERS: &[&str] = &[
-    "daily", "weekly", "monthly", "annual", "global", "local", "regional",
-    "national", "public", "private", "primary", "secondary", "final", "raw",
-    "clean", "historical", "current", "active", "archived", "combined",
+    "daily",
+    "weekly",
+    "monthly",
+    "annual",
+    "global",
+    "local",
+    "regional",
+    "national",
+    "public",
+    "private",
+    "primary",
+    "secondary",
+    "final",
+    "raw",
+    "clean",
+    "historical",
+    "current",
+    "active",
+    "archived",
+    "combined",
 ];
 
 /// Topics that would retrieve offensive or out-of-scope content; excluded per
 /// §3.1's "WordNet effect" mitigation.
 pub const EXCLUDED_TOPICS: &[&str] = &[
-    "killing", "murder", "weapon", "slur", "assault", "abuse", "torture",
-    "massacre", "genocide", "suicide",
+    "killing", "murder", "weapon", "slur", "assault", "abuse", "torture", "massacre", "genocide",
+    "suicide",
 ];
 
 /// Whether a topic noun is excluded.
@@ -195,14 +212,20 @@ pub fn topics() -> Vec<Topic> {
     let mut out = Vec::with_capacity(NOUN_CORE.len() * (1 + MODIFIERS.len()));
     for (noun, domain) in NOUN_CORE {
         if !is_excluded(noun) {
-            out.push(Topic { noun: (*noun).to_string(), domain: *domain });
+            out.push(Topic {
+                noun: (*noun).to_string(),
+                domain: *domain,
+            });
         }
     }
     for (noun, domain) in NOUN_CORE {
         for m in MODIFIERS {
             let compound = format!("{m} {noun}");
             if !is_excluded(&compound) {
-                out.push(Topic { noun: compound, domain: *domain });
+                out.push(Topic {
+                    noun: compound,
+                    domain: *domain,
+                });
             }
         }
     }

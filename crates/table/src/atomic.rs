@@ -180,11 +180,11 @@ fn is_time(t: &str) -> bool {
         return false;
     }
     let ok_num = |x: &str, max: u32| {
-        x.len() == 2 && x.bytes().all(|b| b.is_ascii_digit()) && x.parse::<u32>().unwrap_or(99) <= max
+        x.len() == 2
+            && x.bytes().all(|b| b.is_ascii_digit())
+            && x.parse::<u32>().unwrap_or(99) <= max
     };
-    ok_num(h, 23)
-        && ok_num(m, 59)
-        && s.is_none_or(|s| ok_num(s.trim_end_matches('Z'), 59))
+    ok_num(h, 23) && ok_num(m, 59) && s.is_none_or(|s| ok_num(s.trim_end_matches('Z'), 59))
 }
 
 /// Infers the [`AtomicType`] of a single cell value.

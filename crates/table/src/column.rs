@@ -19,7 +19,11 @@ impl Column {
     #[must_use]
     pub fn new(name: impl Into<String>, values: Vec<String>) -> Self {
         let atomic = infer_column_type(&values);
-        Column { name: name.into(), values, atomic }
+        Column {
+            name: name.into(),
+            values,
+            atomic,
+        }
     }
 
     /// Creates a column from string slices.

@@ -32,13 +32,21 @@ pub enum TableError {
 impl fmt::Display for TableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TableError::RaggedRow { row, found, expected } => write!(
+            TableError::RaggedRow {
+                row,
+                found,
+                expected,
+            } => write!(
                 f,
                 "row {row} has {found} values but the header has {expected} columns"
             ),
             TableError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
             TableError::NoColumns => write!(f, "table has no columns"),
-            TableError::ColumnLengthMismatch { column, found, expected } => write!(
+            TableError::ColumnLengthMismatch {
+                column,
+                found,
+                expected,
+            } => write!(
                 f,
                 "column {column:?} has {found} values, expected {expected}"
             ),
@@ -54,9 +62,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = TableError::RaggedRow { row: 3, found: 2, expected: 5 };
+        let e = TableError::RaggedRow {
+            row: 3,
+            found: 2,
+            expected: 5,
+        };
         assert!(e.to_string().contains("row 3"));
         assert!(TableError::NoColumns.to_string().contains("no columns"));
-        assert!(TableError::DuplicateColumn("id".into()).to_string().contains("id"));
+        assert!(TableError::DuplicateColumn("id".into())
+            .to_string()
+            .contains("id"));
     }
 }

@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn prefix_and_suffix() {
         let s = Schema::new(["a", "b", "c", "d"]);
-        assert_eq!(s.prefix(2).attributes(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            s.prefix(2).attributes(),
+            &["a".to_string(), "b".to_string()]
+        );
         assert_eq!(s.suffix(2), &["c".to_string(), "d".to_string()]);
         assert_eq!(s.prefix(10).len(), 4);
         assert!(s.suffix(10).is_empty());

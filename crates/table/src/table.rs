@@ -81,13 +81,16 @@ impl Table {
         let ncols = header.len();
         for (i, r) in rows.iter().enumerate() {
             if r.len() != ncols {
-                return Err(TableError::RaggedRow { row: i, found: r.len(), expected: ncols });
+                return Err(TableError::RaggedRow {
+                    row: i,
+                    found: r.len(),
+                    expected: ncols,
+                });
             }
         }
         // Transpose row-major input into column-major storage.
-        let mut cols: Vec<Vec<String>> = (0..ncols)
-            .map(|_| Vec::with_capacity(rows.len()))
-            .collect();
+        let mut cols: Vec<Vec<String>> =
+            (0..ncols).map(|_| Vec::with_capacity(rows.len())).collect();
         for row in rows {
             for (j, v) in row.into_iter().enumerate() {
                 cols[j].push(v);
@@ -233,7 +236,14 @@ mod tests {
             vec![vec!["1".into(), "2".into()], vec!["3".into()]],
         )
         .unwrap_err();
-        assert_eq!(err, TableError::RaggedRow { row: 1, found: 1, expected: 2 });
+        assert_eq!(
+            err,
+            TableError::RaggedRow {
+                row: 1,
+                found: 1,
+                expected: 2
+            }
+        );
     }
 
     #[test]

@@ -23,7 +23,11 @@ pub struct Dialect {
 
 impl Default for Dialect {
     fn default() -> Self {
-        Dialect { delimiter: b',', quote: b'"', comment: Some(b'#') }
+        Dialect {
+            delimiter: b',',
+            quote: b'"',
+            comment: Some(b'#'),
+        }
     }
 }
 
@@ -31,7 +35,10 @@ impl Dialect {
     /// A dialect with the given delimiter and conventional quote/comment.
     #[must_use]
     pub fn with_delimiter(delimiter: u8) -> Self {
-        Dialect { delimiter, ..Dialect::default() }
+        Dialect {
+            delimiter,
+            ..Dialect::default()
+        }
     }
 
     /// Excel-style semicolon dialect (common in European locales).

@@ -52,7 +52,11 @@ mod tests {
     #[test]
     fn displays() {
         assert!(CsvError::Empty.to_string().contains("empty"));
-        assert!(CsvError::UnterminatedQuote { offset: 10 }.to_string().contains("10"));
-        assert!(CsvError::TooManyBadLines { bad: 5, total: 9 }.to_string().contains("5 of 9"));
+        assert!(CsvError::UnterminatedQuote { offset: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(CsvError::TooManyBadLines { bad: 5, total: 9 }
+            .to_string()
+            .contains("5 of 9"));
     }
 }

@@ -28,13 +28,21 @@ impl<'a> Parser<'a> {
     /// Creates a parser over `input` with the given dialect.
     #[must_use]
     pub fn new(input: &'a str, dialect: Dialect) -> Self {
-        Parser { input: input.as_bytes(), pos: 0, dialect }
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+            dialect,
+        }
     }
 
     /// Creates a parser over raw bytes (invalid UTF-8 is replaced lossily).
     #[must_use]
     pub fn from_bytes(input: &'a [u8], dialect: Dialect) -> Self {
-        Parser { input, pos: 0, dialect }
+        Parser {
+            input,
+            pos: 0,
+            dialect,
+        }
     }
 
     /// Whether the parser has consumed all input.
@@ -244,7 +252,10 @@ mod tests {
 
     #[test]
     fn comment_disabled() {
-        let d = Dialect { comment: None, ..Dialect::default() };
+        let d = Dialect {
+            comment: None,
+            ..Dialect::default()
+        };
         let r = Parser::new("#a,b\n1,2\n", d).records().unwrap();
         assert_eq!(r[0], vec!["#a", "b"]);
     }
@@ -272,7 +283,9 @@ mod tests {
 
     #[test]
     fn tab_dialect() {
-        let r = Parser::new("a\tb\n1\t2\n", Dialect::tsv()).records().unwrap();
+        let r = Parser::new("a\tb\n1\t2\n", Dialect::tsv())
+            .records()
+            .unwrap();
         assert_eq!(r[0], vec!["a", "b"]);
     }
 

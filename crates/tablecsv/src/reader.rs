@@ -158,7 +158,10 @@ pub fn read_csv(input: &str, options: &ReadOptions) -> Result<ParsedCsv, CsvErro
 
     let total = records.len() + bad_lines;
     if total > 0 && bad_lines as f64 / total as f64 > options.max_bad_line_fraction {
-        return Err(CsvError::TooManyBadLines { bad: bad_lines, total });
+        return Err(CsvError::TooManyBadLines {
+            bad: bad_lines,
+            total,
+        });
     }
     if records.is_empty() {
         return Err(CsvError::NoRows);
@@ -225,7 +228,10 @@ mod tests {
         // Header ends with a redundant separator instead.
         let p = read_csv(
             "a,b,\n1,2\n3,4\n",
-            &ReadOptions { dialect: Some(Dialect::default()), ..Default::default() },
+            &ReadOptions {
+                dialect: Some(Dialect::default()),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(p.realigned);
@@ -244,15 +250,27 @@ mod tests {
 
     #[test]
     fn too_many_bad_lines_rejected() {
-        let opts = ReadOptions { dialect: Some(Dialect::default()), ..Default::default() };
+        let opts = ReadOptions {
+            dialect: Some(Dialect::default()),
+            ..Default::default()
+        };
         let err = read_csv("a,b\n1\n2\n3\n1,2\n", &opts).unwrap_err();
-        assert!(matches!(err, CsvError::TooManyBadLines { bad: 3, total: 4 }));
+        assert!(matches!(
+            err,
+            CsvError::TooManyBadLines { bad: 3, total: 4 }
+        ));
     }
 
     #[test]
     fn empty_input_rejected() {
-        assert_eq!(read_csv("", &ReadOptions::default()).unwrap_err(), CsvError::Empty);
-        assert_eq!(read_csv("  \n ", &ReadOptions::default()).unwrap_err(), CsvError::Empty);
+        assert_eq!(
+            read_csv("", &ReadOptions::default()).unwrap_err(),
+            CsvError::Empty
+        );
+        assert_eq!(
+            read_csv("  \n ", &ReadOptions::default()).unwrap_err(),
+            CsvError::Empty
+        );
     }
 
     #[test]
@@ -263,7 +281,10 @@ mod tests {
 
     #[test]
     fn forced_dialect() {
-        let opts = ReadOptions { dialect: Some(Dialect::semicolon()), ..Default::default() };
+        let opts = ReadOptions {
+            dialect: Some(Dialect::semicolon()),
+            ..Default::default()
+        };
         let p = read_csv("a;b\n1;2\n", &opts).unwrap();
         assert_eq!(p.header, vec!["a", "b"]);
     }
@@ -281,7 +302,10 @@ mod tests {
         for i in 0..100 {
             s.push_str(&format!("{i},{i}\n"));
         }
-        let opts = ReadOptions { max_rows: 10, ..Default::default() };
+        let opts = ReadOptions {
+            max_rows: 10,
+            ..Default::default()
+        };
         let p = read_csv(&s, &opts).unwrap();
         assert_eq!(p.records.len(), 10);
     }

@@ -16,8 +16,8 @@
 //! bench (DESIGN.md §4.1): it picks the most frequent candidate byte, which
 //! fails on files where free-text columns contain commas.
 
-use crate::{Dialect, Parser};
 use crate::dialect::CANDIDATE_DELIMITERS;
+use crate::{Dialect, Parser};
 
 /// Maximum number of sample rows examined when sniffing.
 const SAMPLE_ROWS: usize = 64;
@@ -52,7 +52,10 @@ impl Sniffer {
     /// Creates a sniffer with custom candidate delimiters (priority order).
     #[must_use]
     pub fn with_candidates(candidates: &[u8]) -> Self {
-        Sniffer { candidates: candidates.to_vec(), ..Sniffer::default() }
+        Sniffer {
+            candidates: candidates.to_vec(),
+            ..Sniffer::default()
+        }
     }
 
     /// Limits the number of sample rows examined.
@@ -96,7 +99,11 @@ impl Sniffer {
         // plausible for genuinely single-column files, so give it a floor
         // score that any real split beats.
         let consistency = modal_count as f64 / widths.len() as f64;
-        Some(CandidateScore { delimiter, consistency, modal_width })
+        Some(CandidateScore {
+            delimiter,
+            consistency,
+            modal_width,
+        })
     }
 
     /// Sniffs the dialect of `input`. Returns `None` when no candidate yields

@@ -106,7 +106,10 @@ mod tests {
         let s = write_csv(&["a", "b"], &[["1;x", "2"]], Dialect::semicolon());
         let p = read_csv(
             &s,
-            &ReadOptions { dialect: Some(Dialect::semicolon()), ..Default::default() },
+            &ReadOptions {
+                dialect: Some(Dialect::semicolon()),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(p.records[0][0], "1;x");

@@ -1,0 +1,79 @@
+//! Unit tests for dialect sniffing: content written by [`write_csv`] in a
+//! given dialect must be recovered by the sniffer and re-parsed losslessly
+//! by the parser, for every candidate delimiter.
+
+use gittables_tablecsv::{read_csv, sniff, write_csv, Dialect, Parser, ReadOptions};
+
+const DELIMITERS: [u8; 4] = [b',', b';', b'\t', b'|'];
+
+fn sample_table() -> (Vec<String>, Vec<Vec<String>>) {
+    let header = vec!["id".to_string(), "name".to_string(), "note".to_string()];
+    let rows = vec![
+        vec!["1".into(), "ant".into(), "plain".into()],
+        vec!["2".into(), "bee".into(), "all four: ,;|\tseparators".into()],
+        vec!["3".into(), "cat \"quoted\"".into(), "line\nbreak".into()],
+        vec!["4".into(), "dog".into(), String::new()],
+    ];
+    (header, rows)
+}
+
+#[test]
+fn sniffer_recovers_every_dialect() {
+    let (header, rows) = sample_table();
+    for delim in DELIMITERS {
+        let dialect = Dialect::with_delimiter(delim);
+        let text = write_csv(&header, &rows, dialect);
+        let sniffed = sniff(&text).unwrap_or_else(|| panic!("no dialect for {delim:?}"));
+        assert_eq!(
+            sniffed.delimiter, delim,
+            "sniffed {:?} for text written with {:?}",
+            sniffed.delimiter as char, delim as char
+        );
+        assert_eq!(
+            sniffed.quote, dialect.quote,
+            "quote for {:?}",
+            delim as char
+        );
+    }
+}
+
+#[test]
+fn writer_sniffer_parser_roundtrip() {
+    let (header, rows) = sample_table();
+    for delim in DELIMITERS {
+        let dialect = Dialect::with_delimiter(delim);
+        let text = write_csv(&header, &rows, dialect);
+        let sniffed = sniff(&text).expect("sniff");
+        let records = Parser::new(&text, sniffed)
+            .records()
+            .unwrap_or_else(|e| panic!("parse with {:?}: {e}", delim as char));
+        assert_eq!(records[0], header, "header for {:?}", delim as char);
+        assert_eq!(
+            records.len(),
+            rows.len() + 1,
+            "row count for {:?}",
+            delim as char
+        );
+        for (got, want) in records[1..].iter().zip(&rows) {
+            assert_eq!(got, want, "row for {:?}", delim as char);
+        }
+    }
+}
+
+#[test]
+fn read_csv_autodetects_each_dialect() {
+    let (header, rows) = sample_table();
+    for delim in DELIMITERS {
+        let dialect = Dialect::with_delimiter(delim);
+        let text = write_csv(&header, &rows, dialect);
+        // No dialect hint: read_csv must sniff it.
+        let parsed = read_csv(&text, &ReadOptions::default())
+            .unwrap_or_else(|e| panic!("read with {:?}: {e}", delim as char));
+        assert_eq!(parsed.dialect.delimiter, delim);
+        assert_eq!(parsed.header, header);
+        assert_eq!(parsed.records.len(), rows.len());
+        for (got, want) in parsed.records.iter().zip(&rows) {
+            assert_eq!(got, want);
+        }
+    }
+}

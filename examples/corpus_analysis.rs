@@ -19,10 +19,15 @@ fn main() {
 
     let stats = CorpusStats::of(&corpus);
     println!("== structural statistics (§4.1) ==");
-    println!("tables {} | avg rows {:.0} | avg cols {:.1} | avg cells {:.0}",
-        stats.tables, stats.avg_rows, stats.avg_columns, stats.avg_cells);
-    println!("tables per repo {:.1} | repos with ≤5 tables {:.0}%",
-        stats.avg_tables_per_repo, 100.0 * stats.frac_repos_leq5);
+    println!(
+        "tables {} | avg rows {:.0} | avg cols {:.1} | avg cells {:.0}",
+        stats.tables, stats.avg_rows, stats.avg_columns, stats.avg_cells
+    );
+    println!(
+        "tables per repo {:.1} | repos with ≤5 tables {:.0}%",
+        stats.avg_tables_per_repo,
+        100.0 * stats.frac_repos_leq5
+    );
 
     println!("\n== annotation statistics (Table 5) ==");
     for (method, ont) in gittables_corpus::Corpus::annotation_configs() {
@@ -54,7 +59,11 @@ fn main() {
 
     println!("\n== bias audit (Table 6) ==");
     for row in bias_audit(&corpus, Method::Syntactic, 4) {
-        let values: Vec<&str> = row.frequent_values.iter().map(|(v, _)| v.as_str()).collect();
+        let values: Vec<&str> = row
+            .frequent_values
+            .iter()
+            .map(|(v, _)| v.as_str())
+            .collect();
         println!(
             "  {:<12} {:.3}% of columns  frequent: {}",
             row.semantic_type,

@@ -1,0 +1,44 @@
+//! Demonstrates the rayon-backed `Pipeline::run_parallel`: same corpus
+//! and report as the serial `run`, with per-repository fan-out.
+//!
+//! ```sh
+//! cargo run --release --example parallel_pipeline
+//! ```
+
+use std::time::Instant;
+
+use gittables_core::{Pipeline, PipelineConfig};
+use gittables_githost::GitHost;
+
+fn main() {
+    // Single-worker serial baseline vs the sharded rayon fan-out.
+    let serial = Pipeline::new(PipelineConfig {
+        workers: 1,
+        ..PipelineConfig::sized(42, 3, 12)
+    });
+    let parallel = Pipeline::new(PipelineConfig::sized(42, 3, 12));
+    let host = GitHost::new();
+    serial.populate_host(&host);
+
+    let t0 = Instant::now();
+    let (serial_corpus, serial_report) = serial.run(&host);
+    let serial_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let (parallel_corpus, parallel_report) = parallel.run_parallel(&host);
+    let parallel_time = t1.elapsed();
+
+    println!(
+        "serial   : {} tables, {} columns in {serial_time:?}",
+        serial_corpus.len(),
+        serial_report.total_columns
+    );
+    println!(
+        "parallel : {} tables, {} columns in {parallel_time:?}",
+        parallel_corpus.len(),
+        parallel_report.total_columns
+    );
+    assert_eq!(serial_report, parallel_report, "reports must match exactly");
+    assert_eq!(serial_corpus, parallel_corpus, "corpora must match exactly");
+    println!("parallel output is bit-identical to serial ✓");
+}

@@ -10,7 +10,8 @@ use gittables_githost::GitHost;
 
 fn main() {
     // 1. Configure a small pipeline (3 topics, a dozen repositories each).
-    let config = PipelineConfig::sized(/* seed */ 42, /* topics */ 5, /* repos */ 20);
+    let config =
+        PipelineConfig::sized(/* seed */ 42, /* topics */ 5, /* repos */ 20);
     let pipeline = Pipeline::new(config);
 
     // 2. Populate the simulated GitHub with CSV-bearing repositories.
@@ -26,13 +27,21 @@ fn main() {
     let (corpus, report) = pipeline.run(&host);
     println!("\npipeline report");
     println!("  fetched       : {}", report.fetched);
-    println!("  parsed        : {} ({:.1}%)", report.parsed, 100.0 * report.parse_rate());
+    println!(
+        "  parsed        : {} ({:.1}%)",
+        report.parsed,
+        100.0 * report.parse_rate()
+    );
     println!("  parse failures: {}", report.parse_failed);
     for (reason, count) in &report.filtered {
         println!("  filtered[{reason}]: {count}");
     }
     println!("  kept          : {}", report.kept);
-    println!("  PII columns   : {} ({:.2}%)", report.pii_columns, 100.0 * report.pii_rate());
+    println!(
+        "  PII columns   : {} ({:.2}%)",
+        report.pii_columns,
+        100.0 * report.pii_rate()
+    );
 
     // 4. Corpus statistics (paper Table 1 / §4.1).
     let stats = CorpusStats::of(&corpus);
@@ -54,7 +63,11 @@ fn main() {
         .iter()
         .max_by_key(|t| t.semantic_schema.annotations.len())
     {
-        println!("\nsample annotated table: {} ({})", at.table.name(), at.table.provenance().url());
+        println!(
+            "\nsample annotated table: {} ({})",
+            at.table.name(),
+            at.table.provenance().url()
+        );
         for ann in at.semantic_schema.annotations.iter().take(8) {
             let col = at.table.column(ann.column).expect("annotated column");
             println!(

@@ -16,17 +16,39 @@ const TARGETS: &[(&str, &[&str], &[&str])] = &[
     (
         "employees",
         &["emp_no", "birth_date", "first_name"],
-        &["emp_no", "birth_date", "first_name", "last_name", "gender", "hire_date"],
+        &[
+            "emp_no",
+            "birth_date",
+            "first_name",
+            "last_name",
+            "gender",
+            "hire_date",
+        ],
     ),
     (
         "orders",
         &["orderNumber", "orderDate", "requiredDate"],
-        &["orderNumber", "orderDate", "requiredDate", "shippedDate", "status", "customerNumber"],
+        &[
+            "orderNumber",
+            "orderDate",
+            "requiredDate",
+            "shippedDate",
+            "status",
+            "customerNumber",
+        ],
     ),
     (
         "workorder",
         &["WorkOrderID", "ProductID", "OrderQty"],
-        &["WorkOrderID", "ProductID", "OrderQty", "StockedQty", "ScrappedQty", "StartDate", "EndDate"],
+        &[
+            "WorkOrderID",
+            "ProductID",
+            "OrderQty",
+            "StockedQty",
+            "ScrappedQty",
+            "StartDate",
+            "EndDate",
+        ],
     ),
 ];
 

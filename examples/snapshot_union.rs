@@ -24,7 +24,10 @@ fn main() {
     let host = GitHost::new();
     let gen = RepoGenerator::with_config(
         2024,
-        RepoConfig { snapshot_prob: 0.25, ..Default::default() },
+        RepoConfig {
+            snapshot_prob: 0.25,
+            ..Default::default()
+        },
     );
     for topic in &pipeline.config.topics {
         for i in 0..pipeline.config.repos_per_topic {
@@ -45,7 +48,10 @@ fn main() {
     println!("corpus: {} tables", corpus.len());
 
     let groups = union_groups(&corpus, 3);
-    println!("union groups (≥3 same-schema tables in one repo): {}\n", groups.len());
+    println!(
+        "union groups (≥3 same-schema tables in one repo): {}\n",
+        groups.len()
+    );
     for group in groups.iter().take(5) {
         let unioned = union_tables(&corpus, group).expect("compatible by construction");
         let member_rows: Vec<usize> = group

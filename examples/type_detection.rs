@@ -29,7 +29,11 @@ fn main() {
     let extractor = FeatureExtractor::default();
 
     let git = build_type_dataset(&corpus, &config, &extractor);
-    println!("GitTables dataset: {} columns over {:?}", git.len(), config.types);
+    println!(
+        "GitTables dataset: {} columns over {:?}",
+        git.len(),
+        config.types
+    );
 
     let web_tables = WebTableGenerator::new(1).generate_many(4000);
     let web = build_webtable_type_dataset(&web_tables, &config, &extractor);

@@ -1,0 +1,633 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supplies the subset this workspace's property tests use: the
+//! `proptest!` macro, `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`,
+//! `Strategy` with `prop_map`, range/tuple/vec strategies, `any::<T>()`,
+//! and `string::string_regex` over a small regex subset (literals,
+//! escapes, character classes with ranges, groups, and `?`/`*`/`+`/
+//! `{m}`/`{m,n}` repetition).
+//!
+//! Cases are generated from a deterministic per-test seed, and failures
+//! report the case number and assertion message; there is no shrinking.
+
+pub mod rng {
+    /// SplitMix64: tiny, seedable, good enough for case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        #[must_use]
+        pub fn seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::rng::TestRng;
+
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> R,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, R, F: Fn(S::Value) -> R> Strategy for Map<S, F> {
+        type Value = R;
+
+        fn new_value(&self, rng: &mut TestRng) -> R {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    macro_rules! impl_range_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = rng.next_u64() as u128 % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = rng.next_u64() as u128 % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + ((self.end - self.start) as f64 * rng.unit_f64()) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_float!(f32, f64);
+
+    /// A `&str` is shorthand for `string_regex(s).unwrap()`.
+    impl Strategy for str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::string_regex(self)
+                .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+                .new_value(rng)
+        }
+    }
+
+    macro_rules! impl_tuple {
+        ($(($($s:ident),+)),+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.new_value(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple!(
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F)
+    );
+
+    /// `any::<T>()` support.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Vector length specification: `m..n`, `m..=n`, or an exact `n`.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod string {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Regex-subset AST node.
+    #[derive(Debug, Clone)]
+    enum Node {
+        Lit(char),
+        /// Inclusive character ranges, pre-expanded.
+        Class(Vec<char>),
+        Group(Vec<Node>),
+        Rep(Box<Node>, usize, usize),
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        seq: Vec<Node>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for node in &self.seq {
+                emit(node, rng, &mut out);
+            }
+            out
+        }
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Class(chars) => {
+                let i = rng.below(chars.len() as u64) as usize;
+                out.push(chars[i]);
+            }
+            Node::Group(seq) => {
+                for n in seq {
+                    emit(n, rng, out);
+                }
+            }
+            Node::Rep(inner, lo, hi) => {
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+    }
+
+    impl Parser<'_> {
+        fn parse_seq(&mut self, in_group: bool) -> Result<Vec<Node>, Error> {
+            let mut seq = Vec::new();
+            loop {
+                let Some(&c) = self.chars.peek() else {
+                    if in_group {
+                        return Err(Error("unterminated group".into()));
+                    }
+                    return Ok(seq);
+                };
+                match c {
+                    ')' if in_group => return Ok(seq),
+                    ')' => return Err(Error("unbalanced `)`".into())),
+                    '(' => {
+                        self.chars.next();
+                        let inner = self.parse_seq(true)?;
+                        self.chars.next(); // consume ')'
+                        seq.push(self.postfix(Node::Group(inner))?);
+                    }
+                    '[' => {
+                        self.chars.next();
+                        let class = self.parse_class()?;
+                        seq.push(self.postfix(class)?);
+                    }
+                    '\\' => {
+                        self.chars.next();
+                        let esc = self
+                            .chars
+                            .next()
+                            .ok_or_else(|| Error("dangling escape".into()))?;
+                        seq.push(self.postfix(Node::Lit(unescape(esc)))?);
+                    }
+                    '|' => return Err(Error("alternation is not supported".into())),
+                    _ => {
+                        self.chars.next();
+                        seq.push(self.postfix(Node::Lit(c))?);
+                    }
+                }
+            }
+        }
+
+        /// Applies `?`, `*`, `+`, `{m}`, or `{m,n}` to `node` if present.
+        fn postfix(&mut self, node: Node) -> Result<Node, Error> {
+            match self.chars.peek() {
+                Some('?') => {
+                    self.chars.next();
+                    Ok(Node::Rep(Box::new(node), 0, 1))
+                }
+                Some('*') => {
+                    self.chars.next();
+                    Ok(Node::Rep(Box::new(node), 0, 8))
+                }
+                Some('+') => {
+                    self.chars.next();
+                    Ok(Node::Rep(Box::new(node), 1, 8))
+                }
+                Some('{') => {
+                    self.chars.next();
+                    let mut spec = String::new();
+                    loop {
+                        match self.chars.next() {
+                            Some('}') => break,
+                            Some(c) => spec.push(c),
+                            None => return Err(Error("unterminated `{`".into())),
+                        }
+                    }
+                    let (lo, hi) = match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim()
+                                .parse()
+                                .map_err(|_| Error(format!("bad repetition `{spec}`")))?,
+                            hi.trim()
+                                .parse()
+                                .map_err(|_| Error(format!("bad repetition `{spec}`")))?,
+                        ),
+                        None => {
+                            let n = spec
+                                .trim()
+                                .parse()
+                                .map_err(|_| Error(format!("bad repetition `{spec}`")))?;
+                            (n, n)
+                        }
+                    };
+                    if lo > hi {
+                        return Err(Error(format!("inverted repetition `{spec}`")));
+                    }
+                    Ok(Node::Rep(Box::new(node), lo, hi))
+                }
+                _ => Ok(node),
+            }
+        }
+
+        fn parse_class(&mut self) -> Result<Node, Error> {
+            let mut chars: Vec<char> = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                let c = self
+                    .chars
+                    .next()
+                    .ok_or_else(|| Error("unterminated character class".into()))?;
+                match c {
+                    ']' => break,
+                    '\\' => {
+                        let esc = self
+                            .chars
+                            .next()
+                            .ok_or_else(|| Error("dangling escape in class".into()))?;
+                        let lit = unescape(esc);
+                        chars.push(lit);
+                        prev = Some(lit);
+                    }
+                    '-' if prev.is_some() && self.chars.peek().is_some_and(|&n| n != ']') => {
+                        let hi = self.chars.next().unwrap();
+                        let lo = prev.take().unwrap();
+                        if lo as u32 > hi as u32 {
+                            return Err(Error(format!("inverted class range {lo}-{hi}")));
+                        }
+                        // `lo` itself is already pushed; add (lo, hi].
+                        for cp in (lo as u32 + 1)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(cp) {
+                                chars.push(ch);
+                            }
+                        }
+                    }
+                    _ => {
+                        chars.push(c);
+                        prev = Some(c);
+                    }
+                }
+            }
+            if chars.is_empty() {
+                return Err(Error("empty character class".into()));
+            }
+            Ok(Node::Class(chars))
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Compiles a regex-subset pattern into a string-generating strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut p = Parser {
+            chars: pattern.chars().peekable(),
+        };
+        let seq = p.parse_seq(false)?;
+        Ok(RegexGeneratorStrategy { seq })
+    }
+}
+
+pub mod test_runner {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        #[must_use]
+        pub fn new(config: Config) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `f` against `cases` generated values; panics (failing the
+        /// surrounding `#[test]`) on the first case error.
+        pub fn run_named<S, F>(&mut self, name: &str, strategy: &S, f: F)
+        where
+            S: Strategy,
+            F: Fn(S::Value) -> TestCaseResult,
+        {
+            let name_seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+            });
+            for case in 0..self.config.cases {
+                let mut rng = TestRng::seed(name_seed ^ (u64::from(case) << 32 | 0x5bd1));
+                let value = strategy.new_value(&mut rng);
+                if let Err(e) = f(value) {
+                    panic!(
+                        "proptest `{name}` failed on case {case}/{}: {e}",
+                        self.config.cases
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let strategy = ($($strat,)+);
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run_named(
+                    stringify!($name),
+                    &strategy,
+                    |($($arg,)+)| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements exactly the slice-parallelism subset the workspace uses —
+//! `par_iter().map(...)` followed by `collect`, `reduce`, or `for_each`
+//! — on top of `std::thread::scope`. Work is split into contiguous
+//! chunks, one per worker thread, and results are reassembled in input
+//! order, so `collect` preserves ordering exactly like real rayon's
+//! indexed parallel iterators. Extend it here when a caller needs more
+//! of the real API.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads: the available parallelism, overridable via
+/// `RAYON_NUM_THREADS` just like real rayon.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A pending parallel map over a slice, producing ordered results.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    fn run(self) -> Vec<R> {
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = current_num_threads().min(n).max(1);
+        if workers == 1 {
+            return self.items.iter().map(self.f).collect();
+        }
+        let chunk_size = n.div_ceil(workers);
+        let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+        let f = &self.f;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            for chunk in self.items.chunks(chunk_size) {
+                handles.push(s.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()));
+            }
+            for h in handles {
+                out.push(h.join().expect("rayon shim worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+
+    /// Order-insensitive associative reduction (identity ⊕ x = x).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+
+    pub fn for_each<G: Fn(R) + Sync>(self, g: G) {
+        for r in self.run() {
+            g(r);
+        }
+    }
+}
+
+/// Conversion from an ordered parallel result, mirroring
+/// `FromParallelIterator`.
+pub trait FromParallel<R> {
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+/// Entry point on slices and vectors, mirroring
+/// `IntoParallelRefIterator::par_iter`.
+pub trait ParallelSlice<T: Sync> {
+    fn as_parallel_slice(&self) -> &[T];
+
+    /// Parallel iterator over elements; chain `.map(...)` next.
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter {
+            items: self.as_parallel_slice(),
+        }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{FromParallel, ParallelSlice};
+}

@@ -1,0 +1,419 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds in a container without registry access, so this
+//! crate supplies the minimal serde surface the codebase uses: the
+//! `Serialize` / `Deserialize` traits (over a JSON-like [`Value`] tree),
+//! derive macros re-exported from the sibling `serde_derive` shim, and
+//! impls for the primitives and containers that appear in derived types.
+//!
+//! Maps serialize with keys sorted so output is deterministic regardless
+//! of `HashMap` iteration order.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-like data model shared by `Serialize` and `Deserialize`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    #[must_use]
+    pub fn expected(what: &str, context: &str) -> Self {
+        Error(format!("expected {what} while deserializing {context}"))
+    }
+
+    #[must_use]
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Error(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field is absent entirely. Only
+    /// types that model absence (i.e. `Option`) return `Some`; for
+    /// everything else a missing field is an error, matching real
+    /// serde's `missing field` behavior.
+    fn deserialize_missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Looks up a struct field in a serialized map. Missing fields error,
+/// except `Option` fields which treat absence as `None`.
+pub fn de_field<T: Deserialize>(
+    m: &[(String, Value)],
+    name: &str,
+    context: &str,
+) -> Result<T, Error> {
+    match m.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize(v),
+        None => T::deserialize_missing()
+            .ok_or_else(|| Error(format!("missing field `{name}` in {context}"))),
+    }
+}
+
+// ---------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self >= 0 {
+                    Value::UInt(*self as u64)
+                } else {
+                    Value::Int(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::custom(format!("integer {u} out of range for {}", stringify!($t)))),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!("integer {i} out of range for {}", stringify!($t)))),
+                    _ => Err(Error::expected("integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                if self.is_finite() {
+                    Value::Float(f64::from(*self))
+                } else {
+                    // Mirrors serde_json: non-finite floats become null.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::expected("single-char string", "char")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn deserialize_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(xs) if xs.len() == N => {
+                let items: Vec<T> = xs.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+                items
+                    .try_into()
+                    .map_err(|_| Error::expected("fixed-size array", "array"))
+            }
+            _ => Err(Error::expected(&format!("sequence of length {N}"), "array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(xs) => xs.iter().map(T::deserialize).collect(),
+            _ => Err(Error::expected("sequence", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Arc::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(xs) => {
+                        let mut it = xs.iter();
+                        Ok(($(
+                            {
+                                let _ = $idx;
+                                $t::deserialize(it.next().ok_or_else(|| Error::expected("tuple element", "tuple"))?)?
+                            },
+                        )+))
+                    }
+                    _ => Err(Error::expected("sequence", "tuple")),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2));
+
+/// Map keys must render to/from strings (JSON object keys).
+pub trait MapKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_mapkey_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| Error::custom(format!("bad integer map key `{s}`")))
+            }
+        }
+    )*};
+}
+
+impl_mapkey_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: MapKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+                .collect(),
+            _ => Err(Error::expected("map", "HashMap")),
+        }
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+                .collect(),
+            _ => Err(Error::expected("map", "BTreeMap")),
+        }
+    }
+}

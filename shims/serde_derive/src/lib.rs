@@ -1,0 +1,389 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no access to a crate registry, so the real
+//! syn/quote-based derive cannot be used. This macro hand-parses the
+//! restricted shapes this workspace actually derives on:
+//!
+//! * structs with named fields (no generics),
+//! * enums with unit variants,
+//! * enums with struct variants (named fields).
+//!
+//! It generates impls of the local `serde` shim's `Serialize` /
+//! `Deserialize` traits, which speak a JSON-like `serde::Value` tree.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Struct(String, Vec<Field>),
+    /// Tuple variant with its field count.
+    Tuple(String, usize),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips attributes (`#[...]`, incl. doc comments) and visibility
+/// (`pub`, `pub(crate)`, ...) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracket group.
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses `name: Type, name: Type, ...` from the tokens of a brace group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(Field {
+            name: id.to_string(),
+        });
+        i += 1;
+        // Expect `:`, then consume the type until a top-level `,`.
+        // Generic angle brackets contain no top-level commas in token
+        // trees only when balanced — track `<`/`>` depth.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                variants.push(Variant::Struct(name, parse_named_fields(&inner)));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Count top-level comma-separated types.
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut arity = usize::from(!inner.is_empty());
+                let mut depth = 0i32;
+                let mut trailing_comma = false;
+                for t in &inner {
+                    if let TokenTree::Punct(p) = t {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => {
+                                arity += 1;
+                                trailing_comma = true;
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    trailing_comma = false;
+                }
+                if trailing_comma {
+                    arity -= 1;
+                }
+                variants.push(Variant::Tuple(name, arity));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Skip to past the next top-level comma.
+        while let Some(t) = tokens.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        other => panic!("serde shim derive: expected braced body for `{name}`, got {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "m.push((\"{n}\".to_string(), ::serde::Serialize::serialize(&self.{n})));\n",
+                n = f.name
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn serialize(&self) -> ::serde::Value {{\n\
+                let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                {pushes}\
+                ::serde::Value::Map(m)\n\
+            }}\n\
+        }}\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{n}: ::serde::de_field(m, \"{n}\", \"{name}\")?,\n",
+                n = f.name
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                let m = v.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+                ::std::result::Result::Ok({name} {{\n\
+                    {inits}\
+                }})\n\
+            }}\n\
+        }}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| match v {
+            Variant::Unit(vn) => format!(
+                "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+            ),
+            Variant::Tuple(vn, arity) => {
+                let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                let pushes: String = binds
+                    .iter()
+                    .map(|b| format!("inner.push(::serde::Serialize::serialize({b}));\n"))
+                    .collect();
+                let payload = if *arity == 1 {
+                    "inner.pop().unwrap()".to_string()
+                } else {
+                    "::serde::Value::Seq(inner)".to_string()
+                };
+                format!(
+                    "{name}::{vn}({binds}) => {{\n\
+                        let mut inner: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n\
+                        {pushes}\
+                        ::serde::Value::Map(vec![(\"{vn}\".to_string(), {payload})])\n\
+                    }}\n",
+                    binds = binds.join(", ")
+                )
+            }
+            Variant::Struct(vn, fields) => {
+                let binds: String = fields
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let pushes: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "inner.push((\"{n}\".to_string(), ::serde::Serialize::serialize({n})));\n",
+                            n = f.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{vn} {{ {binds} }} => {{\n\
+                        let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                        {pushes}\
+                        ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(inner))])\n\
+                    }}\n"
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn serialize(&self) -> ::serde::Value {{\n\
+                match self {{\n{arms}}}\n\
+            }}\n\
+        }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter_map(|v| match v {
+            Variant::Unit(vn) => Some(format!(
+                "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            Variant::Struct(..) | Variant::Tuple(..) => None,
+        })
+        .collect();
+    let struct_arms: String = variants
+        .iter()
+        .filter_map(|v| match v {
+            Variant::Unit(_) => None,
+            Variant::Tuple(vn, arity) => {
+                if *arity == 1 {
+                    Some(format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(val)?)),\n"
+                    ))
+                } else {
+                    let elems: String = (0..*arity)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::deserialize(xs.get({i}).ok_or_else(|| ::serde::Error::expected(\"tuple element\", \"{name}::{vn}\"))?)?,\n"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                            let xs = match val {{ ::serde::Value::Seq(xs) => xs, _ => return ::std::result::Result::Err(::serde::Error::expected(\"sequence\", \"{name}::{vn}\")) }};\n\
+                            return ::std::result::Result::Ok({name}::{vn}({elems}));\n\
+                        }}\n"
+                    ))
+                }
+            }
+            Variant::Struct(vn, fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{n}: ::serde::de_field(inner, \"{n}\", \"{name}::{vn}\")?,\n",
+                            n = f.name
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{vn}\" => {{\n\
+                        let inner = val.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}::{vn}\"))?;\n\
+                        return ::std::result::Result::Ok({name}::{vn} {{ {inits} }});\n\
+                    }}\n"
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                    match s {{\n{unit_arms}\
+                        other => return ::std::result::Result::Err(::serde::Error::unknown_variant(other, \"{name}\")),\n\
+                    }}\n\
+                }}\n\
+                if let ::std::option::Option::Some(m) = v.as_map() {{\n\
+                    if let ::std::option::Option::Some((tag, val)) = m.first() {{\n\
+                        match tag.as_str() {{\n{struct_arms}\
+                            other => return ::std::result::Result::Err(::serde::Error::unknown_variant(other, \"{name}\")),\n\
+                        }}\n\
+                    }}\n\
+                }}\n\
+                ::std::result::Result::Err(::serde::Error::expected(\"string or map\", \"{name}\"))\n\
+            }}\n\
+        }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => gen_struct_serialize(&name, &fields),
+        Item::Enum { name, variants } => gen_enum_serialize(&name, &variants),
+    };
+    code.parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => gen_struct_deserialize(&name, &fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(&name, &variants),
+    };
+    code.parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -1,9 +1,7 @@
 //! Integration tests of the §5 applications over a pipeline-built corpus.
 
 use gittables_annotate::kgmatch::{CellValueMatcher, HeaderMatcher, PatternMatcher};
-use gittables_core::apps::{
-    build_cta_benchmark, run_kg_benchmark, DataSearch, NearestCompletion,
-};
+use gittables_core::apps::{build_cta_benchmark, run_kg_benchmark, DataSearch, NearestCompletion};
 use gittables_core::{Pipeline, PipelineConfig};
 use gittables_githost::GitHost;
 use gittables_ontology::OntologyKind;
@@ -54,14 +52,20 @@ fn data_search_finds_topical_tables() {
     // attribute (headers may be abbreviated by the corpus generator, so the
     // vocabulary includes the common short forms).
     let vocab = [
-        "status", "stat", "price", "product", "prod", "sales", "order",
-        "quantity", "qty", "amount", "amt", "total",
+        "status", "stat", "price", "product", "prod", "sales", "order", "quantity", "qty",
+        "amount", "amt", "total",
     ];
     let hit_ok = hits.iter().any(|h| {
         let schema = h.schema.to_string().to_lowercase();
         vocab.iter().any(|k| schema.contains(k))
     });
-    assert!(hit_ok, "top schemas: {:?}", hits.iter().map(|h| h.schema.to_string()).collect::<Vec<_>>());
+    assert!(
+        hit_ok,
+        "top schemas: {:?}",
+        hits.iter()
+            .map(|h| h.schema.to_string())
+            .collect::<Vec<_>>()
+    );
 }
 
 #[test]

@@ -1,12 +1,16 @@
 //! End-to-end pipeline integration tests spanning all crates.
 
+use gittables_annotate::Method;
 use gittables_core::{Pipeline, PipelineConfig};
 use gittables_corpus::{AnnotationStats, CorpusStats};
 use gittables_githost::GitHost;
-use gittables_annotate::Method;
 use gittables_ontology::OntologyKind;
 
-fn build(seed: u64, topics: usize, repos: usize) -> (gittables_corpus::Corpus, gittables_core::PipelineReport) {
+fn build(
+    seed: u64,
+    topics: usize,
+    repos: usize,
+) -> (gittables_corpus::Corpus, gittables_core::PipelineReport) {
     let pipeline = Pipeline::new(PipelineConfig::sized(seed, topics, repos));
     let host = GitHost::new();
     pipeline.populate_host(&host);

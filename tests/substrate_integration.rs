@@ -147,11 +147,10 @@ fn pii_anonymization_end_to_end_on_people_topics() {
     assert!(report.pii_columns > 0, "no PII columns anonymized");
     // Anonymized email columns contain the faker domain.
     let fake_emails = corpus.tables.iter().any(|t| {
-        t.table.columns().iter().any(|c| {
-            c.values()
-                .iter()
-                .any(|v| v.ends_with("@anon.example"))
-        })
+        t.table
+            .columns()
+            .iter()
+            .any(|c| c.values().iter().any(|v| v.ends_with("@anon.example")))
     });
     assert!(fake_emails, "expected faker-generated emails in the corpus");
 }
