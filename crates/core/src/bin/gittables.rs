@@ -10,7 +10,14 @@
 //! gittables export  --corpus corpus.json --out dir/
 //! gittables union   --corpus corpus.json [--min 3]
 //! gittables dedup   --corpus corpus.json
+//! gittables save    --corpus corpus.json --out store_dir/ [--shard 256]
+//! gittables load    --store store_dir/ --out corpus.json
+//! gittables resume  --store store_dir/ [--seed 42] [--topics 10] [--repos 40] [--max-shards N]
 //! ```
+//!
+//! `save`/`load` convert between the monolithic JSON file and the sharded
+//! on-disk store; `resume` runs the pipeline incrementally against a store,
+//! skipping repositories whose shards are already committed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -189,6 +196,66 @@ fn cmd_dedup(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_save(args: &[String]) -> Result<(), String> {
+    let corpus = load(args)?;
+    let out = opt(args, "--out").ok_or("missing --out <dir>")?;
+    let shard = num(args, "--shard", PipelineConfig::small(0).tables_per_shard);
+    let store = gittables_corpus::save_store(&corpus, PathBuf::from(&out), shard)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} tables across {} shards under {out}",
+        store.len(),
+        store.num_shards()
+    );
+    Ok(())
+}
+
+fn cmd_load(args: &[String]) -> Result<(), String> {
+    let dir = opt(args, "--store").ok_or("missing --store <dir>")?;
+    let out = opt(args, "--out").ok_or("missing --out <file>")?;
+    let corpus = gittables_corpus::load_store(PathBuf::from(&dir))
+        .map_err(|e| format!("loading store {dir}: {e}"))?;
+    persist::save_corpus(&corpus, &PathBuf::from(&out)).map_err(|e| e.to_string())?;
+    eprintln!("loaded {} tables from {dir}, wrote {out}", corpus.len());
+    Ok(())
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let dir = opt(args, "--store").ok_or("missing --store <dir>")?;
+    let seed = num(args, "--seed", 42u64);
+    let topics = num(args, "--topics", 10usize);
+    let repos = num(args, "--repos", 40usize);
+    let max_shards = match opt(args, "--max-shards") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("invalid --max-shards value: {v}"))?,
+        ),
+        None => None,
+    };
+    let pipeline = Pipeline::new(PipelineConfig::sized(seed, topics, repos));
+    let store =
+        gittables_corpus::CorpusStore::open_or_create(PathBuf::from(&dir), pipeline.corpus_name())
+            .map_err(|e| e.to_string())?;
+    eprintln!(
+        "resuming into {dir}: seed {seed}, {topics} topics x {repos} repos ({} shards already stored)",
+        store.num_shards()
+    );
+    let host = GitHost::new();
+    pipeline.populate_host(&host);
+    let run = pipeline
+        .run_to_store_bounded(&host, &store, max_shards)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} new shards, skipped {} existing; corpus now {} tables ({} parsed, {} kept this config)",
+        run.shards_written,
+        run.shards_skipped,
+        run.corpus.len(),
+        run.report.parsed,
+        run.report.kept
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -200,8 +267,11 @@ fn main() -> ExitCode {
         Some("export") => cmd_export(&args[1..]),
         Some("union") => cmd_union(&args[1..]),
         Some("dedup") => cmd_dedup(&args[1..]),
+        Some("save") => cmd_save(&args[1..]),
+        Some("load") => cmd_load(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
         _ => {
-            eprintln!("usage: gittables <build|stats|search|complete|annotate|export|union|dedup> [options]");
+            eprintln!("usage: gittables <build|stats|search|complete|annotate|export|union|dedup|save|load|resume> [options]");
             eprintln!("  build    --out corpus.json [--seed N] [--topics N] [--repos N]");
             eprintln!("  stats    --corpus corpus.json");
             eprintln!("  search   --corpus corpus.json --query \"...\" [--k N]");
@@ -210,6 +280,9 @@ fn main() -> ExitCode {
             eprintln!("  export   --corpus corpus.json --out dir/");
             eprintln!("  union    --corpus corpus.json [--min N]");
             eprintln!("  dedup    --corpus corpus.json");
+            eprintln!("  save     --corpus corpus.json --out store_dir/ [--shard N]");
+            eprintln!("  load     --store store_dir/ --out corpus.json");
+            eprintln!("  resume   --store store_dir/ [--seed N] [--topics N] [--repos N] [--max-shards N]");
             return ExitCode::from(2);
         }
     };

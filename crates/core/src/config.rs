@@ -30,6 +30,10 @@ pub struct PipelineConfig {
     /// Results-per-query segmentation trigger: queries whose initial count
     /// exceeds this are segmented by size (GitHub cap: 1 000).
     pub results_cap: usize,
+    /// Tables per shard when a monolithic corpus is split into a sharded
+    /// store (`gittables_corpus::save_store`; the CLI `save` subcommand).
+    /// Store-backed pipeline runs shard by repository instead.
+    pub tables_per_shard: usize,
 }
 
 impl PipelineConfig {
@@ -62,6 +66,7 @@ impl PipelineConfig {
             anonymize: true,
             workers: 0,
             results_cap: 1000,
+            tables_per_shard: 256,
         }
     }
 
@@ -100,6 +105,7 @@ mod tests {
         let m = PipelineConfig::sized(1, 10, 5);
         assert_eq!(m.topics.len(), 10);
         assert_eq!(m.repos_per_topic, 5);
+        assert!(m.tables_per_shard > 0);
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub mod t2d_eval;
 
 pub use config::PipelineConfig;
 pub use extract::{extract_topic, RawCsvFile};
-pub use pipeline::{Pipeline, PipelineReport};
+pub use pipeline::{Pipeline, PipelineReport, StoreRun};

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use gittables_annotate::{SemanticAnnotator, SyntacticAnnotator};
+use gittables_corpus::store::{shard_id_for, CorpusStore, StoreError};
 use gittables_corpus::{AnnotatedTable, Corpus};
 use gittables_curate::{anonymize_table, FilterReason};
 use gittables_githost::{GitHost, Repository};
@@ -92,6 +93,20 @@ impl PipelineReport {
             *self.filtered.entry(k).or_default() += v;
         }
     }
+}
+
+/// The outcome of a store-backed pipeline run ([`Pipeline::run_to_store`]).
+#[derive(Debug)]
+pub struct StoreRun {
+    /// The corpus assembled from every shard committed to the store.
+    pub corpus: Corpus,
+    /// The merged stage report: extraction counters plus the per-shard
+    /// reports of both freshly processed and previously stored shards.
+    pub report: PipelineReport,
+    /// Repository shards processed and committed by this invocation.
+    pub shards_written: usize,
+    /// Repository shards skipped because the store already held them.
+    pub shards_skipped: usize,
 }
 
 /// The end-to-end pipeline. Construction builds both ontologies and all four
@@ -276,7 +291,7 @@ impl Pipeline {
             report.merge(p);
         }
         results.sort_by_key(|(i, _)| *i);
-        let mut corpus = Corpus::new(format!("gittables-synth-{}", self.config.seed));
+        let mut corpus = Corpus::new(self.corpus_name());
         for (_, at) in results {
             corpus.push(at);
         }
@@ -305,21 +320,11 @@ impl Pipeline {
             ..Default::default()
         };
 
-        // Shard by repository, keeping first-appearance order so the
-        // shard list itself is deterministic.
-        let mut shard_of: HashMap<&str, usize> = HashMap::new();
-        let mut shards: Vec<Vec<(usize, &RawCsvFile)>> = Vec::new();
-        for (i, raw) in raw_files.iter().enumerate() {
-            let shard = *shard_of.entry(raw.repository.as_str()).or_insert_with(|| {
-                shards.push(Vec::new());
-                shards.len() - 1
-            });
-            shards[shard].push((i, raw));
-        }
+        let shards = shard_by_repository(&raw_files);
 
         let partials: Vec<(Vec<(usize, AnnotatedTable)>, PipelineReport)> = shards
             .par_iter()
-            .map(|shard| {
+            .map(|(_, shard)| {
                 let mut local_report = PipelineReport::default();
                 let mut local = Vec::with_capacity(shard.len());
                 for &(i, raw) in shard {
@@ -337,12 +342,182 @@ impl Pipeline {
             report.merge(local_report);
         }
         results.sort_by_key(|(i, _)| *i);
-        let mut corpus = Corpus::new(format!("gittables-synth-{}", self.config.seed));
+        let mut corpus = Corpus::new(self.corpus_name());
         for (_, at) in results {
             corpus.push(at);
         }
         (corpus, report)
     }
+
+    /// The name every run of this pipeline gives its corpus (seed-derived,
+    /// so store-backed and in-memory runs agree).
+    #[must_use]
+    pub fn corpus_name(&self) -> String {
+        format!("gittables-synth-{}", self.config.seed)
+    }
+
+    /// Runs the pipeline with the per-repository fan-out of
+    /// [`Pipeline::run_parallel`], but streams each repository shard straight
+    /// into `store` as it completes. See [`Pipeline::run_to_store_bounded`].
+    ///
+    /// # Errors
+    /// Propagates [`StoreError`] from shard writes and the final load.
+    pub fn run_to_store(
+        &self,
+        host: &GitHost,
+        store: &CorpusStore,
+    ) -> Result<StoreRun, StoreError> {
+        self.run_to_store_bounded(host, store, None)
+    }
+
+    /// Store-backed run with **incremental resume**: repositories whose
+    /// shards are already committed to `store` are skipped (their persisted
+    /// stage reports are merged instead of reprocessing), so an interrupted
+    /// run restarts where it stopped and fresh repositories can be appended
+    /// to an existing corpus.
+    ///
+    /// `max_new_shards` bounds how many *new* repository shards this
+    /// invocation processes (`None` ⇒ all), enabling batched/incremental
+    /// builds; a bounded invocation returns the partial snapshot currently
+    /// in the store.
+    ///
+    /// Once every repository shard is committed, the returned corpus and
+    /// merged report are identical to an uninterrupted
+    /// [`Pipeline::run_parallel`] over the same host, regardless of how many
+    /// invocations it took to get there.
+    ///
+    /// # Errors
+    /// Propagates [`StoreError`] from shard writes, integrity checks on
+    /// load, [`StoreError::MissingShardMeta`] when a pre-existing shard
+    /// was not produced by a store-backed run (no report to merge), and
+    /// [`StoreError::CorpusNameMismatch`] when the store was created for a
+    /// different corpus (e.g. another seed).
+    pub fn run_to_store_bounded(
+        &self,
+        host: &GitHost,
+        store: &CorpusStore,
+        max_new_shards: Option<usize>,
+    ) -> Result<StoreRun, StoreError> {
+        use rayon::prelude::*;
+
+        // Refuse to interleave two corpora: a store created for a different
+        // seed/config records a different corpus name.
+        let store_name = store.name();
+        if store_name != self.corpus_name() {
+            return Err(StoreError::CorpusNameMismatch {
+                store: store_name,
+                expected: self.corpus_name(),
+            });
+        }
+
+        let (raw_files, queries) = self.extract_all(host);
+        let shards = shard_by_repository(&raw_files);
+
+        let mut skipped: Vec<String> = Vec::new();
+        let mut pending: Vec<(String, &Vec<(usize, &RawCsvFile)>)> = Vec::new();
+        let mut deferred_files = 0usize;
+        for (repo, files) in &shards {
+            let id = shard_id_for(repo);
+            if store.has_shard(&id) {
+                skipped.push(id);
+            } else {
+                pending.push((id, files));
+            }
+        }
+        let limit = max_new_shards.unwrap_or(pending.len()).min(pending.len());
+        for (_, files) in &pending[limit..] {
+            deferred_files += files.len();
+        }
+        pending.truncate(limit);
+
+        // Process → write → commit each pending shard independently; the
+        // manifest commit is the durability point, so a crash loses at most
+        // the shards still in flight.
+        let written: Vec<Result<PipelineReport, StoreError>> = pending
+            .par_iter()
+            .map(|(id, files)| {
+                let mut local_report = PipelineReport::default();
+                let mut writer = store.begin_shard(id)?;
+                for &(i, raw) in files.iter() {
+                    if let Some(at) = self.process_file(raw, &mut local_report) {
+                        writer.push(i, &at)?;
+                    }
+                }
+                let mut entry = writer.finish()?;
+                entry.meta = Some(serde_json::to_string(&local_report)?);
+                store.commit_shard(entry)?;
+                Ok(local_report)
+            })
+            .collect();
+
+        // `fetched` counts only the files whose shards this report covers
+        // (processed + previously stored); files of shards deferred by
+        // `max_new_shards` are excluded so `parsed + parse_failed ==
+        // fetched` holds for partial reports too. Once nothing is deferred,
+        // this equals `raw_files.len()` — the `run_parallel` value.
+        let mut report = PipelineReport {
+            fetched: raw_files.len() - deferred_files,
+            queries_executed: queries,
+            ..Default::default()
+        };
+        for local in written {
+            report.merge(local?);
+        }
+        for id in &skipped {
+            let entry = store
+                .shard_entry(id)
+                .expect("skipped shard is in the manifest");
+            let meta = entry
+                .meta
+                .as_deref()
+                .ok_or_else(|| StoreError::MissingShardMeta { id: id.clone() })?;
+            report.merge(serde_json::from_str(meta)?);
+        }
+
+        // Reload through the store: verifies every shard's count and
+        // fingerprint. Stored indices reflect the extraction that produced
+        // each shard; when the configuration has since grown (fresh
+        // repositories appended), those interleave differently — so re-rank
+        // by the *current* extraction's (repository, path) order, which is
+        // what an uninterrupted run over this host would produce.
+        let mut corpus = store.load_corpus()?;
+        let current_rank: HashMap<(&str, &str), usize> = raw_files
+            .iter()
+            .enumerate()
+            .map(|(i, raw)| ((raw.repository.as_str(), raw.path.as_str()), i))
+            .collect();
+        corpus.tables.sort_by_key(|at| {
+            let p = at.table.provenance();
+            current_rank
+                .get(&(p.repository.as_str(), p.path.as_str()))
+                .copied()
+                // Tables whose source left the extraction keep their stored
+                // order, after all currently-extracted ones.
+                .unwrap_or(usize::MAX)
+        });
+        Ok(StoreRun {
+            corpus,
+            report,
+            shards_written: pending.len(),
+            shards_skipped: skipped.len(),
+        })
+    }
+}
+
+/// Groups raw files by repository — the pipeline's fan-out grain — keeping
+/// first-appearance order so the shard list is deterministic. Each file
+/// carries its global extraction index for order-preserving reassembly.
+fn shard_by_repository(raw_files: &[RawCsvFile]) -> Vec<(&str, Vec<(usize, &RawCsvFile)>)> {
+    let mut shard_of: HashMap<&str, usize> = HashMap::new();
+    let mut shards: Vec<(&str, Vec<(usize, &RawCsvFile)>)> = Vec::new();
+    for (i, raw) in raw_files.iter().enumerate() {
+        let shard = *shard_of.entry(raw.repository.as_str()).or_insert_with(|| {
+            shards.push((raw.repository.as_str(), Vec::new()));
+            shards.len() - 1
+        });
+        shards[shard].1.push((i, raw));
+    }
+    shards
 }
 
 /// Re-exported for report consumers matching on filter tags.
@@ -424,6 +599,35 @@ mod tests {
         assert_eq!(rs, rp);
         assert_eq!(cs, cp);
         assert_eq!(rp.parsed + rp.parse_failed, rp.fetched);
+    }
+
+    #[test]
+    fn store_run_matches_run_parallel() {
+        let pipeline = Pipeline::new(PipelineConfig::small(21));
+        let host = GitHost::new();
+        pipeline.populate_host(&host);
+        let (corpus, report) = pipeline.run_parallel(&host);
+        let dir = std::env::temp_dir().join(format!(
+            "gt_pipe_store_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CorpusStore::create(&dir, pipeline.corpus_name()).unwrap();
+        let run = pipeline.run_to_store(&host, &store).unwrap();
+        assert_eq!(run.corpus, corpus);
+        assert_eq!(run.report, report);
+        assert_eq!(run.shards_skipped, 0);
+        assert!(run.shards_written > 0);
+
+        // A second invocation is a pure resume: everything skipped, same
+        // corpus and report.
+        let resumed = pipeline.run_to_store(&host, &store).unwrap();
+        assert_eq!(resumed.corpus, corpus);
+        assert_eq!(resumed.report, report);
+        assert_eq!(resumed.shards_written, 0);
+        assert_eq!(resumed.shards_skipped, run.shards_written);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -63,6 +63,19 @@ pub fn table_sketch(table: &gittables_table::Table) -> u64 {
     h
 }
 
+/// Folds a sequence of per-table fingerprints into one order-sensitive
+/// digest: FNV-1a over the little-endian bytes of each fingerprint. Used by
+/// the sharded store to fingerprint a whole shard — reordering, dropping, or
+/// editing any member changes the digest.
+#[must_use]
+pub fn combine_fingerprints<I: IntoIterator<Item = u64>>(fingerprints: I) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for fp in fingerprints {
+        fnv(&mut h, &fp.to_le_bytes());
+    }
+    h
+}
+
 /// Finds groups of exactly identical tables (same schema and content).
 #[must_use]
 pub fn exact_duplicates(corpus: &Corpus) -> Vec<DuplicateGroup> {
@@ -135,6 +148,15 @@ mod tests {
     fn dedup_keeps_first() {
         let idx = dedup_indices(&corpus());
         assert_eq!(idx, vec![0, 2]);
+    }
+
+    #[test]
+    fn combined_fingerprint_is_order_sensitive() {
+        let a = table_fingerprint(&t("a", &[["1", "x"]]).table);
+        let b = table_fingerprint(&t("b", &[["2", "y"]]).table);
+        assert_ne!(combine_fingerprints([a, b]), combine_fingerprints([b, a]));
+        assert_ne!(combine_fingerprints([a, b]), combine_fingerprints([a]));
+        assert_eq!(combine_fingerprints([a, b]), combine_fingerprints([a, b]));
     }
 
     #[test]

@@ -6,8 +6,44 @@ use std::path::{Path, PathBuf};
 
 use gittables_tablecsv::{write_csv, Dialect};
 
-use crate::corpus::Corpus;
+use crate::corpus::{AnnotatedTable, Corpus};
 use crate::persist::PersistError;
+use crate::store::{CorpusStore, StoreError};
+
+/// Writes one table as `root/<topic>/<ordinal>_<table>.csv` and appends its
+/// manifest row. `ordinal` is the table's position in the corpus ordering.
+fn export_table(
+    root: &Path,
+    manifest: &mut impl Write,
+    ordinal: usize,
+    at: &AnnotatedTable,
+) -> Result<(), PersistError> {
+    let t = &at.table;
+    let topic = sanitize(if t.provenance().topic.is_empty() {
+        "untopical"
+    } else {
+        &t.provenance().topic
+    });
+    let dir = root.join(&topic);
+    std::fs::create_dir_all(&dir)?;
+    let file: PathBuf = dir.join(format!("{ordinal}_{}.csv", sanitize(t.name())));
+    let schema = t.schema();
+    let header: Vec<&str> = schema.iter().collect();
+    let rows: Vec<Vec<&str>> = (0..t.num_rows())
+        .map(|r| t.row(r).expect("row in range"))
+        .collect();
+    let text = write_csv(&header, &rows, Dialect::default());
+    std::fs::write(&file, text)?;
+    writeln!(
+        manifest,
+        "{}\t{}\t{}\t{}",
+        file.display(),
+        t.provenance().url(),
+        t.provenance().license.as_deref().unwrap_or("-"),
+        topic
+    )?;
+    Ok(())
+}
 
 /// Writes every table of `corpus` under `root/<topic>/<n>_<table>.csv` and a
 /// `manifest.tsv` mapping file paths to source URLs. Returns the number of
@@ -22,31 +58,40 @@ pub fn export_csv(corpus: &Corpus, root: &Path) -> Result<usize, PersistError> {
     writeln!(manifest, "path\tsource_url\tlicense\ttopic")?;
     let mut written = 0usize;
     for (i, at) in corpus.tables.iter().enumerate() {
-        let t = &at.table;
-        let topic = sanitize(if t.provenance().topic.is_empty() {
-            "untopical"
-        } else {
-            &t.provenance().topic
-        });
-        let dir = root.join(&topic);
-        std::fs::create_dir_all(&dir)?;
-        let file: PathBuf = dir.join(format!("{i}_{}.csv", sanitize(t.name())));
-        let schema = t.schema();
-        let header: Vec<&str> = schema.iter().collect();
-        let rows: Vec<Vec<&str>> = (0..t.num_rows())
-            .map(|r| t.row(r).expect("row in range"))
-            .collect();
-        let text = write_csv(&header, &rows, Dialect::default());
-        std::fs::write(&file, text)?;
-        writeln!(
-            manifest,
-            "{}\t{}\t{}\t{}",
-            file.display(),
-            t.provenance().url(),
-            t.provenance().license.as_deref().unwrap_or("-"),
-            topic
-        )?;
+        export_table(root, &mut manifest, i, at)?;
         written += 1;
+    }
+    manifest.flush()?;
+    Ok(written)
+}
+
+/// Streams a sharded store out as CSV files, one shard in memory at a time,
+/// producing the same files as `export_csv(&store.load_corpus()?, root)`.
+/// File ordinals follow the store's global table ordering; `manifest.tsv`
+/// rows are emitted in shard order.
+///
+/// # Errors
+/// Propagates shard-load ([`StoreError`]) and I/O failures.
+pub fn export_csv_store(store: &CorpusStore, root: &Path) -> Result<usize, StoreError> {
+    std::fs::create_dir_all(root)?;
+    let manifest_path = root.join("manifest.tsv");
+    let mut manifest = std::io::BufWriter::new(std::fs::File::create(manifest_path)?);
+    writeln!(manifest, "path\tsource_url\tlicense\ttopic")?;
+    // Rank the global indices across all shards so file ordinals match the
+    // assembled corpus position without materializing the whole corpus.
+    let entries = store.shard_entries();
+    let mut all_indices: Vec<usize> = entries
+        .iter()
+        .flat_map(|e| e.indices.iter().copied())
+        .collect();
+    all_indices.sort_unstable();
+    let rank = |index: usize| all_indices.partition_point(|&i| i < index);
+    let mut written = 0usize;
+    for entry in &entries {
+        for (index, at) in store.load_shard(entry)? {
+            export_table(root, &mut manifest, rank(index), &at)?;
+            written += 1;
+        }
     }
     manifest.flush()?;
     Ok(written)
@@ -112,6 +157,33 @@ mod tests {
         assert_eq!(manifest.lines().count(), 4);
         assert!(manifest.contains("r/x/alpha.csv"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_export_matches_corpus_export() {
+        let c = corpus();
+        let base = std::env::temp_dir().join(format!("gt_export_s_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let store_dir = base.join("store");
+        let store = crate::store::save_store(&c, &store_dir, 2).unwrap();
+        let direct = base.join("direct");
+        let streamed = base.join("streamed");
+        let n_direct = export_csv(&c, &direct).unwrap();
+        let n_streamed = export_csv_store(&store, &streamed).unwrap();
+        assert_eq!(n_direct, n_streamed);
+        // Same file set with identical contents.
+        for line in std::fs::read_to_string(direct.join("manifest.tsv"))
+            .unwrap()
+            .lines()
+            .skip(1)
+        {
+            let path = line.split('\t').next().unwrap();
+            let rel = Path::new(path).strip_prefix(&direct).unwrap();
+            let a = std::fs::read_to_string(path).unwrap();
+            let b = std::fs::read_to_string(streamed.join(rel)).unwrap();
+            assert_eq!(a, b, "mismatch for {rel:?}");
+        }
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   per-table coverage (Fig. 4b), similarity distribution (Fig. 4c), top-k
 //!   semantic types (Fig. 5);
 //! * [`bias`] — the Table 6 bias audit over person/geography types;
-//! * [`persist`] — JSON save/load.
+//! * [`persist`] — monolithic single-file JSON save/load;
+//! * [`store`] — the sharded on-disk store (`manifest.json` + N shard files)
+//!   with streaming writes, parallel loads, and integrity checks.
 
 #![warn(missing_docs)]
 
@@ -23,13 +25,18 @@ pub mod export;
 pub mod join;
 pub mod persist;
 pub mod stats;
+pub mod store;
 pub mod union;
 
 pub use annstats::{AnnotationStats, Histogram};
 pub use bias::{bias_audit, BiasRow};
 pub use corpus::{AnnotatedTable, Corpus};
-pub use dedup::{dedup_indices, exact_duplicates, DuplicateGroup};
-pub use export::export_csv;
+pub use dedup::{combine_fingerprints, dedup_indices, exact_duplicates, DuplicateGroup};
+pub use export::{export_csv, export_csv_store};
 pub use join::{join_candidates, join_tables, JoinCandidate};
 pub use stats::CorpusStats;
+pub use store::{
+    load_store, save_store, shard_id_for, CorpusStore, ShardEntry, ShardWriter, StoreError,
+    StoreManifest,
+};
 pub use union::{union_groups, union_tables, UnionGroup};

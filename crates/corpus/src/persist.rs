@@ -1,6 +1,6 @@
 //! JSON persistence of corpora and statistics.
 
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
 use crate::corpus::Corpus;
@@ -54,11 +54,11 @@ pub fn save_corpus(corpus: &Corpus, path: &Path) -> Result<(), PersistError> {
 /// # Errors
 /// Propagates I/O and deserialization failures.
 pub fn load_corpus(path: &Path) -> Result<Corpus, PersistError> {
+    // Hand the reader straight to the deserializer: `from_reader` frees the
+    // raw document bytes before materializing the corpus, so peak memory no
+    // longer holds document + parse tree + corpus simultaneously.
     let file = std::fs::File::open(path)?;
-    let mut r = BufReader::new(file);
-    let mut buf = String::new();
-    r.read_to_string(&mut buf)?;
-    Ok(serde_json::from_str(&buf)?)
+    Ok(serde_json::from_reader(BufReader::new(file))?)
 }
 
 #[cfg(test)]

@@ -1,0 +1,698 @@
+//! Sharded on-disk corpus store: `manifest.json` plus N shard files.
+//!
+//! The single-file JSON persistence of [`crate::persist`] serializes the whole
+//! corpus in memory, so save/load cost and peak memory grow linearly with
+//! corpus size and a crashed build loses everything. The store spreads a
+//! corpus over a directory instead:
+//!
+//! ```text
+//! store/
+//!   manifest.json          # StoreManifest: name, format version, shard index
+//!   <shard-id>.jsonl       # one AnnotatedTable as JSON per line
+//!   <shard-id>.jsonl
+//!   ...
+//! ```
+//!
+//! Key properties:
+//!
+//! * **Streaming writes, bounded memory** — [`ShardWriter`] appends one table
+//!   at a time; nothing but the current table is held in memory while a shard
+//!   is produced.
+//! * **Crash safety at shard granularity** — a shard becomes visible only when
+//!   its [`ShardEntry`] is committed to the manifest (written via a temp file
+//!   + atomic rename). An interrupted build keeps every committed shard.
+//! * **Parallel loads** — [`CorpusStore::load_corpus`] reads shards with a
+//!   rayon fan-out; each shard is parsed line by line, so peak memory per
+//!   worker is one shard, not the whole corpus.
+//! * **Integrity checks** — every shard entry records its table count and a
+//!   content fingerprint (an order-sensitive fold of
+//!   [`crate::dedup::table_fingerprint`] via
+//!   [`crate::dedup::combine_fingerprints`]); both are verified on load and
+//!   mismatches surface as typed [`StoreError`]s, never panics.
+//! * **Stable ordering** — each table carries the global corpus position it
+//!   was produced at (`ShardEntry::indices`), so a corpus reassembled from
+//!   shards is identical to the corpus that was written, regardless of shard
+//!   layout or load scheduling.
+//!
+//! The pipeline's resume mode (`gittables_core`) shards by repository and
+//! stashes its per-shard stage report in [`ShardEntry::meta`]; the store
+//! itself treats `meta` as an opaque string.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::{AnnotatedTable, Corpus};
+use crate::dedup::{combine_fingerprints, table_fingerprint};
+use crate::persist::PersistError;
+
+/// Name of the manifest file inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Store format version written into new manifests.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from the sharded store. Every failure mode is typed; corrupted
+/// inputs never panic.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// (De)serialization failure (also covers truncated shard lines).
+    Json(serde_json::Error),
+    /// The directory has no `manifest.json` — not a store (or never
+    /// committed).
+    MissingManifest(PathBuf),
+    /// `manifest.json` already exists where a fresh store was requested.
+    AlreadyExists(PathBuf),
+    /// A shard listed in the manifest has no file on disk.
+    MissingShard {
+        /// Shard id.
+        id: String,
+    },
+    /// A shard id was written twice.
+    DuplicateShard {
+        /// Shard id.
+        id: String,
+    },
+    /// A shard file holds a different number of tables than its manifest
+    /// entry records (e.g. a truncated or appended-to file).
+    TableCountMismatch {
+        /// Shard id.
+        id: String,
+        /// Count recorded in the manifest.
+        expected: usize,
+        /// Count found in the shard file.
+        actual: usize,
+    },
+    /// A shard's content fingerprint does not match its manifest entry.
+    FingerprintMismatch {
+        /// Shard id.
+        id: String,
+        /// Fingerprint recorded in the manifest.
+        expected: u64,
+        /// Fingerprint of the tables actually read.
+        actual: u64,
+    },
+    /// A resume run found a shard without the metadata it needs to
+    /// reconstruct the merged report.
+    MissingShardMeta {
+        /// Shard id.
+        id: String,
+    },
+    /// The store was created for a different corpus than the caller is
+    /// producing (e.g. resuming with a different seed) — mixing them would
+    /// silently interleave two corpora.
+    CorpusNameMismatch {
+        /// Name recorded in the store manifest.
+        store: String,
+        /// Name the caller expected.
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Json(e) => write!(f, "json error: {e}"),
+            StoreError::MissingManifest(p) => {
+                write!(f, "no {MANIFEST_FILE} under {}", p.display())
+            }
+            StoreError::AlreadyExists(p) => {
+                write!(f, "store already exists at {}", p.display())
+            }
+            StoreError::MissingShard { id } => write!(f, "shard `{id}` file is missing"),
+            StoreError::DuplicateShard { id } => write!(f, "shard `{id}` already exists"),
+            StoreError::TableCountMismatch {
+                id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shard `{id}` holds {actual} tables but the manifest records {expected}"
+            ),
+            StoreError::FingerprintMismatch {
+                id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shard `{id}` fingerprint {actual:#018x} != manifest {expected:#018x}"
+            ),
+            StoreError::MissingShardMeta { id } => {
+                write!(
+                    f,
+                    "shard `{id}` has no report metadata (store not built by resume)"
+                )
+            }
+            StoreError::CorpusNameMismatch { store, expected } => write!(
+                f,
+                "store holds corpus `{store}` but the caller is producing `{expected}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Json(e)
+    }
+}
+
+impl From<PersistError> for StoreError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Io(e) => StoreError::Io(e),
+            PersistError::Json(e) => StoreError::Json(e),
+        }
+    }
+}
+
+/// One shard's index record inside the manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardEntry {
+    /// Stable shard identifier (also the file stem).
+    pub id: String,
+    /// Shard file name, relative to the store directory.
+    pub file: String,
+    /// Number of tables in the shard.
+    pub tables: usize,
+    /// Order-sensitive fold of the per-table content fingerprints.
+    pub fingerprint: u64,
+    /// Global corpus position of each table, aligned with the shard's lines.
+    pub indices: Vec<usize>,
+    /// Opaque producer metadata (the pipeline stores its per-shard stage
+    /// report here); `None` for stores built by [`save_store`].
+    pub meta: Option<String>,
+}
+
+/// The manifest: corpus identity plus the shard index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreManifest {
+    /// Store format version.
+    pub version: u32,
+    /// Corpus name / version tag.
+    pub name: String,
+    /// Committed shards, in commit order.
+    pub shards: Vec<ShardEntry>,
+}
+
+/// A streaming writer for one shard: tables are appended as they are
+/// produced, so producing a shard needs memory for one table at a time.
+///
+/// Created by [`CorpusStore::begin_shard`]; call [`ShardWriter::finish`] and
+/// commit the returned entry with [`CorpusStore::commit_shard`] to make the
+/// shard visible.
+#[derive(Debug)]
+pub struct ShardWriter {
+    writer: BufWriter<std::fs::File>,
+    id: String,
+    file: String,
+    fingerprints: Vec<u64>,
+    indices: Vec<usize>,
+}
+
+impl ShardWriter {
+    /// Appends one table at global corpus position `index`.
+    ///
+    /// # Errors
+    /// Propagates I/O and serialization failures.
+    pub fn push(&mut self, index: usize, table: &AnnotatedTable) -> Result<(), StoreError> {
+        // One JSON document per line; the JSON printer never emits raw
+        // newlines (they are escaped inside strings), so lines == tables.
+        let line = serde_json::to_string(table)?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.fingerprints.push(table_fingerprint(&table.table));
+        self.indices.push(index);
+        Ok(())
+    }
+
+    /// Number of tables appended so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether no table has been appended yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Flushes the shard file and returns its manifest entry (not yet
+    /// committed).
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn finish(mut self) -> Result<ShardEntry, StoreError> {
+        self.writer.flush()?;
+        // The durability promise of `commit_shard` requires the shard's
+        // bytes to hit disk before its manifest entry does.
+        self.writer.get_ref().sync_all()?;
+        Ok(ShardEntry {
+            fingerprint: combine_fingerprints(self.fingerprints.iter().copied()),
+            tables: self.indices.len(),
+            id: self.id,
+            file: self.file,
+            indices: self.indices,
+            meta: None,
+        })
+    }
+}
+
+/// Handle to a store directory. Cheap to share across threads: shard writes
+/// go to independent files and manifest commits serialize on an internal
+/// lock.
+#[derive(Debug)]
+pub struct CorpusStore {
+    dir: PathBuf,
+    manifest: Mutex<StoreManifest>,
+}
+
+impl CorpusStore {
+    /// Creates a fresh store at `dir` (creating the directory if needed).
+    ///
+    /// # Errors
+    /// [`StoreError::AlreadyExists`] if `dir` already holds a manifest;
+    /// otherwise propagates I/O failures.
+    pub fn create(dir: impl Into<PathBuf>, name: impl Into<String>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        if dir.join(MANIFEST_FILE).exists() {
+            return Err(StoreError::AlreadyExists(dir));
+        }
+        let store = CorpusStore {
+            dir,
+            manifest: Mutex::new(StoreManifest {
+                version: FORMAT_VERSION,
+                name: name.into(),
+                shards: Vec::new(),
+            }),
+        };
+        store.persist_manifest(&store.manifest.lock())?;
+        Ok(store)
+    }
+
+    /// Opens an existing store.
+    ///
+    /// # Errors
+    /// [`StoreError::MissingManifest`] when `dir` has no manifest; otherwise
+    /// propagates I/O and deserialization failures.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        let path = dir.join(MANIFEST_FILE);
+        let file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingManifest(dir));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let manifest: StoreManifest = serde_json::from_reader(BufReader::new(file))?;
+        Ok(CorpusStore {
+            dir,
+            manifest: Mutex::new(manifest),
+        })
+    }
+
+    /// Opens `dir` as a store, creating a fresh one when no manifest exists.
+    ///
+    /// # Errors
+    /// Propagates [`Self::open`]/[`Self::create`] failures.
+    pub fn open_or_create(
+        dir: impl Into<PathBuf>,
+        name: impl Into<String>,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        if dir.join(MANIFEST_FILE).exists() {
+            Self::open(dir)
+        } else {
+            Self::create(dir, name)
+        }
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The corpus name recorded in the manifest.
+    #[must_use]
+    pub fn name(&self) -> String {
+        self.manifest.lock().name.clone()
+    }
+
+    /// Number of committed shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.manifest.lock().shards.len()
+    }
+
+    /// Total number of tables across committed shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.manifest.lock().shards.iter().map(|s| s.tables).sum()
+    }
+
+    /// Whether the store holds no tables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a shard with `id` has been committed.
+    #[must_use]
+    pub fn has_shard(&self, id: &str) -> bool {
+        self.manifest.lock().shards.iter().any(|s| s.id == id)
+    }
+
+    /// The committed entry for `id`, if any.
+    #[must_use]
+    pub fn shard_entry(&self, id: &str) -> Option<ShardEntry> {
+        self.manifest
+            .lock()
+            .shards
+            .iter()
+            .find(|s| s.id == id)
+            .cloned()
+    }
+
+    /// Snapshot of all committed entries, in commit order.
+    #[must_use]
+    pub fn shard_entries(&self) -> Vec<ShardEntry> {
+        self.manifest.lock().shards.clone()
+    }
+
+    /// Starts a new shard. The shard stays invisible until its entry is
+    /// passed to [`Self::commit_shard`].
+    ///
+    /// # Errors
+    /// [`StoreError::DuplicateShard`] when `id` is already committed;
+    /// otherwise propagates I/O failures.
+    pub fn begin_shard(&self, id: &str) -> Result<ShardWriter, StoreError> {
+        if self.has_shard(id) {
+            return Err(StoreError::DuplicateShard { id: id.to_string() });
+        }
+        let file = format!("{id}.jsonl");
+        let handle = std::fs::File::create(self.dir.join(&file))?;
+        Ok(ShardWriter {
+            writer: BufWriter::new(handle),
+            id: id.to_string(),
+            file,
+            fingerprints: Vec::new(),
+            indices: Vec::new(),
+        })
+    }
+
+    /// Commits a finished shard: appends its entry and atomically rewrites
+    /// the manifest. After this returns, the shard survives crashes.
+    ///
+    /// # Errors
+    /// [`StoreError::DuplicateShard`] on id collision; otherwise propagates
+    /// I/O and serialization failures.
+    pub fn commit_shard(&self, entry: ShardEntry) -> Result<(), StoreError> {
+        let mut manifest = self.manifest.lock();
+        if manifest.shards.iter().any(|s| s.id == entry.id) {
+            return Err(StoreError::DuplicateShard { id: entry.id });
+        }
+        manifest.shards.push(entry);
+        self.persist_manifest(&manifest)
+    }
+
+    /// Writes the manifest to a temp file, fsyncs it, renames it into place,
+    /// and fsyncs the directory so the rename itself is durable. Callers
+    /// hold the manifest lock, so the single temp name cannot race.
+    fn persist_manifest(&self, manifest: &StoreManifest) -> Result<(), StoreError> {
+        let tmp = self.dir.join(format!("{MANIFEST_FILE}.tmp"));
+        {
+            let file = std::fs::File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            serde_json::to_writer(&mut w, manifest)?;
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(MANIFEST_FILE))?;
+        std::fs::File::open(&self.dir)?.sync_all()?;
+        Ok(())
+    }
+
+    /// Loads one shard, verifying its table count and content fingerprint.
+    /// Returns `(global index, table)` pairs in shard order.
+    ///
+    /// # Errors
+    /// [`StoreError::MissingShard`] when the file is gone,
+    /// [`StoreError::Json`] on truncated/corrupt lines, and
+    /// [`StoreError::TableCountMismatch`]/[`StoreError::FingerprintMismatch`]
+    /// when the content disagrees with the manifest.
+    pub fn load_shard(
+        &self,
+        entry: &ShardEntry,
+    ) -> Result<Vec<(usize, AnnotatedTable)>, StoreError> {
+        let path = self.dir.join(&entry.file);
+        let file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::MissingShard {
+                    id: entry.id.clone(),
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let reader = BufReader::new(file);
+        let mut tables: Vec<(usize, AnnotatedTable)> = Vec::with_capacity(entry.tables);
+        let mut fingerprints: Vec<u64> = Vec::with_capacity(entry.tables);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let at: AnnotatedTable = serde_json::from_str(&line)?;
+            fingerprints.push(table_fingerprint(&at.table));
+            // More lines than indices surfaces as a count mismatch below;
+            // the placeholder keeps the scan going without panicking.
+            let index = entry
+                .indices
+                .get(tables.len())
+                .copied()
+                .unwrap_or(usize::MAX);
+            tables.push((index, at));
+        }
+        if tables.len() != entry.tables || entry.indices.len() != entry.tables {
+            return Err(StoreError::TableCountMismatch {
+                id: entry.id.clone(),
+                expected: entry.tables,
+                actual: tables.len(),
+            });
+        }
+        let actual = combine_fingerprints(fingerprints);
+        if actual != entry.fingerprint {
+            return Err(StoreError::FingerprintMismatch {
+                id: entry.id.clone(),
+                expected: entry.fingerprint,
+                actual,
+            });
+        }
+        Ok(tables)
+    }
+
+    /// Loads the whole corpus with a rayon fan-out over shards, verifying
+    /// every shard, and reassembles tables in their recorded global order.
+    ///
+    /// # Errors
+    /// Propagates the first shard failure (see [`Self::load_shard`]).
+    pub fn load_corpus(&self) -> Result<Corpus, StoreError> {
+        let (name, entries) = {
+            let manifest = self.manifest.lock();
+            (manifest.name.clone(), manifest.shards.clone())
+        };
+        let loaded: Vec<Result<Vec<(usize, AnnotatedTable)>, StoreError>> =
+            entries.par_iter().map(|e| self.load_shard(e)).collect();
+        let mut tables: Vec<(usize, AnnotatedTable)> = Vec::new();
+        for shard in loaded {
+            tables.extend(shard?);
+        }
+        tables.sort_by_key(|(i, _)| *i);
+        let mut corpus = Corpus::new(name);
+        for (_, at) in tables {
+            corpus.push(at);
+        }
+        Ok(corpus)
+    }
+}
+
+/// A filesystem-safe, collision-resistant shard id for an arbitrary name
+/// (e.g. a repository `owner/name`): the sanitized name plus a hash suffix
+/// so distinct names that sanitize identically stay distinct.
+#[must_use]
+pub fn shard_id_for(name: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let safe: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{safe}-{h:016x}")
+}
+
+/// Saves a corpus into a fresh store at `dir`, splitting it into shards of
+/// at most `tables_per_shard` tables.
+///
+/// # Errors
+/// Propagates [`CorpusStore::create`] and shard-write failures.
+pub fn save_store(
+    corpus: &Corpus,
+    dir: impl Into<PathBuf>,
+    tables_per_shard: usize,
+) -> Result<CorpusStore, StoreError> {
+    let store = CorpusStore::create(dir, corpus.name.clone())?;
+    let per_shard = tables_per_shard.max(1);
+    for (n, chunk) in corpus.tables.chunks(per_shard).enumerate() {
+        let base = n * per_shard;
+        let mut writer = store.begin_shard(&format!("shard-{n:06}"))?;
+        for (off, at) in chunk.iter().enumerate() {
+            writer.push(base + off, at)?;
+        }
+        store.commit_shard(writer.finish()?)?;
+    }
+    Ok(store)
+}
+
+/// Loads the corpus stored at `dir` (parallel, with integrity checks).
+///
+/// # Errors
+/// Propagates [`CorpusStore::open`] and shard-load failures.
+pub fn load_store(dir: impl Into<PathBuf>) -> Result<Corpus, StoreError> {
+    CorpusStore::open(dir)?.load_corpus()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gittables_table::Table;
+
+    fn table(name: &str, v: &str) -> AnnotatedTable {
+        let rows = vec![
+            vec!["1".to_string(), v.to_string()],
+            vec!["2".to_string(), v.to_string()],
+        ];
+        AnnotatedTable::new(Table::from_string_rows(name, &["id", "x"], rows).unwrap())
+    }
+
+    fn corpus(n: usize) -> Corpus {
+        let mut c = Corpus::new("store-test");
+        for i in 0..n {
+            c.push(table(&format!("t{i}"), &format!("v{i}")));
+        }
+        c
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gt_store_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_across_shards() {
+        let dir = tmp("rt");
+        let c = corpus(10);
+        let store = save_store(&c, &dir, 3).unwrap();
+        assert_eq!(store.num_shards(), 4);
+        assert_eq!(store.len(), 10);
+        let loaded = load_store(&dir).unwrap();
+        assert_eq!(c, loaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_missing_manifest_is_typed() {
+        let dir = tmp("nomanifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = CorpusStore::open(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::MissingManifest(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_over_existing_store_is_typed() {
+        let dir = tmp("exists");
+        save_store(&corpus(2), &dir, 8).unwrap();
+        let err = CorpusStore::create(&dir, "again").unwrap_err();
+        assert!(matches!(err, StoreError::AlreadyExists(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_shard_rejected() {
+        let dir = tmp("dup");
+        let store = CorpusStore::create(&dir, "c").unwrap();
+        let mut w = store.begin_shard("s").unwrap();
+        w.push(0, &table("a", "x")).unwrap();
+        store.commit_shard(w.finish().unwrap()).unwrap();
+        assert!(matches!(
+            store.begin_shard("s").unwrap_err(),
+            StoreError::DuplicateShard { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_shard_invisible_after_reopen() {
+        let dir = tmp("uncommitted");
+        let store = CorpusStore::create(&dir, "c").unwrap();
+        let mut w = store.begin_shard("pending").unwrap();
+        w.push(0, &table("a", "x")).unwrap();
+        let _entry = w.finish().unwrap(); // never committed
+        let reopened = CorpusStore::open(&dir).unwrap();
+        assert_eq!(reopened.num_shards(), 0);
+        assert!(reopened.load_corpus().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_ids_distinct_for_colliding_names() {
+        let a = shard_id_for("owner/repo");
+        let b = shard_id_for("owner_repo");
+        assert_ne!(a, b);
+        assert!(a.starts_with("owner_repo-"));
+    }
+
+    #[test]
+    fn empty_shard_roundtrips() {
+        let dir = tmp("empty");
+        let store = CorpusStore::create(&dir, "c").unwrap();
+        let w = store.begin_shard("none").unwrap();
+        assert!(w.is_empty());
+        store.commit_shard(w.finish().unwrap()).unwrap();
+        let loaded = load_store(&dir).unwrap();
+        assert!(loaded.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,100 @@
+//! CSV edge cases through the full `read_csv` path: quoting that embeds the
+//! row and field separators, CRLF documents, and sniffer behavior on
+//! single-column files.
+
+use gittables_tablecsv::{read_csv, sniff, Dialect, ReadOptions};
+
+#[test]
+fn quoted_field_with_embedded_newline_and_delimiter() {
+    let text = "name,notes\n\"Smith, John\",\"line one\nline two\"\n\"Doe, Jane\",plain\n";
+    let parsed = read_csv(text, &ReadOptions::default()).expect("parses");
+    assert_eq!(parsed.header, vec!["name", "notes"]);
+    assert_eq!(parsed.records.len(), 2);
+    assert_eq!(parsed.records[0][0], "Smith, John");
+    assert_eq!(parsed.records[0][1], "line one\nline two");
+    assert_eq!(parsed.records[1][0], "Doe, Jane");
+    assert_eq!(parsed.bad_lines, 0, "embedded separators are not bad lines");
+}
+
+#[test]
+fn quoted_embedded_newline_does_not_split_records_when_sniffing() {
+    // The sniffer must parse quotes, not count raw '\n' bytes: every data
+    // row here contains a newline inside its quoted second field.
+    let mut text = String::from("id,comment\n");
+    for i in 0..6 {
+        text.push_str(&format!("{i},\"first {i}\nsecond {i}\"\n"));
+    }
+    let parsed = read_csv(&text, &ReadOptions::default()).expect("parses");
+    assert_eq!(parsed.dialect.delimiter, b',');
+    assert_eq!(parsed.records.len(), 6);
+    for (i, rec) in parsed.records.iter().enumerate() {
+        assert_eq!(rec[1], format!("first {i}\nsecond {i}"));
+    }
+}
+
+#[test]
+fn crlf_line_endings() {
+    let text = "a,b,c\r\n1,2,3\r\n4,5,6\r\n";
+    let parsed = read_csv(text, &ReadOptions::default()).expect("parses");
+    assert_eq!(parsed.header, vec!["a", "b", "c"]);
+    assert_eq!(
+        parsed.records,
+        vec![vec!["1", "2", "3"], vec!["4", "5", "6"]]
+    );
+    // No field keeps a stray '\r'.
+    for rec in &parsed.records {
+        for field in rec {
+            assert!(!field.contains('\r'), "CR leaked into field {field:?}");
+        }
+    }
+}
+
+#[test]
+fn crlf_with_quoted_crlf_inside_field() {
+    // A CRLF inside quotes is content; the CRLF outside ends the record.
+    let text = "k,v\r\n1,\"a\r\nb\"\r\n2,c\r\n";
+    let parsed = read_csv(text, &ReadOptions::default()).expect("parses");
+    assert_eq!(parsed.records.len(), 2);
+    assert_eq!(parsed.records[0][1], "a\r\nb");
+    assert_eq!(parsed.records[1][1], "c");
+}
+
+#[test]
+fn sniffer_single_column_file_defaults_to_comma_and_parses() {
+    let text = "value\n1\n2\n3\n";
+    let dialect = sniff(text).expect("single-column files still sniff");
+    assert_eq!(dialect.delimiter, b',');
+    let parsed = read_csv(text, &ReadOptions::default()).expect("parses");
+    assert_eq!(parsed.header, vec!["value"]);
+    assert_eq!(parsed.records, vec![vec!["1"], vec!["2"], vec!["3"]]);
+    assert_eq!(parsed.bad_lines, 0);
+}
+
+#[test]
+fn single_column_file_with_delimiter_bytes_in_content() {
+    // A single-column file whose *values* contain candidate delimiters must
+    // not be split: quoted cells protect the content.
+    let text = "note\n\"a,b\"\n\"c,d\"\n\"e,f\"\n";
+    let parsed = read_csv(text, &ReadOptions::default()).expect("parses");
+    assert_eq!(parsed.header, vec!["note"]);
+    assert_eq!(
+        parsed.records,
+        vec![vec!["a,b"], vec!["c,d"], vec!["e,f"]],
+        "quoted commas are content, not separators"
+    );
+}
+
+#[test]
+fn forced_dialect_overrides_sniffing_on_edge_input() {
+    // Semicolon data whose quoted fields are stuffed with commas parses
+    // correctly when the dialect is forced.
+    let text = "x;y\r\n\"1,2,3\";\"a\r\nb\"\r\n";
+    let options = ReadOptions {
+        dialect: Some(Dialect::semicolon()),
+        ..ReadOptions::default()
+    };
+    let parsed = read_csv(text, &options).expect("parses");
+    assert_eq!(parsed.header, vec!["x", "y"]);
+    assert_eq!(parsed.records[0][0], "1,2,3");
+    assert_eq!(parsed.records[0][1], "a\r\nb");
+}

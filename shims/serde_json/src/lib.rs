@@ -117,13 +117,6 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Parser {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
     fn err(&self, msg: &str) -> Error {
         Error(format!("{msg} at byte {}", self.pos))
     }
@@ -349,9 +342,11 @@ impl<'a> Parser<'a> {
     }
 }
 
-/// Parses a JSON string into the raw [`Value`] tree.
-pub fn parse_value(s: &str) -> Result<Value> {
-    let mut p = Parser::new(s);
+/// Parses a complete JSON document from bytes into the raw [`Value`] tree.
+/// UTF-8 is validated lazily inside string parsing (see `parse_string`), so
+/// there is no up-front whole-buffer scan.
+fn parse_document(bytes: &[u8]) -> Result<Value> {
+    let mut p = Parser { bytes, pos: 0 };
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -360,12 +355,27 @@ pub fn parse_value(s: &str) -> Result<Value> {
     Ok(v)
 }
 
+/// Parses a JSON string into the raw [`Value`] tree.
+pub fn parse_value(s: &str) -> Result<Value> {
+    parse_document(s.as_bytes())
+}
+
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
-    Ok(T::deserialize(&parse_value(s)?)?)
+    from_slice(s.as_bytes())
+}
+
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    Ok(T::deserialize(&parse_document(bytes)?)?)
 }
 
 pub fn from_reader<R: io::Read, T: Deserialize>(mut reader: R) -> Result<T> {
-    let mut buf = String::new();
-    reader.read_to_string(&mut buf)?;
-    from_str(&buf)
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf)?;
+    let value = parse_document(&buf)?;
+    // Release the raw document before building T: peak memory becomes
+    // max(document + value tree, value tree + T) instead of holding all
+    // three at once — the win callers get from `from_reader` over reading
+    // into their own long-lived buffer and calling `from_str`.
+    drop(buf);
+    Ok(T::deserialize(&value)?)
 }

@@ -1,2 +1,9 @@
 //! Workspace-level re-exports for examples and integration tests.
 pub use gittables_core as core;
+pub use gittables_corpus as corpus;
+pub use gittables_githost as githost;
+pub use gittables_table as table;
+pub use gittables_tablecsv as tablecsv;
+
+pub use gittables_core::{Pipeline, PipelineConfig, PipelineReport, StoreRun};
+pub use gittables_corpus::{load_store, save_store, CorpusStore, StoreError};
