@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod annotation;
+pub mod cache;
 pub mod contextual;
 pub mod hierarchy;
 pub mod kgmatch;
@@ -26,6 +27,7 @@ pub mod semantic;
 pub mod syntactic;
 
 pub use annotation::{Annotation, Method, TableAnnotations};
+pub use cache::{AnnotationCache, CacheStats, NameAnnotations};
 pub use contextual::ContextualAnnotator;
 pub use hierarchy::HierarchyScorer;
 pub use semantic::SemanticAnnotator;

@@ -101,10 +101,20 @@ impl SemanticAnnotator {
         if norm.is_empty() || contains_digit(&norm) {
             return None;
         }
+        let mut ann = self.annotate_norm(&norm)?;
+        ann.column = column;
+        Some(ann)
+    }
+
+    /// Annotates an already-normalized, digit-free, non-empty name (the
+    /// annotation-cache fast path: normalization and the §3.4 skip rules run
+    /// once in the caller). The returned [`Annotation::column`] is `0`.
+    #[must_use]
+    pub fn annotate_norm(&self, norm: &str) -> Option<Annotation> {
         let hits = if self.use_pruning {
-            self.index.nearest_pruned(&norm, 1)
+            self.index.nearest_pruned(norm, 1)
         } else {
-            self.index.nearest_brute(&norm, 1)
+            self.index.nearest_brute(norm, 1)
         };
         let best = hits.first()?;
         if best.similarity < self.threshold {
@@ -112,7 +122,7 @@ impl SemanticAnnotator {
         }
         let ty = self.ontology.get(self.ids[best.index])?;
         Some(Annotation {
-            column,
+            column: 0,
             type_id: ty.id,
             label: ty.label.clone(),
             ontology: self.ontology.kind(),

@@ -36,9 +36,19 @@ impl SyntacticAnnotator {
         if norm.is_empty() || contains_digit(&norm) {
             return None;
         }
-        let ty = self.ontology.lookup(&norm)?;
+        let mut ann = self.annotate_norm(&norm)?;
+        ann.column = column;
+        Some(ann)
+    }
+
+    /// Annotates an already-normalized, digit-free, non-empty name (the
+    /// annotation-cache fast path: normalization and the §3.4 skip rules run
+    /// once in the caller). The returned [`Annotation::column`] is `0`.
+    #[must_use]
+    pub fn annotate_norm(&self, norm: &str) -> Option<Annotation> {
+        let ty = self.ontology.lookup(norm)?;
         Some(Annotation {
-            column,
+            column: 0,
             type_id: ty.id,
             label: ty.label.clone(),
             ontology: self.ontology.kind(),

@@ -1,0 +1,187 @@
+//! End-to-end pipeline perf harness: runs the synth fetch→parse→annotate
+//! pipeline and records throughput numbers in `BENCH_pipeline.json`, so the
+//! perf trajectory of the hot path is tracked across PRs.
+//!
+//! Usage: `cargo run --release -p gittables_bench --bin bench_pipeline`
+//! (optionally `--seed/--topics/--repos`, plus `--out <path>`).
+//!
+//! The first run writes its metrics as the `baseline` block. Subsequent runs
+//! keep the existing baseline verbatim, add an `after` block, and compute
+//! `speedup_tables_per_sec = after.tables_per_sec / baseline.tables_per_sec`.
+//! Delete the file to re-baseline.
+//!
+//! Besides timing, the harness asserts the serial and parallel pipelines
+//! still produce bit-identical corpora — a perf change that breaks output
+//! equivalence fails here before it ever reaches the test suite.
+
+use std::time::Instant;
+
+use gittables_bench::ExptArgs;
+use gittables_core::Pipeline;
+use gittables_githost::GitHost;
+
+/// One measured pipeline run.
+struct Metrics {
+    wall_secs: f64,
+    tables_per_sec: f64,
+    mb_per_sec: f64,
+    annotations_per_sec: f64,
+    fetched: usize,
+    kept: usize,
+    annotations: usize,
+    bytes_parsed: usize,
+    peak_rss_kb: u64,
+    serial_parallel_identical: bool,
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`).
+/// Returns 0 where procfs is unavailable — a proxy, not a guarantee.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+fn measure(args: &ExptArgs) -> Metrics {
+    let pipeline = gittables_bench::build_pipeline(args);
+    let host = GitHost::new();
+    pipeline.populate_host(&host);
+
+    // Corpus size in bytes: what the parse stage chews through.
+    let (raw_files, _) = pipeline.extract_all(&host);
+    let bytes_parsed: usize = raw_files.iter().map(|f| f.content.len()).sum();
+    drop(raw_files);
+
+    // Warm-up (ontology/annotator construction happened in `new`; one run
+    // warms caches and the allocator) then the timed run.
+    let (_, _) = pipeline.run_parallel(&host);
+    let start = Instant::now();
+    let (corpus, report) = pipeline.run_parallel(&host);
+    let wall = start.elapsed().as_secs_f64();
+
+    let annotations: usize = corpus
+        .tables
+        .iter()
+        .map(|t| {
+            t.syntactic_dbpedia.annotations.len()
+                + t.syntactic_schema.annotations.len()
+                + t.semantic_dbpedia.annotations.len()
+                + t.semantic_schema.annotations.len()
+        })
+        .sum();
+
+    // Output-equivalence guard: a serial run must be bit-identical.
+    let serial = Pipeline::new(gittables_core::PipelineConfig {
+        workers: 1,
+        ..pipeline.config
+    });
+    let (serial_corpus, serial_report) = serial.run(&host);
+    let identical = serial_corpus == corpus && serial_report == report;
+
+    Metrics {
+        wall_secs: wall,
+        tables_per_sec: report.kept as f64 / wall,
+        mb_per_sec: bytes_parsed as f64 / (1024.0 * 1024.0) / wall,
+        annotations_per_sec: annotations as f64 / wall,
+        fetched: report.fetched,
+        kept: report.kept,
+        annotations,
+        bytes_parsed,
+        peak_rss_kb: peak_rss_kb(),
+        serial_parallel_identical: identical,
+    }
+}
+
+fn metrics_json(m: &Metrics, indent: &str) -> String {
+    format!(
+        "{{\n{i}  \"wall_secs\": {:.4},\n{i}  \"tables_per_sec\": {:.2},\n{i}  \"mb_per_sec\": {:.3},\n{i}  \"annotations_per_sec\": {:.2},\n{i}  \"fetched\": {},\n{i}  \"kept\": {},\n{i}  \"annotations\": {},\n{i}  \"bytes_parsed\": {},\n{i}  \"peak_rss_kb\": {},\n{i}  \"serial_parallel_identical\": {}\n{i}}}",
+        m.wall_secs,
+        m.tables_per_sec,
+        m.mb_per_sec,
+        m.annotations_per_sec,
+        m.fetched,
+        m.kept,
+        m.annotations,
+        m.bytes_parsed,
+        m.peak_rss_kb,
+        m.serial_parallel_identical,
+        i = indent,
+    )
+}
+
+/// Extracts the raw `"baseline": { ... }` object from a previous run's file
+/// by brace matching (the file is always written by this binary, so the
+/// object never contains braces inside strings).
+fn existing_baseline(path: &str) -> Option<(String, f64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"baseline\":";
+    let at = text.find(key)?;
+    let open = at + text[at..].find('{')?;
+    let mut depth = 0usize;
+    let mut end = None;
+    for (i, b) in text[open..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(open + i + 1);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let block = text[open..end?].to_string();
+    let tps_key = "\"tables_per_sec\":";
+    let tat = block.find(tps_key)? + tps_key.len();
+    let num: String = block[tat..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    Some((block, num.parse().ok()?))
+}
+
+fn main() {
+    let args = ExptArgs::parse();
+    let out = args.get("out").unwrap_or("BENCH_pipeline.json").to_string();
+
+    let m = measure(&args);
+    assert!(
+        m.serial_parallel_identical,
+        "serial and parallel pipeline outputs diverged — refusing to record"
+    );
+
+    let config = format!(
+        "{{ \"seed\": {}, \"topics\": {}, \"repos\": {} }}",
+        args.seed, args.topics, args.repos
+    );
+    let body = match existing_baseline(&out) {
+        Some((baseline_block, baseline_tps)) if baseline_tps > 0.0 => {
+            let speedup = m.tables_per_sec / baseline_tps;
+            format!(
+                "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {baseline_block},\n  \"after\": {},\n  \"speedup_tables_per_sec\": {speedup:.2}\n}}\n",
+                metrics_json(&m, "  "),
+            )
+        }
+        _ => format!(
+            "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {}\n}}\n",
+            metrics_json(&m, "  "),
+        ),
+    };
+    std::fs::write(&out, &body).expect("write BENCH_pipeline.json");
+    println!("{body}");
+    eprintln!("wrote {out}");
+}

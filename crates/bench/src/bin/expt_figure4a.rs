@@ -37,7 +37,7 @@ fn main() {
     let mean_cols: f64 = cols.iter().sum::<usize>() as f64 / n.max(1) as f64;
     println!("\nmeans: {mean_rows:.0} rows (paper 142), {mean_cols:.1} columns (paper 12)");
     // Long-tail check: median far below mean for rows.
-    let mut sorted = rows.clone();
+    let mut sorted = rows;
     sorted.sort_unstable();
     let median = sorted.get(n / 2).copied().unwrap_or(0);
     println!(

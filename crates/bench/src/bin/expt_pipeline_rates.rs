@@ -18,7 +18,7 @@ fn main() {
     open.populate_host(&host);
     let (corpus, report) = open.run(&host);
 
-    let mut publish_cfg = open.config.clone();
+    let mut publish_cfg = open.config;
     publish_cfg.curation.require_license = true;
     let publish = gittables_core::Pipeline::new(publish_cfg);
     let (pub_corpus, pub_report) = publish.run(&host);

@@ -177,8 +177,10 @@ fn cmd_union(args: &[String]) -> Result<(), String> {
 
 fn cmd_dedup(args: &[String]) -> Result<(), String> {
     let corpus = load(args)?;
-    let groups = gittables_corpus::exact_duplicates(&corpus);
-    let survivors = gittables_corpus::dedup_indices(&corpus);
+    // One shared fingerprint pass feeds both analyses.
+    let fingerprints = gittables_corpus::table_fingerprints(&corpus);
+    let groups = gittables_corpus::exact_duplicates_with(&fingerprints);
+    let survivors = gittables_corpus::dedup_indices_with(&fingerprints);
     println!(
         "{} tables, {} exact-duplicate groups, {} survive deduplication",
         corpus.len(),

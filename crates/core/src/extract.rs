@@ -46,6 +46,27 @@ pub struct ExtractStats {
     pub fetched: usize,
 }
 
+/// Order-preserving first-occurrence mask: `mask[i]` is true iff item `i`
+/// is the first item with its key. Computed from one sorted index
+/// permutation over *borrowed* keys — unlike a `HashSet<(String, String)>`
+/// probe, no key is ever cloned or allocated.
+pub fn first_occurrence_mask<'a, T, K: Ord + 'a>(
+    items: &'a [T],
+    key: impl Fn(&'a T) -> K,
+) -> Vec<bool> {
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    idx.sort_by(|&a, &b| key(&items[a]).cmp(&key(&items[b])).then(a.cmp(&b)));
+    let mut keep = vec![false; items.len()];
+    let mut prev: Option<usize> = None;
+    for &i in &idx {
+        if prev.is_none_or(|p| key(&items[p]) != key(&items[i])) {
+            keep[i] = true;
+        }
+        prev = Some(i);
+    }
+    keep
+}
+
 /// Recursively collects size ranges whose result counts fit under `cap`.
 fn segment(
     api: &gittables_githost::SearchApi<'_>,
@@ -109,11 +130,12 @@ pub fn extract_topic(host: &GitHost, topic: &str, cap: usize) -> (Vec<RawCsvFile
 
     // Deduplicate URLs (a file can match several size segments at range
     // boundaries only if ranges overlapped; they don't — but dedup anyway
-    // for safety and cross-page duplicates).
-    let mut seen = std::collections::HashSet::new();
+    // for safety and cross-page duplicates). The mask keys on borrowed
+    // `&str`s, so deduplication allocates nothing per result.
+    let keep = first_occurrence_mask(&results, |r| (r.repository.as_str(), r.path.as_str()));
     let mut files = Vec::new();
-    for r in results {
-        if !seen.insert((r.repository.clone(), r.path.clone())) {
+    for (r, is_first) in results.into_iter().zip(keep) {
+        if !is_first {
             continue;
         }
         stats.urls += 1;
@@ -177,6 +199,14 @@ mod tests {
         let (files, stats) = extract_topic(&h, "nonexistenttopicz", 1000);
         assert!(files.is_empty());
         assert_eq!(stats.initial_count, 0);
+    }
+
+    #[test]
+    fn first_occurrence_mask_keeps_order() {
+        let items = vec![("a", 1), ("b", 1), ("a", 2), ("c", 1), ("b", 2), ("a", 3)];
+        let mask = first_occurrence_mask(&items, |it| it.0);
+        assert_eq!(mask, vec![true, true, false, true, false, false]);
+        assert!(first_occurrence_mask::<(&str, i32), &str>(&[], |it| it.0).is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Parsing raw CSV files into provenance-tagged tables (§3.3, step 2).
 
-use gittables_table::{Provenance, Table};
-use gittables_tablecsv::{read_csv, CsvError, ReadOptions};
+use gittables_table::{Column, Provenance, Table};
+use gittables_tablecsv::{read_csv_columns, CsvError, ReadOptions};
 use serde::{Deserialize, Serialize};
 
 use crate::extract::RawCsvFile;
@@ -21,8 +21,10 @@ pub enum ParseFailure {
 /// Returns [`ParseFailure`] when the file cannot be parsed — the paper's
 /// 0.7 % unparseable files.
 pub fn parse_file(raw: &RawCsvFile, options: &ReadOptions) -> Result<Table, ParseFailure> {
-    let parsed =
-        read_csv(&raw.content, options).map_err(|e: CsvError| ParseFailure::Csv(e.to_string()))?;
+    // Column-major read: cells are materialized by the reader straight into
+    // their final column positions — no intermediate row-of-`String`s.
+    let parsed = read_csv_columns(&raw.content, options)
+        .map_err(|e: CsvError| ParseFailure::Csv(e.to_string()))?;
     let name = raw
         .path
         .rsplit('/')
@@ -30,8 +32,13 @@ pub fn parse_file(raw: &RawCsvFile, options: &ReadOptions) -> Result<Table, Pars
         .unwrap_or(&raw.path)
         .trim_end_matches(".csv")
         .to_string();
-    let table = Table::from_string_rows(name, &parsed.header, parsed.records)
-        .map_err(|e| ParseFailure::Table(e.to_string()))?;
+    let columns: Vec<Column> = parsed
+        .header
+        .iter()
+        .zip(parsed.columns)
+        .map(|(h, values)| Column::new(h, values))
+        .collect();
+    let table = Table::new(name, columns).map_err(|e| ParseFailure::Table(e.to_string()))?;
     let mut prov =
         Provenance::new(raw.repository.clone(), raw.path.clone()).with_topic(raw.topic.clone());
     prov.license = raw.license.clone();

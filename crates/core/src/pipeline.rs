@@ -4,12 +4,15 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use gittables_annotate::{SemanticAnnotator, SyntacticAnnotator};
+use gittables_annotate::{
+    Annotation, AnnotationCache, CacheStats, NameAnnotations, SemanticAnnotator,
+    SyntacticAnnotator, TableAnnotations,
+};
 use gittables_corpus::store::{shard_id_for, CorpusStore, StoreError};
 use gittables_corpus::{AnnotatedTable, Corpus};
 use gittables_curate::{anonymize_table, FilterReason};
 use gittables_githost::{GitHost, Repository};
-use gittables_ontology::{dbpedia, schema_org, Ontology};
+use gittables_ontology::{contains_digit, dbpedia, normalize_label, schema_org, Ontology};
 use gittables_synth::repo::RepoGenerator;
 use gittables_table::Table;
 use serde::{Deserialize, Serialize};
@@ -120,6 +123,11 @@ pub struct Pipeline {
     syn_sch: SyntacticAnnotator,
     sem_dbp: SemanticAnnotator,
     sem_sch: SemanticAnnotator,
+    /// Memoized combined annotation results per distinct normalized column
+    /// name (headers like `id`/`name`/`date` dominate the corpus, so hit
+    /// rates are huge). Shared across all repository shards of a run;
+    /// sharded locks keep it rayon-safe.
+    annotation_cache: AnnotationCache,
 }
 
 impl Pipeline {
@@ -138,7 +146,67 @@ impl Pipeline {
             dbpedia: dbp,
             schema_org: sch,
             config,
+            annotation_cache: AnnotationCache::new(),
         }
+    }
+
+    /// Hit/miss counters of the per-name annotation cache (cumulative over
+    /// every run of this pipeline instance).
+    #[must_use]
+    pub fn annotation_cache_stats(&self) -> CacheStats {
+        self.annotation_cache.stats()
+    }
+
+    /// Annotates every column of `table` through the per-name cache: the
+    /// name is normalized once, the §3.4 skip rules (empty / digit-bearing
+    /// names) run once, and the combined syntactic + semantic × DBpedia +
+    /// Schema.org bundle is computed at most once per distinct name
+    /// pipeline-wide. Results are identical to calling the four annotators
+    /// directly — both methods depend on nothing but the normalized name.
+    fn cached_annotations(
+        &self,
+        table: &Table,
+    ) -> (
+        TableAnnotations,
+        TableAnnotations,
+        TableAnnotations,
+        TableAnnotations,
+    ) {
+        let num_columns = table.num_columns();
+        let mut syn_dbp = Vec::new();
+        let mut syn_sch = Vec::new();
+        let mut sem_dbp = Vec::new();
+        let mut sem_sch = Vec::new();
+        for (i, col) in table.columns().iter().enumerate() {
+            let norm = normalize_label(col.name());
+            if norm.is_empty() || contains_digit(&norm) {
+                continue;
+            }
+            let bundle = self
+                .annotation_cache
+                .get_or_compute(&norm, || NameAnnotations {
+                    syntactic_dbpedia: self.syn_dbp.annotate_norm(&norm),
+                    syntactic_schema: self.syn_sch.annotate_norm(&norm),
+                    semantic_dbpedia: self.sem_dbp.annotate_norm(&norm),
+                    semantic_schema: self.sem_sch.annotate_norm(&norm),
+                });
+            let rebind = |a: &Option<Annotation>, out: &mut Vec<Annotation>| {
+                if let Some(a) = a {
+                    let mut a = a.clone();
+                    a.column = i;
+                    out.push(a);
+                }
+            };
+            rebind(&bundle.syntactic_dbpedia, &mut syn_dbp);
+            rebind(&bundle.syntactic_schema, &mut syn_sch);
+            rebind(&bundle.semantic_dbpedia, &mut sem_dbp);
+            rebind(&bundle.semantic_schema, &mut sem_sch);
+        }
+        let wrap = |annotations: Vec<Annotation>| TableAnnotations {
+            annotations,
+            num_columns,
+        };
+        (wrap(syn_dbp), wrap(syn_sch), wrap(sem_dbp), wrap(sem_sch))
     }
 
     /// The DBpedia ontology shared by the annotators.
@@ -175,21 +243,23 @@ impl Pipeline {
     }
 
     /// Runs extraction over all topics, deduplicating files across topics
-    /// (forked repositories are already excluded by the API).
+    /// (forked repositories are already excluded by the API). Cross-topic
+    /// dedup keeps the first occurrence via a borrowed-key mask — no
+    /// per-file `(String, String)` clones.
     #[must_use]
     pub fn extract_all(&self, host: &GitHost) -> (Vec<RawCsvFile>, usize) {
-        let mut seen = std::collections::HashSet::new();
         let mut files = Vec::new();
         let mut queries = 0usize;
         for topic in &self.config.topics {
             let (fs, stats) = extract_topic(host, &topic.noun, self.config.results_cap);
             queries += stats.queries_executed;
-            for f in fs {
-                if seen.insert((f.repository.clone(), f.path.clone())) {
-                    files.push(f);
-                }
-            }
+            files.extend(fs);
         }
+        let keep = crate::extract::first_occurrence_mask(&files, |f| {
+            (f.repository.as_str(), f.path.as_str())
+        });
+        let mut mask = keep.iter();
+        files.retain(|_| *mask.next().expect("mask covers every file"));
         (files, queries)
     }
 
@@ -218,10 +288,11 @@ impl Pipeline {
             return None;
         }
         let mut at = AnnotatedTable::new(table);
-        at.syntactic_dbpedia = self.syn_dbp.annotate(&at.table);
-        at.syntactic_schema = self.syn_sch.annotate(&at.table);
-        at.semantic_dbpedia = self.sem_dbp.annotate(&at.table);
-        at.semantic_schema = self.sem_sch.annotate(&at.table);
+        let (syn_dbp, syn_sch, sem_dbp, sem_sch) = self.cached_annotations(&at.table);
+        at.syntactic_dbpedia = syn_dbp;
+        at.syntactic_schema = syn_sch;
+        at.semantic_dbpedia = sem_dbp;
+        at.semantic_schema = sem_sch;
         if self.config.anonymize {
             // Seed derived from the file URL so anonymization is stable
             // regardless of scheduling.
@@ -236,12 +307,12 @@ impl Pipeline {
                 seed,
             );
             report.pii_columns += pii.anonymized.len();
-            if !pii.anonymized.is_empty() {
-                // Anonymization changed values; re-annotate semantic sets so
-                // confidence scores refer to the published values.
-                at.semantic_dbpedia = self.sem_dbp.annotate(&at.table);
-                at.semantic_schema = self.sem_sch.annotate(&at.table);
-            }
+            // No re-annotation after anonymization: both methods depend
+            // only on column *names*, and `anonymize_table` replaces values
+            // without renaming, so the sets assigned above already describe
+            // the published table (tests/annotation_cache.rs proves the
+            // final annotations equal direct annotator output on the
+            // anonymized tables).
         }
         report.total_columns += at.table.num_columns();
         report.kept += 1;

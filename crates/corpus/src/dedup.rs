@@ -18,11 +18,32 @@ pub struct DuplicateGroup {
 }
 
 /// 64-bit FNV-1a over a byte stream.
+///
+/// FNV-1a is byte-serial by definition, but the input is consumed in
+/// word-sized chunks: each 8-byte word is loaded once and its lanes fed
+/// through eight unrolled rounds, which removes per-byte bounds checks and
+/// keeps the loop branch-predictable while producing the exact same digest
+/// (store fingerprints persist across runs, so the function must stay
+/// bit-compatible).
 fn fnv(h: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *h ^= u64::from(b);
-        *h = h.wrapping_mul(0x100_0000_01b3);
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut acc = *h;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        acc = (acc ^ (w & 0xFF)).wrapping_mul(PRIME);
+        acc = (acc ^ ((w >> 8) & 0xFF)).wrapping_mul(PRIME);
+        acc = (acc ^ ((w >> 16) & 0xFF)).wrapping_mul(PRIME);
+        acc = (acc ^ ((w >> 24) & 0xFF)).wrapping_mul(PRIME);
+        acc = (acc ^ ((w >> 32) & 0xFF)).wrapping_mul(PRIME);
+        acc = (acc ^ ((w >> 40) & 0xFF)).wrapping_mul(PRIME);
+        acc = (acc ^ ((w >> 48) & 0xFF)).wrapping_mul(PRIME);
+        acc = (acc ^ (w >> 56)).wrapping_mul(PRIME);
     }
+    for &b in chunks.remainder() {
+        acc = (acc ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    *h = acc;
 }
 
 /// Exact content fingerprint: schema + all cells.
@@ -76,15 +97,36 @@ pub fn combine_fingerprints<I: IntoIterator<Item = u64>>(fingerprints: I) -> u64
     h
 }
 
+/// Fingerprints every table of `corpus` in one shared (rayon-parallel)
+/// pass: `result[i] == table_fingerprint(&corpus.tables[i].table)`.
+///
+/// Hashing every cell dominates the cost of corpus-level dedup, so callers
+/// that run [`exact_duplicates`] *and* [`dedup_indices`] should compute this
+/// once and hand it to the `_with` variants instead of letting each call
+/// re-hash the whole corpus.
+#[must_use]
+pub fn table_fingerprints(corpus: &Corpus) -> Vec<u64> {
+    use rayon::prelude::*;
+    corpus
+        .tables
+        .par_iter()
+        .map(|at| table_fingerprint(&at.table))
+        .collect()
+}
+
 /// Finds groups of exactly identical tables (same schema and content).
 #[must_use]
 pub fn exact_duplicates(corpus: &Corpus) -> Vec<DuplicateGroup> {
+    exact_duplicates_with(&table_fingerprints(corpus))
+}
+
+/// [`exact_duplicates`] over precomputed per-table fingerprints (see
+/// [`table_fingerprints`]).
+#[must_use]
+pub fn exact_duplicates_with(fingerprints: &[u64]) -> Vec<DuplicateGroup> {
     let mut by_fp: HashMap<u64, Vec<usize>> = HashMap::new();
-    for (i, at) in corpus.tables.iter().enumerate() {
-        by_fp
-            .entry(table_fingerprint(&at.table))
-            .or_default()
-            .push(i);
+    for (i, &fp) in fingerprints.iter().enumerate() {
+        by_fp.entry(fp).or_default().push(i);
     }
     let mut out: Vec<DuplicateGroup> = by_fp
         .into_values()
@@ -99,10 +141,17 @@ pub fn exact_duplicates(corpus: &Corpus) -> Vec<DuplicateGroup> {
 /// of each fingerprint, in corpus order).
 #[must_use]
 pub fn dedup_indices(corpus: &Corpus) -> Vec<usize> {
+    dedup_indices_with(&table_fingerprints(corpus))
+}
+
+/// [`dedup_indices`] over precomputed per-table fingerprints (see
+/// [`table_fingerprints`]).
+#[must_use]
+pub fn dedup_indices_with(fingerprints: &[u64]) -> Vec<usize> {
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
-    for (i, at) in corpus.tables.iter().enumerate() {
-        if seen.insert(table_fingerprint(&at.table)) {
+    for (i, &fp) in fingerprints.iter().enumerate() {
+        if seen.insert(fp) {
             out.push(i);
         }
     }
@@ -148,6 +197,41 @@ mod tests {
     fn dedup_keeps_first() {
         let idx = dedup_indices(&corpus());
         assert_eq!(idx, vec![0, 2]);
+    }
+
+    #[test]
+    fn chunked_fnv_matches_byte_serial_reference() {
+        // The word-at-a-time unrolling must be bit-compatible with the
+        // original byte loop: fingerprints persist in store manifests.
+        fn fnv_ref(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 100] {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let mut a = 0xcbf2_9ce4_8422_2325u64;
+            let mut b = a;
+            fnv(&mut a, &bytes);
+            fnv_ref(&mut b, &bytes);
+            assert_eq!(a, b, "len {len}");
+        }
+    }
+
+    #[test]
+    fn shared_fingerprint_pass_matches_per_call() {
+        let c = corpus();
+        let fps = table_fingerprints(&c);
+        assert_eq!(
+            fps,
+            c.tables
+                .iter()
+                .map(|at| table_fingerprint(&at.table))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(exact_duplicates_with(&fps), exact_duplicates(&c));
+        assert_eq!(dedup_indices_with(&fps), dedup_indices(&c));
     }
 
     #[test]

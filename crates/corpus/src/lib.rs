@@ -31,7 +31,10 @@ pub mod union;
 pub use annstats::{AnnotationStats, Histogram};
 pub use bias::{bias_audit, BiasRow};
 pub use corpus::{AnnotatedTable, Corpus};
-pub use dedup::{combine_fingerprints, dedup_indices, exact_duplicates, DuplicateGroup};
+pub use dedup::{
+    combine_fingerprints, dedup_indices, dedup_indices_with, exact_duplicates,
+    exact_duplicates_with, table_fingerprint, table_fingerprints, DuplicateGroup,
+};
 pub use export::{export_csv, export_csv_store};
 pub use join::{join_candidates, join_tables, JoinCandidate};
 pub use stats::CorpusStats;

@@ -12,14 +12,21 @@
 //! Pruning is lossy in principle (a label with no shared n-gram can still
 //! have nonzero cosine via the synonym lexicon), so lexicon synonyms of the
 //! query tokens are folded into the candidate probe.
+//!
+//! Label embeddings live in one contiguous row-major matrix whose rows are
+//! L2-pre-normalized, so scoring a candidate is a plain dot product over a
+//! flat slice — no per-row pointer chasing, no norm recomputation. Top-k
+//! selection is a bounded `select_nth_unstable_by` instead of a full sort,
+//! and the candidate probe yields borrowed `&str` grams (no per-query
+//! `Vec<String>`).
 
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::lexicon;
-use crate::ngram::{ngrams, NgramEmbedder};
-use crate::vector::cosine;
+use crate::ngram::{GramBuf, NgramEmbedder};
+use crate::vector::{dot, normalize};
 
 /// A search hit: label index and cosine similarity.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,7 +42,11 @@ pub struct Neighbor {
 pub struct EmbeddingIndex {
     embedder: NgramEmbedder,
     labels: Vec<String>,
-    vectors: Vec<Vec<f32>>,
+    /// Embedding dimensionality (the matrix row stride).
+    dim: usize,
+    /// Row-major L2-normalized label embeddings; row `i` occupies
+    /// `matrix[i * dim .. (i + 1) * dim]`.
+    matrix: Vec<f32>,
     /// n-gram → indices of labels containing it.
     inverted: HashMap<String, Vec<u32>>,
 }
@@ -45,20 +56,39 @@ impl EmbeddingIndex {
     #[must_use]
     pub fn build<S: AsRef<str>>(embedder: NgramEmbedder, labels: &[S]) -> Self {
         let labels: Vec<String> = labels.iter().map(|l| l.as_ref().to_string()).collect();
-        let vectors: Vec<Vec<f32>> = labels.iter().map(|l| embedder.embed(l)).collect();
+        let dim = embedder.dim;
+        let mut matrix = Vec::with_capacity(labels.len() * dim);
+        for label in &labels {
+            let mut v = embedder.embed(label);
+            // `embed` returns unit (or zero) vectors already; normalizing
+            // here makes the invariant local instead of an assumption.
+            normalize(&mut v);
+            matrix.extend_from_slice(&v);
+        }
         let mut inverted: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut grams = GramBuf::default();
         for (i, label) in labels.iter().enumerate() {
-            for gram in label_grams(&embedder, label) {
-                let entry = inverted.entry(gram).or_default();
-                if entry.last() != Some(&(i as u32)) {
-                    entry.push(i as u32);
-                }
+            let lower = label.to_lowercase();
+            for tok in lower.split_whitespace() {
+                grams.for_each_gram(tok, embedder.n_min, embedder.n_max.min(4), |gram| {
+                    match inverted.get_mut(gram) {
+                        Some(ids) => {
+                            if ids.last() != Some(&(i as u32)) {
+                                ids.push(i as u32);
+                            }
+                        }
+                        None => {
+                            inverted.insert(gram.to_string(), vec![i as u32]);
+                        }
+                    }
+                });
             }
         }
         EmbeddingIndex {
             embedder,
             labels,
-            vectors,
+            dim,
+            matrix,
             inverted,
         }
     }
@@ -87,17 +117,28 @@ impl EmbeddingIndex {
         &self.embedder
     }
 
+    /// The unit-normalized query embedding.
+    fn query_vector(&self, query: &str) -> Vec<f32> {
+        let mut q = self.embedder.embed(query);
+        normalize(&mut q);
+        q
+    }
+
+    /// Cosine of the (unit) query against pre-normalized row `i`: a plain
+    /// dot product over the flat matrix slice.
+    #[inline]
+    fn score(&self, i: usize, q: &[f32]) -> f32 {
+        dot(&self.matrix[i * self.dim..(i + 1) * self.dim], q).clamp(-1.0, 1.0)
+    }
+
     /// Exact top-`k` by brute-force cosine.
     #[must_use]
     pub fn nearest_brute(&self, query: &str, k: usize) -> Vec<Neighbor> {
-        let qv = self.embedder.embed(query);
-        let mut hits: Vec<Neighbor> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(i, v)| Neighbor {
+        let q = self.query_vector(query);
+        let mut hits: Vec<Neighbor> = (0..self.labels.len())
+            .map(|i| Neighbor {
                 index: i,
-                similarity: cosine(&qv, v),
+                similarity: self.score(i, &q),
             })
             .collect();
         top_k(&mut hits, k);
@@ -112,33 +153,26 @@ impl EmbeddingIndex {
         if candidates.is_empty() {
             return self.nearest_brute(query, k);
         }
-        let qv = self.embedder.embed(query);
+        let q = self.query_vector(query);
         let mut hits: Vec<Neighbor> = candidates
             .into_iter()
             .map(|i| Neighbor {
                 index: i,
-                similarity: cosine(&qv, &self.vectors[i]),
+                similarity: self.score(i, &q),
             })
             .collect();
         top_k(&mut hits, k);
         hits
     }
 
-    /// The candidate label indices sharing an n-gram with the query (or with
-    /// a lexicon synonym of one of its tokens), deduplicated.
-    #[must_use]
-    pub fn candidates(&self, query: &str) -> Vec<usize> {
-        let mut probe: Vec<String> = vec![query.to_lowercase()];
-        for tok in query.split_whitespace() {
-            for syn in lexicon::synonyms(tok) {
-                probe.push(syn.to_string());
-            }
-        }
-        let mut seen = vec![false; self.labels.len()];
-        let mut out = Vec::new();
-        for text in &probe {
-            for gram in label_grams(&self.embedder, text) {
-                if let Some(ids) = self.inverted.get(&gram) {
+    /// Probes the inverted index with every n-gram of `text` (lowercased,
+    /// per token), appending newly seen label indices to `out`.
+    fn probe_text(&self, text: &str, grams: &mut GramBuf, seen: &mut [bool], out: &mut Vec<usize>) {
+        let lower = text.to_lowercase();
+        let (n_min, n_max) = (self.embedder.n_min, self.embedder.n_max.min(4));
+        for tok in lower.split_whitespace() {
+            grams.for_each_gram(tok, n_min, n_max, |gram| {
+                if let Some(ids) = self.inverted.get(gram) {
                     for &i in ids {
                         let i = i as usize;
                         if !seen[i] {
@@ -147,30 +181,48 @@ impl EmbeddingIndex {
                         }
                     }
                 }
+            });
+        }
+    }
+
+    /// The candidate label indices sharing an n-gram with the query (or with
+    /// a lexicon synonym of one of its tokens), deduplicated.
+    #[must_use]
+    pub fn candidates(&self, query: &str) -> Vec<usize> {
+        let mut grams = GramBuf::default();
+        let mut seen = vec![false; self.labels.len()];
+        let mut out = Vec::new();
+        self.probe_text(query, &mut grams, &mut seen, &mut out);
+        for tok in query.split_whitespace() {
+            for syn in lexicon::synonyms(tok) {
+                self.probe_text(syn, &mut grams, &mut seen, &mut out);
             }
         }
         out
     }
 }
 
-/// N-grams of every token of a label, lowercased.
-fn label_grams(embedder: &NgramEmbedder, label: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    for tok in label.to_lowercase().split_whitespace() {
-        out.extend(ngrams(tok, embedder.n_min, embedder.n_max.min(4)));
-    }
-    out
-}
-
-/// Truncates `hits` to the top `k` by similarity (descending, index asc ties).
+/// Truncates `hits` to the top `k` by similarity (descending, index asc
+/// ties) using a bounded selection: `select_nth_unstable_by` partitions the
+/// top `k` in O(n), then only those `k` are sorted. The comparator is a
+/// total order (similarities are never NaN, and the index tiebreak makes
+/// keys distinct), so the result is identical to a full sort + truncate.
 fn top_k(hits: &mut Vec<Neighbor>, k: usize) {
-    hits.sort_by(|a, b| {
+    let cmp = |a: &Neighbor, b: &Neighbor| {
         b.similarity
             .partial_cmp(&a.similarity)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.index.cmp(&b.index))
-    });
-    hits.truncate(k);
+    };
+    if k == 0 {
+        hits.clear();
+        return;
+    }
+    if hits.len() > k {
+        hits.select_nth_unstable_by(k - 1, cmp);
+        hits.truncate(k);
+    }
+    hits.sort_by(cmp);
 }
 
 #[cfg(test)]
@@ -246,5 +298,25 @@ mod tests {
         assert!(idx.is_empty());
         assert!(idx.nearest_brute("x", 3).is_empty());
         assert!(idx.nearest_pruned("x", 3).is_empty());
+    }
+
+    #[test]
+    fn bounded_top_k_equals_full_sort() {
+        let idx = index();
+        for query in ["id", "birth", "ordr numbr", "pricing"] {
+            for k in 1..=idx.len() {
+                let bounded = idx.nearest_brute(query, k);
+                // Full sort: request everything, then truncate.
+                let mut full = idx.nearest_brute(query, idx.len());
+                full.truncate(k);
+                assert_eq!(bounded, full, "query {query}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_zero_clears() {
+        let idx = index();
+        assert!(idx.nearest_brute("id", 0).is_empty());
     }
 }

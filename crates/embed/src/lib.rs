@@ -46,6 +46,6 @@ pub mod sentence;
 pub mod vector;
 
 pub use index::{EmbeddingIndex, Neighbor};
-pub use ngram::{ngrams, NgramEmbedder};
+pub use ngram::{ngrams, GramBuf, NgramEmbedder};
 pub use sentence::SentenceEncoder;
 pub use vector::{cosine, dot, norm, normalize};

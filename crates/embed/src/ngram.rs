@@ -36,6 +36,48 @@ pub fn ngrams(word: &str, n_min: usize, n_max: usize) -> Vec<String> {
     out
 }
 
+/// Reusable scratch for borrowed n-gram iteration: holds the boundary-marked
+/// token (`<word>`) and its char-boundary offsets so grams can be yielded as
+/// `&str` slices instead of allocating one `String` per gram (the candidate
+/// probe of `EmbeddingIndex` runs this for every query).
+#[derive(Debug, Default, Clone)]
+pub struct GramBuf {
+    buf: String,
+    bounds: Vec<usize>,
+}
+
+impl GramBuf {
+    /// Calls `f` with every FastText-style n-gram of `word` — boundary
+    /// markers included, full `<word>` token last — in exactly the order
+    /// [`ngrams`] returns them, without allocating per gram.
+    pub fn for_each_gram(
+        &mut self,
+        word: &str,
+        n_min: usize,
+        n_max: usize,
+        mut f: impl FnMut(&str),
+    ) {
+        self.buf.clear();
+        self.bounds.clear();
+        self.buf.push('<');
+        self.buf.push_str(word);
+        self.buf.push('>');
+        self.bounds.extend(self.buf.char_indices().map(|(i, _)| i));
+        self.bounds.push(self.buf.len());
+        let nchars = self.bounds.len() - 1;
+        for n in n_min..=n_max {
+            if n > nchars {
+                break;
+            }
+            for i in 0..=nchars - n {
+                f(&self.buf[self.bounds[i]..self.bounds[i + n]]);
+            }
+        }
+        // The full token (distinguishes the word from its substrings).
+        f(&self.buf);
+    }
+}
+
 /// FNV-1a 64-bit hash.
 #[must_use]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -93,21 +135,21 @@ impl NgramEmbedder {
         }
     }
 
-    /// Deterministic pseudo-Gaussian unit vector for one n-gram.
-    fn ngram_vector(&self, gram: &str) -> Vec<f32> {
+    /// Deterministic pseudo-Gaussian unit vector for one n-gram, written
+    /// into a caller-provided scratch buffer of length `dim`.
+    fn ngram_vector_into(&self, gram: &str, v: &mut [f32]) {
+        debug_assert_eq!(v.len(), self.dim);
         let mut state = fnv1a(gram.as_bytes()) ^ self.seed;
-        let mut v = Vec::with_capacity(self.dim);
-        for _ in 0..self.dim {
+        for x in v.iter_mut() {
             // Sum of 4 uniforms, centered: cheap approximately-Gaussian draw.
             let mut acc = 0.0f32;
             for _ in 0..4 {
                 let u = (splitmix64(&mut state) >> 40) as f32 / (1u64 << 24) as f32;
                 acc += u;
             }
-            v.push(acc - 2.0);
+            *x = acc - 2.0;
         }
-        normalize(&mut v);
-        v
+        normalize(v);
     }
 
     /// Embeds a single word: mean of its n-gram vectors, mixed with synonym
@@ -129,15 +171,21 @@ impl NgramEmbedder {
         v
     }
 
-    /// Word embedding without lexicon mixing.
+    /// Word embedding without lexicon mixing. Grams are iterated borrowed
+    /// and each gram vector is generated into one reused scratch buffer, so
+    /// embedding a word performs no per-gram allocation.
     fn embed_word_raw(&self, word: &str) -> Vec<f32> {
         let word = word.to_lowercase();
-        let grams = ngrams(&word, self.n_min, self.n_max);
         let mut v = vec![0.0f32; self.dim];
-        for g in &grams {
-            add_scaled(&mut v, &self.ngram_vector(g), 1.0);
-        }
-        scale_inv(&mut v, grams.len() as f32);
+        let mut gram_vec = vec![0.0f32; self.dim];
+        let mut count = 0usize;
+        let mut grams = GramBuf::default();
+        grams.for_each_gram(&word, self.n_min, self.n_max, |g| {
+            self.ngram_vector_into(g, &mut gram_vec);
+            add_scaled(&mut v, &gram_vec, 1.0);
+            count += 1;
+        });
+        scale_inv(&mut v, count as f32);
         normalize(&mut v);
         v
     }
@@ -184,6 +232,17 @@ mod tests {
         // Word shorter than n_min still yields the full token.
         let g = ngrams("a", 3, 6);
         assert_eq!(g, vec!["<a>".to_string(), "<a>".to_string()]);
+    }
+
+    #[test]
+    fn gram_buf_matches_ngrams() {
+        for word in ["ab", "a", "order", "číslo", "日本語id"] {
+            for (n_min, n_max) in [(3, 6), (2, 4), (3, 4)] {
+                let mut got = Vec::new();
+                GramBuf::default().for_each_gram(word, n_min, n_max, |g| got.push(g.to_string()));
+                assert_eq!(got, ngrams(word, n_min, n_max), "{word} {n_min}..{n_max}");
+            }
+        }
     }
 
     #[test]

@@ -31,12 +31,13 @@ pub mod dialect;
 pub mod error;
 pub mod parser;
 pub mod reader;
+pub mod scan;
 pub mod sniffer;
 pub mod writer;
 
 pub use dialect::Dialect;
 pub use error::CsvError;
-pub use parser::Parser;
-pub use reader::{read_csv, ParsedCsv, ReadOptions, RowFate};
+pub use parser::{Parser, RawRecord};
+pub use reader::{read_csv, read_csv_columns, ParsedColumns, ParsedCsv, ReadOptions, RowFate};
 pub use sniffer::{sniff, sniff_naive, Sniffer};
 pub use writer::write_csv;

@@ -1,7 +1,10 @@
 //! Streaming RFC-4180-style record parser.
 //!
-//! The parser walks the raw bytes once, yielding one record (a `Vec<String>`)
-//! per logical CSV row. It supports:
+//! The parser scans the raw bytes once using `memchr`-style word-at-a-time
+//! span scanning (see [`crate::scan`]): an unquoted field is located with a
+//! single three-needle scan for delimiter/newline/CR, and a quoted field with
+//! single-needle scans for the closing quote — there is no per-byte state
+//! machine. It supports:
 //!
 //! * quoted fields (embedded delimiters, quotes escaped by doubling, embedded
 //!   newlines inside quotes),
@@ -11,10 +14,127 @@
 //! * lenient handling of a quote appearing mid-field (treated as a literal,
 //!   like Pandas' default).
 //!
+//! The primary API is zero-copy: [`Parser::next_raw`] yields a borrowed
+//! [`RawRecord`] whose fields are spans into the input buffer (or into a
+//! small reused scratch buffer for the rare fields needing quote
+//! unescaping), materialized on demand as `Cow<'_, str>`. The historical
+//! [`Parser::next_record`] `Vec<String>` API is a thin materializing wrapper
+//! over the raw path, so existing callers compile unchanged.
+//!
 //! Invalid UTF-8 is replaced lossily — GitHub CSVs are occasionally
 //! mis-encoded and the paper's pipeline tolerates that.
 
+use std::borrow::Cow;
+
+use crate::scan::{memchr, memchr2, memchr3};
 use crate::{CsvError, Dialect};
+
+/// One field of a raw record: a span into the input buffer (zero-copy fast
+/// path) or into the parser's scratch buffer (quoted fields that required
+/// unescaping or carried trailing junk).
+#[derive(Debug, Clone, Copy)]
+enum Span {
+    /// `input[start..end]`, exactly as it appeared on the wire.
+    Input { start: usize, end: usize },
+    /// `scratch[start..end]`, bytes rewritten during unescaping.
+    Scratch { start: usize, end: usize },
+}
+
+/// A borrowed view of one parsed record: field spans over the parser's input
+/// and scratch buffers. Obtained from [`Parser::next_raw`]; invalidated by
+/// the next `next_raw`/`next_record` call (the span and scratch buffers are
+/// reused across records — that reuse is what makes the hot path
+/// allocation-free).
+#[derive(Debug)]
+pub struct RawRecord<'p, 'a> {
+    input: &'a [u8],
+    scratch: &'p [u8],
+    fields: &'p [Span],
+}
+
+impl<'p, 'a> RawRecord<'p, 'a> {
+    /// Number of fields.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the record has no fields (never true for parsed records; a
+    /// blank line parses as one empty field).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Raw bytes of field `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()`.
+    #[must_use]
+    pub fn field_bytes(&self, i: usize) -> &[u8] {
+        match self.fields[i] {
+            Span::Input { start, end } => &self.input[start..end],
+            Span::Scratch { start, end } => &self.scratch[start..end],
+        }
+    }
+
+    /// Field `i` as text: borrowed straight from the input when it is valid
+    /// UTF-8 and needed no unescaping, owned otherwise (lossy for invalid
+    /// UTF-8, matching the `Vec<String>` API).
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()`.
+    #[must_use]
+    pub fn field(&self, i: usize) -> Cow<'_, str> {
+        String::from_utf8_lossy(self.field_bytes(i))
+    }
+
+    /// Byte range of field `i` within the *original input*, when the field
+    /// is an untouched input span (`None` for unescaped/rewritten fields).
+    /// Lets callers that retain spans across records avoid copying.
+    #[must_use]
+    pub fn input_span(&self, i: usize) -> Option<(usize, usize)> {
+        match self.fields.get(i) {
+            Some(&Span::Input { start, end }) => Some((start, end)),
+            _ => None,
+        }
+    }
+
+    /// Iterates the fields as byte slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        (0..self.len()).map(|i| self.field_bytes(i))
+    }
+
+    /// Whether every field is empty or whitespace-only (the reader's
+    /// blank-record rule, byte-level fast path included).
+    #[must_use]
+    pub fn is_blank(&self) -> bool {
+        self.iter().all(bytes_blank)
+    }
+
+    /// Materializes the record as owned strings (the historical record
+    /// shape).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<String> {
+        (0..self.len())
+            .map(|i| self.field(i).into_owned())
+            .collect()
+    }
+}
+
+/// Whether `bytes` is empty or trims (Unicode `White_Space`) to empty — the
+/// byte-level equivalent of `str::trim().is_empty()` on the lossy string.
+#[must_use]
+pub(crate) fn bytes_blank(bytes: &[u8]) -> bool {
+    if bytes.iter().all(|b| b.is_ascii()) {
+        // `char::is_whitespace` for ASCII: TAB..CR and space.
+        bytes.iter().all(|b| matches!(b, 0x09..=0x0D | 0x20))
+    } else {
+        // Non-ASCII whitespace (NBSP, ideographic space, …): fall back to
+        // the exact Unicode rule on the lossily decoded text.
+        String::from_utf8_lossy(bytes).trim().is_empty()
+    }
+}
 
 /// A streaming CSV record parser over an input buffer.
 #[derive(Debug)]
@@ -22,17 +142,17 @@ pub struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
     dialect: Dialect,
+    /// Reused per-record field-offset buffer.
+    fields: Vec<Span>,
+    /// Reused unescape buffer for quoted fields; cleared per record.
+    scratch: Vec<u8>,
 }
 
 impl<'a> Parser<'a> {
     /// Creates a parser over `input` with the given dialect.
     #[must_use]
     pub fn new(input: &'a str, dialect: Dialect) -> Self {
-        Parser {
-            input: input.as_bytes(),
-            pos: 0,
-            dialect,
-        }
+        Self::from_bytes(input.as_bytes(), dialect)
     }
 
     /// Creates a parser over raw bytes (invalid UTF-8 is replaced lossily).
@@ -42,6 +162,8 @@ impl<'a> Parser<'a> {
             input,
             pos: 0,
             dialect,
+            fields: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -57,16 +179,12 @@ impl<'a> Parser<'a> {
         self.pos
     }
 
-    fn peek(&self) -> Option<u8> {
-        self.input.get(self.pos).copied()
-    }
-
     /// Consumes a line terminator at the current position if present.
     fn eat_newline(&mut self) {
-        match self.peek() {
+        match self.input.get(self.pos) {
             Some(b'\r') => {
                 self.pos += 1;
-                if self.peek() == Some(b'\n') {
+                if self.input.get(self.pos) == Some(&b'\n') {
                     self.pos += 1;
                 }
             }
@@ -93,20 +211,21 @@ impl<'a> Parser<'a> {
 
     /// Skips to the start of the next line.
     fn skip_line(&mut self) {
-        while let Some(b) = self.peek() {
-            if b == b'\n' || b == b'\r' {
-                break;
-            }
-            self.pos += 1;
-        }
+        self.pos = match memchr2(b'\n', b'\r', &self.input[self.pos..]) {
+            Some(i) => self.pos + i,
+            None => self.input.len(),
+        };
         self.eat_newline();
     }
 
-    /// Reads the next record. Returns `Ok(None)` at end of input.
+    /// Reads the next record as borrowed field spans. Returns `Ok(None)` at
+    /// end of input. The returned [`RawRecord`] is valid until the next call
+    /// on this parser.
     ///
     /// # Errors
-    /// Returns [`CsvError::UnterminatedQuote`] if a quoted field never closes.
-    pub fn next_record(&mut self) -> Result<Option<Vec<String>>, CsvError> {
+    /// Returns [`CsvError::UnterminatedQuote`] if a quoted field never
+    /// closes.
+    pub fn next_raw(&mut self) -> Result<Option<RawRecord<'_, 'a>>, CsvError> {
         // Skip comment lines (possibly several in a row).
         while !self.is_done() && self.at_comment_line() {
             self.skip_line();
@@ -114,61 +233,128 @@ impl<'a> Parser<'a> {
         if self.is_done() {
             return Ok(None);
         }
-        let mut record = Vec::new();
-        let mut field = Vec::<u8>::new();
+        self.fields.clear();
+        self.scratch.clear();
+        let delim = self.dialect.delimiter;
         loop {
-            match self.peek() {
-                None => {
-                    record.push(take_field(&mut field));
-                    return Ok(Some(record));
-                }
+            let span = if self.input.get(self.pos) == Some(&self.dialect.quote) {
+                self.scan_quoted_field()?
+            } else {
+                self.scan_unquoted_field()
+            };
+            self.fields.push(span);
+            // `pos` now rests on the field terminator. Newlines win over the
+            // delimiter, matching the historical per-byte loop's arm order.
+            match self.input.get(self.pos) {
                 Some(b'\n') | Some(b'\r') => {
                     self.eat_newline();
-                    record.push(take_field(&mut field));
-                    return Ok(Some(record));
+                    break;
                 }
-                Some(b) if b == self.dialect.delimiter => {
-                    self.pos += 1;
-                    record.push(take_field(&mut field));
-                }
-                Some(b) if b == self.dialect.quote && field.is_empty() => {
-                    // Quoted field.
-                    let start = self.pos;
-                    self.pos += 1;
-                    self.read_quoted(&mut field, start)?;
-                }
-                Some(b) => {
-                    field.push(b);
-                    self.pos += 1;
-                }
+                Some(&b) if b == delim => self.pos += 1,
+                _ => break, // EOF
             }
         }
+        Ok(Some(RawRecord {
+            input: self.input,
+            scratch: &self.scratch,
+            fields: &self.fields,
+        }))
     }
 
-    /// Reads the body of a quoted field (opening quote already consumed) into
-    /// `field`. Stops after the closing quote; trailing junk before the next
-    /// delimiter/newline is appended literally (lenient mode).
-    fn read_quoted(&mut self, field: &mut Vec<u8>, start: usize) -> Result<(), CsvError> {
+    /// Scans an unquoted field starting at `pos`: a single three-needle span
+    /// scan to the next delimiter/LF/CR (a quote mid-field is a literal, so
+    /// it is not a needle). Leaves `pos` on the terminator.
+    fn scan_unquoted_field(&mut self) -> Span {
+        let start = self.pos;
+        let end = match memchr3(self.dialect.delimiter, b'\n', b'\r', &self.input[start..]) {
+            Some(i) => start + i,
+            None => self.input.len(),
+        };
+        self.pos = end;
+        Span::Input { start, end }
+    }
+
+    /// Scans a quoted field whose opening quote is at `pos`. The content
+    /// between the quotes is returned as a borrowed input span when no
+    /// doubled quote and no trailing junk occurred; otherwise the unescaped
+    /// bytes are assembled in `scratch`. Trailing bytes between the closing
+    /// quote and the next delimiter/newline are appended literally (lenient
+    /// mode). Leaves `pos` on the terminator.
+    fn scan_quoted_field(&mut self) -> Result<Span, CsvError> {
         let q = self.dialect.quote;
-        loop {
-            match self.peek() {
-                None => return Err(CsvError::UnterminatedQuote { offset: start }),
-                Some(b) if b == q => {
-                    self.pos += 1;
-                    if self.peek() == Some(q) {
-                        // Doubled quote: literal quote character.
-                        field.push(q);
-                        self.pos += 1;
+        let open = self.pos;
+        let content_start = open + 1;
+        let mut cursor = content_start;
+        // Start of this field's bytes in scratch, once the slow path engages.
+        let mut scratch_start: Option<usize> = None;
+        let content_end = loop {
+            match memchr(q, &self.input[cursor..]) {
+                None => return Err(CsvError::UnterminatedQuote { offset: open }),
+                Some(i) => {
+                    let q_at = cursor + i;
+                    if self.input.get(q_at + 1) == Some(&q) {
+                        // Doubled quote: switch to the scratch buffer and
+                        // keep one literal quote.
+                        let from = match scratch_start {
+                            Some(_) => cursor,
+                            None => {
+                                scratch_start = Some(self.scratch.len());
+                                content_start
+                            }
+                        };
+                        self.scratch.extend_from_slice(&self.input[from..q_at]);
+                        self.scratch.push(q);
+                        cursor = q_at + 2;
                     } else {
-                        return Ok(());
+                        // Closing quote.
+                        if scratch_start.is_some() {
+                            self.scratch.extend_from_slice(&self.input[cursor..q_at]);
+                        }
+                        self.pos = q_at + 1;
+                        break q_at;
                     }
                 }
-                Some(b) => {
-                    field.push(b);
-                    self.pos += 1;
-                }
             }
+        };
+        // Lenient trailing junk: literal bytes up to the next terminator.
+        let junk_end = match memchr3(
+            self.dialect.delimiter,
+            b'\n',
+            b'\r',
+            &self.input[self.pos..],
+        ) {
+            Some(i) => self.pos + i,
+            None => self.input.len(),
+        };
+        if junk_end > self.pos {
+            if scratch_start.is_none() {
+                scratch_start = Some(self.scratch.len());
+                self.scratch
+                    .extend_from_slice(&self.input[content_start..content_end]);
+            }
+            self.scratch
+                .extend_from_slice(&self.input[self.pos..junk_end]);
+            self.pos = junk_end;
         }
+        Ok(match scratch_start {
+            Some(start) => Span::Scratch {
+                start,
+                end: self.scratch.len(),
+            },
+            None => Span::Input {
+                start: content_start,
+                end: content_end,
+            },
+        })
+    }
+
+    /// Reads the next record as owned strings. Returns `Ok(None)` at end of
+    /// input. Thin materializing wrapper over [`Parser::next_raw`].
+    ///
+    /// # Errors
+    /// Returns [`CsvError::UnterminatedQuote`] if a quoted field never closes.
+    pub fn next_record(&mut self) -> Result<Option<Vec<String>>, CsvError> {
+        Ok(self.next_raw()?.map(|r| r.to_vec()))
     }
 
     /// Parses all remaining records.
@@ -182,12 +368,6 @@ impl<'a> Parser<'a> {
         }
         Ok(out)
     }
-}
-
-fn take_field(buf: &mut Vec<u8>) -> String {
-    let s = String::from_utf8_lossy(buf).into_owned();
-    buf.clear();
-    s
 }
 
 #[cfg(test)]
@@ -234,6 +414,15 @@ mod tests {
     fn quote_mid_field_is_literal() {
         let r = parse("a\nit\"s\n");
         assert_eq!(r[1][0], "it\"s");
+    }
+
+    #[test]
+    fn quoted_then_trailing_junk_is_literal() {
+        // Lenient mode: junk after the closing quote is appended, quotes in
+        // the junk stay literal.
+        let r = parse("a\n\"x\"yz\n\"a\"\"b\"x\"y\n");
+        assert_eq!(r[1][0], "xyz");
+        assert_eq!(r[2][0], "a\"bx\"y");
     }
 
     #[test]
@@ -314,5 +503,37 @@ mod tests {
         // '#' inside a quoted field is not a comment.
         let r = parse("a,b\n\"#not comment\",2\n");
         assert_eq!(r[1][0], "#not comment");
+    }
+
+    #[test]
+    fn raw_record_borrows_clean_fields() {
+        let input = "ab,\"cd\",\"e\"\"f\"\n";
+        let mut p = Parser::new(input, Dialect::default());
+        let r = p.next_raw().unwrap().unwrap();
+        assert_eq!(r.len(), 3);
+        // Unquoted and cleanly quoted fields are borrowed input spans.
+        assert_eq!(r.input_span(0), Some((0, 2)));
+        assert_eq!(r.input_span(1), Some((4, 6)));
+        // The escaped field lives in scratch.
+        assert_eq!(r.input_span(2), None);
+        assert!(matches!(r.field(0), Cow::Borrowed("ab")));
+        assert_eq!(r.field(2), "e\"f");
+        assert_eq!(r.to_vec(), vec!["ab", "cd", "e\"f"]);
+    }
+
+    #[test]
+    fn raw_record_blank_detection() {
+        let mut p = Parser::new("  ,\t\nx,y\n", Dialect::default());
+        assert!(p.next_raw().unwrap().unwrap().is_blank());
+        assert!(!p.next_raw().unwrap().unwrap().is_blank());
+    }
+
+    #[test]
+    fn bytes_blank_matches_str_trim() {
+        for s in ["", " ", "\t \r", "\u{a0}", "x", " x ", "\u{3000}"] {
+            assert_eq!(bytes_blank(s.as_bytes()), s.trim().is_empty(), "case {s:?}");
+        }
+        // Invalid UTF-8 lossily decodes to U+FFFD, which is not whitespace.
+        assert!(!bytes_blank(b"\xff"));
     }
 }

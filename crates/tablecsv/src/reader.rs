@@ -1,6 +1,7 @@
 //! High-level CSV reading with the paper's §3.3 parsing & curation rules.
 //!
-//! [`read_csv`] performs, in order:
+//! [`read_csv_columns`] (and its row-major wrapper [`read_csv`]) performs,
+//! in order:
 //!
 //! 1. **Dialect sniffing** (or uses a caller-forced dialect).
 //! 2. **Preamble skipping** — leading empty lines and `#`-comment lines.
@@ -13,9 +14,16 @@
 //!    every row bad.
 //! 6. **Rejection** of files where the bad-line fraction exceeds a threshold,
 //!    reproducing the 0.7 % of files the paper could not parse into tables.
+//!
+//! The reader rides the parser's zero-copy path: every record is kept as
+//! borrowed field spans (escaped fields land in one shared arena), the
+//! keep/drop/realign decisions run over those spans, and only the cells that
+//! survive are materialized as `String`s — written straight into column-major
+//! storage, so no intermediate row-of-`String`s ever exists.
 
 use serde::{Deserialize, Serialize};
 
+use crate::parser::bytes_blank;
 use crate::{sniff, CsvError, Dialect, Parser};
 
 /// Options controlling [`read_csv`].
@@ -51,7 +59,7 @@ pub enum RowFate {
     WidthMismatch,
 }
 
-/// The result of reading a CSV file.
+/// The result of reading a CSV file, row-major (the historical shape).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ParsedCsv {
     /// Detected (or forced) dialect.
@@ -70,12 +78,94 @@ pub struct ParsedCsv {
     pub realigned: bool,
 }
 
-fn is_blank_record(rec: &[String]) -> bool {
-    rec.iter().all(|f| f.trim().is_empty())
+/// The result of reading a CSV file, column-major: `columns[j][i]` is cell
+/// `(row i, column j)`. This is the zero-copy fast path — downstream table
+/// construction is column-oriented, so cells are materialized directly into
+/// their final position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParsedColumns {
+    /// Detected (or forced) dialect.
+    pub dialect: Dialect,
+    /// Header names (first row).
+    pub header: Vec<String>,
+    /// Cell values, column-major; every column has the same length.
+    pub columns: Vec<Vec<String>>,
+    /// Number of rows dropped as bad lines.
+    pub bad_lines: usize,
+    /// Number of leading empty records skipped before the header.
+    pub preamble_lines: usize,
+    /// Whether trailing-delimiter realignment was applied.
+    pub realigned: bool,
 }
 
-/// Reads a CSV document applying the GitTables parsing rules. See the module
-/// documentation for the exact sequence.
+impl ParsedColumns {
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+}
+
+/// One stored cell: a span into the original input (zero-copy path) or into
+/// the reader's arena (fields that needed quote unescaping).
+#[derive(Debug, Clone, Copy)]
+enum CellRef {
+    Input { start: usize, end: usize },
+    Arena { start: usize, end: usize },
+}
+
+/// Compact row storage: all cell spans in one flat vector plus per-row end
+/// offsets — no per-row `Vec`, no `String`s until the keep set is known.
+#[derive(Debug, Default)]
+struct RowSpans {
+    cells: Vec<CellRef>,
+    /// `row_ends[i]` is the end offset of row `i` in `cells`.
+    row_ends: Vec<usize>,
+    /// Escaped-field bytes, copied out of the parser's per-record scratch.
+    arena: Vec<u8>,
+}
+
+impl RowSpans {
+    fn num_rows(&self) -> usize {
+        self.row_ends.len()
+    }
+
+    fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        let start = if i == 0 { 0 } else { self.row_ends[i - 1] };
+        start..self.row_ends[i]
+    }
+
+    fn row_len(&self, i: usize) -> usize {
+        self.row_range(i).len()
+    }
+
+    fn cell_bytes<'s>(&'s self, input: &'s [u8], cell: CellRef) -> &'s [u8] {
+        match cell {
+            CellRef::Input { start, end } => &input[start..end],
+            CellRef::Arena { start, end } => &self.arena[start..end],
+        }
+    }
+
+    fn push_record(&mut self, rec: &crate::RawRecord<'_, '_>) {
+        for i in 0..rec.len() {
+            match rec.input_span(i) {
+                Some((start, end)) => self.cells.push(CellRef::Input { start, end }),
+                None => {
+                    let start = self.arena.len();
+                    self.arena.extend_from_slice(rec.field_bytes(i));
+                    self.cells.push(CellRef::Arena {
+                        start,
+                        end: self.arena.len(),
+                    });
+                }
+            }
+        }
+        self.row_ends.push(self.cells.len());
+    }
+}
+
+/// Reads a CSV document applying the GitTables parsing rules, producing
+/// column-major output. See the module documentation for the exact sequence.
 ///
 /// # Errors
 /// * [`CsvError::Empty`] for whitespace-only input,
@@ -83,7 +173,7 @@ fn is_blank_record(rec: &[String]) -> bool {
 /// * [`CsvError::UnterminatedQuote`] on an unclosed quoted field,
 /// * [`CsvError::NoRows`] when nothing but the header survives,
 /// * [`CsvError::TooManyBadLines`] when bad rows exceed the threshold.
-pub fn read_csv(input: &str, options: &ReadOptions) -> Result<ParsedCsv, CsvError> {
+pub fn read_csv_columns(input: &str, options: &ReadOptions) -> Result<ParsedColumns, CsvError> {
     // Strip a UTF-8 byte-order mark; exported CSVs from Windows tooling
     // commonly carry one and it must not become part of the first header.
     let input = input.strip_prefix('\u{feff}').unwrap_or(input);
@@ -94,50 +184,50 @@ pub fn read_csv(input: &str, options: &ReadOptions) -> Result<ParsedCsv, CsvErro
         Some(d) => d,
         None => sniff(input).ok_or(CsvError::UndetectableDialect)?,
     };
+    let bytes = input.as_bytes();
     let mut parser = Parser::new(input, dialect);
 
     // Preamble: skip leading blank records (comments are eaten by the parser).
     let mut preamble_lines = 0usize;
-    let header = loop {
-        match parser.next_record()? {
+    let mut header: Vec<String> = loop {
+        match parser.next_raw()? {
             None => return Err(CsvError::NoRows),
-            Some(rec) if is_blank_record(&rec) => preamble_lines += 1,
-            Some(rec) => break rec,
+            Some(rec) if rec.is_blank() => preamble_lines += 1,
+            Some(rec) => break rec.to_vec(),
         }
     };
     let width = header.len();
 
-    let mut raw_rows: Vec<Vec<String>> = Vec::new();
-    let mut bad_lines = 0usize;
+    let mut rows = RowSpans::default();
     let mut empty_lines = 0usize;
-    while let Some(rec) = parser.next_record()? {
-        if raw_rows.len() >= options.max_rows {
+    while let Some(rec) = parser.next_raw()? {
+        if rows.num_rows() >= options.max_rows {
             break;
         }
-        if is_blank_record(&rec) {
+        if rec.is_blank() {
             empty_lines += 1;
             continue;
         }
-        raw_rows.push(rec);
+        rows.push_record(&rec);
     }
 
     // Trailing-delimiter realignment (paper §3.3): all data rows one wider
     // than the header with an empty last field ⇒ drop that field; or header
     // one wider than all rows with an empty last name ⇒ drop that name.
-    let mut header = header;
+    let n = rows.num_rows();
     let mut realigned = false;
-    if !raw_rows.is_empty() {
-        let all_one_wider = raw_rows
-            .iter()
-            .all(|r| r.len() == width + 1 && r.last().is_some_and(|f| f.trim().is_empty()));
+    let mut drop_last_cell = false;
+    if n > 0 {
+        let all_one_wider = (0..n).all(|i| {
+            let r = rows.row_range(i);
+            r.len() == width + 1 && bytes_blank(rows.cell_bytes(bytes, rows.cells[r.end - 1]))
+        });
         if all_one_wider {
-            for r in &mut raw_rows {
-                r.pop();
-            }
+            drop_last_cell = true;
             realigned = true;
         } else if width >= 2
             && header.last().is_some_and(|h| h.trim().is_empty())
-            && raw_rows.iter().all(|r| r.len() == width - 1)
+            && (0..n).all(|i| rows.row_len(i) == width - 1)
         {
             header.pop();
             realigned = true;
@@ -145,34 +235,68 @@ pub fn read_csv(input: &str, options: &ReadOptions) -> Result<ParsedCsv, CsvErro
     }
     let width = header.len();
 
-    // Bad-line removal: rows whose width still deviates.
-    let mut records = Vec::with_capacity(raw_rows.len());
-    for rec in raw_rows {
-        if rec.len() == width {
-            records.push(rec);
+    // Bad-line removal + materialization: only cells of kept rows become
+    // `String`s, written directly into column-major storage.
+    let mut bad_lines = 0usize;
+    let mut columns: Vec<Vec<String>> = (0..width).map(|_| Vec::new()).collect();
+    for i in 0..n {
+        let r = rows.row_range(i);
+        let effective_len = r.len() - usize::from(drop_last_cell);
+        if effective_len == width {
+            for (j, &cell) in rows.cells[r].iter().take(width).enumerate() {
+                columns[j].push(String::from_utf8_lossy(rows.cell_bytes(bytes, cell)).into_owned());
+            }
         } else {
             bad_lines += 1;
         }
     }
     bad_lines += empty_lines;
 
-    let total = records.len() + bad_lines;
+    let kept = columns.first().map_or(0, Vec::len);
+    let total = kept + bad_lines;
     if total > 0 && bad_lines as f64 / total as f64 > options.max_bad_line_fraction {
         return Err(CsvError::TooManyBadLines {
             bad: bad_lines,
             total,
         });
     }
-    if records.is_empty() {
+    if kept == 0 {
         return Err(CsvError::NoRows);
     }
-    Ok(ParsedCsv {
+    Ok(ParsedColumns {
         dialect,
         header,
-        records,
+        columns,
         bad_lines,
         preamble_lines,
         realigned,
+    })
+}
+
+/// Reads a CSV document applying the GitTables parsing rules, producing the
+/// historical row-major records. Thin transposing wrapper over
+/// [`read_csv_columns`]; each cell is still materialized exactly once.
+///
+/// # Errors
+/// Same as [`read_csv_columns`].
+pub fn read_csv(input: &str, options: &ReadOptions) -> Result<ParsedCsv, CsvError> {
+    let parsed = read_csv_columns(input, options)?;
+    let nrows = parsed.num_rows();
+    let mut records: Vec<Vec<String>> = (0..nrows)
+        .map(|_| Vec::with_capacity(parsed.header.len()))
+        .collect();
+    for col in parsed.columns {
+        for (i, v) in col.into_iter().enumerate() {
+            records[i].push(v);
+        }
+    }
+    Ok(ParsedCsv {
+        dialect: parsed.dialect,
+        header: parsed.header,
+        records,
+        bad_lines: parsed.bad_lines,
+        preamble_lines: parsed.preamble_lines,
+        realigned: parsed.realigned,
     })
 }
 
@@ -322,5 +446,28 @@ mod tests {
         let p = read("name,notes\n\"Doe, Jane\",\"says \"\"hi\"\"\"\nBob,ok\n");
         assert_eq!(p.records[0][0], "Doe, Jane");
         assert_eq!(p.records[0][1], "says \"hi\"");
+    }
+
+    #[test]
+    fn columns_match_records() {
+        let s = "a,b\n1,2\nx,\n\"q\"\"z\",w\n";
+        let rows = read(s);
+        let cols = read_csv_columns(s, &ReadOptions::default()).unwrap();
+        assert_eq!(cols.header, rows.header);
+        assert_eq!(cols.num_rows(), rows.records.len());
+        for (i, rec) in rows.records.iter().enumerate() {
+            for (j, v) in rec.iter().enumerate() {
+                assert_eq!(&cols.columns[j][i], v);
+            }
+        }
+        assert_eq!(cols.bad_lines, rows.bad_lines);
+        assert_eq!(cols.realigned, rows.realigned);
+    }
+
+    #[test]
+    fn columns_realignment_drops_trailing_cell() {
+        let p = read_csv_columns("a,b\n1,2,\n3,4,\n", &ReadOptions::default()).unwrap();
+        assert!(p.realigned);
+        assert_eq!(p.columns, vec![vec!["1", "3"], vec!["2", "4"]]);
     }
 }

@@ -1,0 +1,142 @@
+//! Hand-rolled `memchr`-style byte scanning.
+//!
+//! The container has no crate registry, so the classic `memchr` crate is
+//! reimplemented here with the same SWAR (SIMD-within-a-register) technique:
+//! the haystack is walked one machine word at a time and a branch-free
+//! zero-byte test locates candidate positions, so the record parser scans
+//! unquoted spans for delimiter/quote/newline in one pass instead of a
+//! per-byte state machine.
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Broadcasts a byte into every lane of a word.
+#[inline]
+const fn splat(b: u8) -> u64 {
+    LO * b as u64
+}
+
+/// Word with the high bit set in every lane that held a zero byte
+/// (Mycroft's classic zero-in-word test; no false negatives, and false
+/// positives are impossible for the post-XOR pattern used here).
+#[inline]
+const fn zero_lanes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// Index of the first byte equal to `n1` in `hay`.
+#[inline]
+#[must_use]
+pub fn memchr(n1: u8, hay: &[u8]) -> Option<usize> {
+    let s1 = splat(n1);
+    let mut chunks = hay.chunks_exact(8);
+    let mut offset = 0;
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let hit = zero_lanes(w ^ s1);
+        if hit != 0 {
+            return Some(offset + (hit.trailing_zeros() / 8) as usize);
+        }
+        offset += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n1)
+        .map(|i| offset + i)
+}
+
+/// Index of the first byte equal to `n1` or `n2` in `hay`.
+#[inline]
+#[must_use]
+pub fn memchr2(n1: u8, n2: u8, hay: &[u8]) -> Option<usize> {
+    let (s1, s2) = (splat(n1), splat(n2));
+    let mut chunks = hay.chunks_exact(8);
+    let mut offset = 0;
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let hit = zero_lanes(w ^ s1) | zero_lanes(w ^ s2);
+        if hit != 0 {
+            return Some(offset + (hit.trailing_zeros() / 8) as usize);
+        }
+        offset += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n1 || b == n2)
+        .map(|i| offset + i)
+}
+
+/// Index of the first byte equal to `n1`, `n2`, or `n3` in `hay`.
+#[inline]
+#[must_use]
+pub fn memchr3(n1: u8, n2: u8, n3: u8, hay: &[u8]) -> Option<usize> {
+    let (s1, s2, s3) = (splat(n1), splat(n2), splat(n3));
+    let mut chunks = hay.chunks_exact(8);
+    let mut offset = 0;
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let hit = zero_lanes(w ^ s1) | zero_lanes(w ^ s2) | zero_lanes(w ^ s3);
+        if hit != 0 {
+            return Some(offset + (hit.trailing_zeros() / 8) as usize);
+        }
+        offset += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n1 || b == n2 || b == n3)
+        .map(|i| offset + i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Byte-at-a-time oracle.
+    fn naive3(n1: u8, n2: u8, n3: u8, hay: &[u8]) -> Option<usize> {
+        hay.iter().position(|&b| b == n1 || b == n2 || b == n3)
+    }
+
+    #[test]
+    fn finds_first_at_every_alignment() {
+        let mut hay = vec![b'x'; 41];
+        for pos in 0..hay.len() {
+            hay[pos] = b',';
+            assert_eq!(memchr(b',', &hay), Some(pos), "pos {pos}");
+            assert_eq!(memchr2(b',', b'\n', &hay), Some(pos));
+            assert_eq!(memchr3(b',', b'\n', b'\r', &hay), Some(pos));
+            hay[pos] = b'x';
+        }
+        assert_eq!(memchr(b',', &hay), None);
+        assert_eq!(memchr3(b',', b'\n', b'\r', &hay), None);
+    }
+
+    #[test]
+    fn matches_naive_on_mixed_input() {
+        let hay: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for (a, b, c) in [(b'a', b'b', b'c'), (0u8, 255u8, 128u8), (9, 10, 13)] {
+            for start in [0usize, 1, 3, 7, 8, 9, 250] {
+                assert_eq!(
+                    memchr3(a, b, c, &hay[start..]),
+                    naive3(a, b, c, &hay[start..])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_short_haystacks() {
+        assert_eq!(memchr(b'a', b""), None);
+        assert_eq!(memchr(b'a', b"a"), Some(0));
+        assert_eq!(memchr2(b'a', b'b', b"xb"), Some(1));
+        assert_eq!(memchr3(b'a', b'b', b'c', b"xyzc"), Some(3));
+    }
+
+    #[test]
+    fn duplicate_needles_allowed() {
+        assert_eq!(memchr3(b',', b',', b',', b"ab,cd"), Some(2));
+        assert_eq!(memchr2(b'\n', b'\n', b"q\n"), Some(1));
+    }
+}

@@ -70,10 +70,12 @@ impl Sniffer {
         let mut parser = Parser::new(input, dialect);
         let mut widths = Vec::with_capacity(self.sample_rows);
         for _ in 0..self.sample_rows {
-            match parser.next_record() {
+            // Borrowed records: sniffing only needs row shapes, so no field
+            // is ever materialized while scoring candidates.
+            match parser.next_raw() {
                 Ok(Some(rec)) => {
                     // Ignore blank lines for shape statistics.
-                    if !(rec.len() == 1 && rec[0].trim().is_empty()) {
+                    if !(rec.len() == 1 && rec.is_blank()) {
                         widths.push(rec.len());
                     }
                 }

@@ -74,7 +74,7 @@ proptest! {
         pick in 0usize..1000,
     ) {
         let original = build(&spec, "t", Provenance::default());
-        let mut edited = spec.clone();
+        let mut edited = spec;
         let r = pick % edited.rows.len();
         let c = (pick / edited.rows.len().max(1)) % edited.header.len();
         edited.rows[r][c].push_str("-edited");

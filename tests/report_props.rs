@@ -63,9 +63,9 @@ proptest! {
         left.merge(b.clone());
         left.merge(c.clone());
 
-        let mut bc = b.clone();
-        bc.merge(c.clone());
-        let mut right = a.clone();
+        let mut bc = b;
+        bc.merge(c);
+        let mut right = a;
         right.merge(bc);
 
         prop_assert_eq!(&left, &right);
