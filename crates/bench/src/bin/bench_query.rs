@@ -1,0 +1,281 @@
+//! Query-serving throughput harness: measures requests/s over loopback
+//! against a live `gittables_serve` server, single-threaded vs
+//! multi-threaded, for `/search` and `/types/{label}/tables`, and records
+//! the numbers in `BENCH_query.json`.
+//!
+//! Usage:
+//! `cargo run --release -p gittables_bench --bin bench_query`
+//! (optionally `--seed/--topics/--repos/--requests/--threads/--out`).
+//!
+//! Modes:
+//! * **serial** — 1 server worker, 1 keep-alive client issuing strict
+//!   request→response round trips;
+//! * **concurrent** — N server workers hammered by N keep-alive clients.
+//!
+//! The response cache is disabled so every `/search` pays the full
+//! embed + rank cost — the bench measures the serving architecture, not
+//! cache replay. Requests/s scale with available cores; the recorded
+//! `cores` field is the context for the speedup number (on a 1-core
+//! container the two modes are CPU-bound to similar throughput).
+//!
+//! Before timing, the harness asserts that the server's responses are
+//! byte-identical to the in-process engine answers for every target it
+//! is about to hammer — a serving-path change that breaks equivalence
+//! fails here before any number is recorded.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gittables_bench::ExptArgs;
+use gittables_serve::{HttpClient, QueryEngine, Server, ServerConfig};
+
+/// Percent-encodes the characters that matter for our query strings.
+fn encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            ' ' => out.push_str("%20"),
+            '&' | '?' | '#' | '%' | '+' | '/' => {
+                out.push_str(&format!("%{:02X}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds a pool of `/search` targets from real schema vocabulary so the
+/// queries hit the embedding path with realistic tokens.
+fn search_targets(engine: &QueryEngine, n: usize) -> Vec<String> {
+    let mut words: Vec<String> = Vec::new();
+    for at in &engine.corpus().tables {
+        for attr in at.table.schema().iter() {
+            let w: String = attr
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c } else { ' ' })
+                .collect();
+            let w = w.trim();
+            if !w.is_empty() {
+                words.push(w.to_string());
+            }
+        }
+        if words.len() > 4 * n {
+            break;
+        }
+    }
+    if words.is_empty() {
+        words.push("status".to_string());
+    }
+    (0..n)
+        .map(|i| {
+            let a = &words[i % words.len()];
+            let b = &words[(i * 7 + 3) % words.len()];
+            format!("/search?q={}%20and%20{}&k=10", encode(a), encode(b))
+        })
+        .collect()
+}
+
+/// Builds `/types/{label}/tables` targets from the indexed labels.
+fn type_targets(engine: &QueryEngine, n: usize) -> Vec<String> {
+    let labels = engine.type_index().labels();
+    assert!(
+        !labels.is_empty(),
+        "corpus has no annotations; increase --topics/--repos"
+    );
+    (0..n)
+        .map(|i| format!("/types/{}/tables", encode(&labels[i % labels.len()])))
+        .collect()
+}
+
+/// One measured serving mode.
+struct Measured {
+    rps: f64,
+    requests: usize,
+    wall_secs: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Starts a fresh server with `server_threads` workers and hammers it
+/// with `client_threads` keep-alive clients until `requests` requests
+/// completed; every response must be 200.
+fn measure(
+    engine: &Arc<QueryEngine>,
+    targets: &[String],
+    server_threads: usize,
+    client_threads: usize,
+    requests: usize,
+) -> Measured {
+    let handle = Server::start(
+        engine.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: server_threads,
+            cache_capacity: 0, // measure the full query path, not replay
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind bench server");
+    let addr = handle.addr();
+
+    // Warm up (connection setup, allocator, branch predictors).
+    let mut warm = HttpClient::connect(addr).expect("warmup connect");
+    for t in targets.iter().take(8) {
+        let (status, _) = warm.get(t).expect("warmup request");
+        assert_eq!(status, 200, "warmup {t}");
+    }
+    drop(warm);
+
+    let per_client = requests.div_ceil(client_threads);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..client_threads {
+            let targets = &targets;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("client connect");
+                for i in 0..per_client {
+                    let t = &targets[(c + i * client_threads) % targets.len()];
+                    let (status, body) = client.get(t).expect("request");
+                    assert_eq!(status, 200, "{t} -> {body}");
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let snapshot = handle.metrics_snapshot();
+    handle.shutdown();
+    let total = per_client * client_threads;
+    Measured {
+        rps: total as f64 / wall,
+        requests: total,
+        wall_secs: wall,
+        p50_us: snapshot.p50_us,
+        p99_us: snapshot.p99_us,
+    }
+}
+
+/// Asserts the live server's body for `target` equals the in-process
+/// engine answer serialized the same way.
+fn assert_equivalence(engine: &Arc<QueryEngine>, targets: &[String]) {
+    let handle = Server::start(engine.clone(), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind equivalence server");
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+    for t in targets {
+        let (status, body) = client.get(t).expect("request");
+        assert_eq!(status, 200, "{t}");
+        let direct = in_process_answer(engine, t);
+        assert_eq!(body, direct, "served body diverged from in-process for {t}");
+    }
+    handle.shutdown();
+}
+
+/// Reverses [`encode`] exactly (every `%XX` escape, not just `%20`), so
+/// the equivalence check cannot silently diverge from what the server
+/// decodes if the target vocabulary ever gains URL-special characters.
+fn decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if let Some(b) = bytes
+                .get(i + 1..i + 3)
+                .and_then(|h| std::str::from_utf8(h).ok())
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+            {
+                out.push(b);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Computes the in-process JSON for a bench target (search or types).
+fn in_process_answer(engine: &QueryEngine, target: &str) -> String {
+    if let Some(rest) = target.strip_prefix("/search?q=") {
+        let (q, k) = rest.split_once("&k=").expect("bench target shape");
+        let hits = engine.search(&decode(q), k.parse().expect("k"));
+        serde_json::to_string(&hits).expect("serialize")
+    } else if let Some(rest) = target.strip_prefix("/types/") {
+        let label = rest.strip_suffix("/tables").expect("bench target shape");
+        let t = engine.type_tables(&decode(label)).expect("label indexed");
+        serde_json::to_string(&t).expect("serialize")
+    } else {
+        panic!("unknown bench target {target}");
+    }
+}
+
+fn measured_json(m: &Measured, indent: &str) -> String {
+    format!(
+        "{{\n{i}  \"rps\": {:.1},\n{i}  \"requests\": {},\n{i}  \"wall_secs\": {:.3},\n{i}  \"p50_us\": {},\n{i}  \"p99_us\": {}\n{i}}}",
+        m.rps,
+        m.requests,
+        m.wall_secs,
+        m.p50_us,
+        m.p99_us,
+        i = indent,
+    )
+}
+
+fn main() {
+    let mut args = ExptArgs::parse();
+    // A serving bench wants a moderate corpus, not the pipeline-bench
+    // defaults; explicit flags still win.
+    if !std::env::args().any(|a| a == "--topics") {
+        args.topics = 8;
+    }
+    if !std::env::args().any(|a| a == "--repos") {
+        args.repos = 20;
+    }
+    let out = args.get("out").unwrap_or("BENCH_query.json").to_string();
+    let requests: usize = args.get_num("requests", 600);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads: usize = args.get_num("threads", cores.max(4));
+
+    eprintln!(
+        "building corpus (seed {}, {} topics x {} repos)...",
+        args.seed, args.topics, args.repos
+    );
+    let (corpus, _) = gittables_bench::build_corpus(&args);
+    let engine = Arc::new(QueryEngine::from_corpus(corpus));
+    eprintln!(
+        "serving {} tables, {} semantic types; {requests} requests per mode; cores={cores}",
+        engine.num_tables(),
+        engine.type_index().len()
+    );
+
+    let search = search_targets(&engine, 64);
+    let types = type_targets(&engine, 64);
+    assert_equivalence(&engine, &search);
+    assert_equivalence(&engine, &types);
+
+    eprintln!("search: serial (1 worker, 1 client)...");
+    let search_serial = measure(&engine, &search, 1, 1, requests);
+    eprintln!("search: concurrent ({threads} workers, {threads} clients)...");
+    let search_conc = measure(&engine, &search, threads, threads, requests);
+    eprintln!("types: serial...");
+    let types_serial = measure(&engine, &types, 1, 1, requests);
+    eprintln!("types: concurrent...");
+    let types_conc = measure(&engine, &types, threads, threads, requests);
+
+    let body = format!(
+        "{{\n  \"bench\": \"query_serving\",\n  \"config\": {{ \"seed\": {}, \"topics\": {}, \"repos\": {}, \"requests\": {requests}, \"threads\": {threads} }},\n  \"hardware\": {{ \"cores\": {cores} }},\n  \"corpus_tables\": {},\n  \"search\": {{\n    \"serial\": {},\n    \"concurrent\": {},\n    \"speedup_concurrent_vs_serial\": {:.2}\n  }},\n  \"types\": {{\n    \"serial\": {},\n    \"concurrent\": {},\n    \"speedup_concurrent_vs_serial\": {:.2}\n  }},\n  \"note\": \"cache disabled; every response pre-verified byte-identical to the in-process engine answer; thread speedup is bounded by available cores\"\n}}\n",
+        args.seed,
+        args.topics,
+        args.repos,
+        engine.num_tables(),
+        measured_json(&search_serial, "    "),
+        measured_json(&search_conc, "    "),
+        search_conc.rps / search_serial.rps,
+        measured_json(&types_serial, "    "),
+        measured_json(&types_conc, "    "),
+        types_conc.rps / types_serial.rps,
+    );
+    std::fs::write(&out, &body).expect("write BENCH_query.json");
+    println!("{body}");
+    eprintln!("wrote {out}");
+}

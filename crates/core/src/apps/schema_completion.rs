@@ -5,7 +5,7 @@
 //! distance between attribute embeddings) and return them as suggested
 //! completions.
 
-use gittables_corpus::Corpus;
+use gittables_corpus::{Corpus, TableId};
 use gittables_embed::{cosine, SentenceEncoder};
 use gittables_table::Schema;
 use serde::{Deserialize, Serialize};
@@ -38,9 +38,30 @@ impl NearestCompletion {
     /// Builds with a custom encoder.
     #[must_use]
     pub fn build_with_encoder(corpus: &Corpus, encoder: SentenceEncoder) -> Self {
+        let ids: Vec<TableId> = (0..corpus.len()).collect();
+        Self::build_with_ids_and_encoder(corpus, &ids, encoder)
+    }
+
+    /// Builds the engine over the distinct schemas of the tables at `ids`,
+    /// in id order. Shared by the in-process examples and the
+    /// `gittables_serve` query engine, so both deduplicate and rank the
+    /// exact same schemas in the exact same order. Ids out of range are
+    /// skipped.
+    #[must_use]
+    pub fn build_with_ids(corpus: &Corpus, ids: &[TableId]) -> Self {
+        Self::build_with_ids_and_encoder(corpus, ids, SentenceEncoder::default())
+    }
+
+    /// [`Self::build_with_ids`] with a custom encoder.
+    #[must_use]
+    pub fn build_with_ids_and_encoder(
+        corpus: &Corpus,
+        ids: &[TableId],
+        encoder: SentenceEncoder,
+    ) -> Self {
         let mut seen = std::collections::HashSet::new();
         let mut schemas = Vec::new();
-        for t in &corpus.tables {
+        for t in ids.iter().filter_map(|&id| corpus.table_by_id(id)) {
             let schema = t.table.schema();
             if schema.is_empty() || !seen.insert(schema.attributes().to_vec()) {
                 continue;
@@ -74,29 +95,36 @@ impl NearestCompletion {
             return Vec::new();
         }
         let prefix_emb: Vec<Vec<f32>> = prefix.iter().map(|a| self.encoder.embed(a)).collect();
-        let mut scored: Vec<SchemaCompletion> = self
+        // Score everything, materialize (clone schemas for) only the `k`
+        // survivors — the hot path of the `/complete` endpoint. The stable
+        // sort keeps ties in schema order, bit-identical to the original
+        // build-everything-then-truncate implementation.
+        let mut scored: Vec<(usize, f64)> = self
             .schemas
             .iter()
-            .filter(|(s, _)| s.len() > n)
-            .map(|(s, embs)| {
+            .enumerate()
+            .filter(|(_, (s, _))| s.len() > n)
+            .map(|(idx, (_, embs))| {
                 let d: f64 = (0..n)
                     .map(|i| 1.0 - f64::from(cosine(&prefix_emb[i], &embs[i])))
                     .sum::<f64>()
                     / n as f64;
+                (idx, d)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+            .into_iter()
+            .map(|(idx, d)| {
+                let (s, _) = &self.schemas[idx];
                 SchemaCompletion {
                     schema: s.clone(),
                     prefix_distance: d,
                     completion: s.suffix(n).to_vec(),
                 }
             })
-            .collect();
-        scored.sort_by(|a, b| {
-            a.prefix_distance
-                .partial_cmp(&b.prefix_distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        scored.truncate(k);
-        scored
+            .collect()
     }
 
     /// Relevance of a suggestion: cosine similarity between the embedding of

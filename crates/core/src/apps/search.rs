@@ -1,7 +1,7 @@
 //! Data search over table schemas (§5.3, Fig. 6b): embed entire table
 //! schemas and rank them against a natural-language query.
 
-use gittables_corpus::Corpus;
+use gittables_corpus::{Corpus, TableId};
 use gittables_embed::{cosine, SentenceEncoder};
 use gittables_table::Schema;
 use serde::{Deserialize, Serialize};
@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// One search hit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchHit {
-    /// Index of the table in the corpus.
+    /// Stable id of the table in the corpus (its global position).
     pub table_index: usize,
     /// The table's schema.
     pub schema: Schema,
@@ -25,19 +25,30 @@ pub struct DataSearch {
 }
 
 impl DataSearch {
-    /// Builds the index over every table in the corpus.
+    /// Builds the index over every table in the corpus, with table ids
+    /// equal to corpus positions.
     #[must_use]
     pub fn build(corpus: &Corpus) -> Self {
+        let ids: Vec<TableId> = (0..corpus.len()).collect();
+        Self::build_with_ids(corpus, &ids)
+    }
+
+    /// Builds the index over the tables at `ids`, preserving the given
+    /// stable ids in [`SearchHit::table_index`]. Shared by the in-process
+    /// examples and the `gittables_serve` query engine, so both rank the
+    /// exact same entries in the exact same order. Ids out of range are
+    /// skipped.
+    #[must_use]
+    pub fn build_with_ids(corpus: &Corpus, ids: &[TableId]) -> Self {
         let encoder = SentenceEncoder::default();
-        let entries = corpus
-            .tables
+        let entries = ids
             .iter()
-            .enumerate()
-            .map(|(i, t)| {
+            .filter_map(|&id| corpus.table_by_id(id).map(|t| (id, t)))
+            .map(|(id, t)| {
                 let schema = t.table.schema();
                 let attrs: Vec<&str> = schema.iter().collect();
                 let emb = encoder.embed_schema(&attrs);
-                (i, schema, emb)
+                (id, schema, emb)
             })
             .collect();
         DataSearch { encoder, entries }
@@ -56,25 +67,34 @@ impl DataSearch {
     }
 
     /// Top-`k` tables for a natural-language `query`.
+    ///
+    /// Scores every entry but materializes (clones schemas for) only the
+    /// `k` survivors — the hot path of the `/search` endpoint. The stable
+    /// sort over the same comparator keeps results bit-identical to the
+    /// original sort-everything-then-truncate implementation, ties
+    /// resolving in entry order.
     #[must_use]
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
         let qe = self.encoder.embed(query);
-        let mut hits: Vec<SearchHit> = self
+        let mut scored: Vec<(usize, f64)> = self
             .entries
             .iter()
-            .map(|(i, s, e)| SearchHit {
-                table_index: *i,
-                schema: s.clone(),
-                score: f64::from(cosine(&qe, e)),
-            })
+            .enumerate()
+            .map(|(n, (_, _, e))| (n, f64::from(cosine(&qe, e))))
             .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        hits.truncate(k);
-        hits
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+            .into_iter()
+            .map(|(n, score)| {
+                let (id, schema, _) = &self.entries[n];
+                SearchHit {
+                    table_index: *id,
+                    schema: schema.clone(),
+                    score,
+                }
+            })
+            .collect()
     }
 }
 

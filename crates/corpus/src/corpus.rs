@@ -66,6 +66,15 @@ impl AnnotatedTable {
     }
 }
 
+/// Stable identifier of a table inside a corpus: its global position.
+///
+/// The sharded store ([`crate::store`]) records every table's global
+/// position and [`crate::store::CorpusStore::load_corpus`] reassembles
+/// tables in that order, so the id a table gets here is the same across
+/// save/load round trips and across resumed builds — stable enough to
+/// hand out over a network API.
+pub type TableId = usize;
+
 /// A corpus of annotated tables.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Corpus {
@@ -100,6 +109,23 @@ impl Corpus {
     /// Adds a table.
     pub fn push(&mut self, table: AnnotatedTable) {
         self.tables.push(table);
+    }
+
+    /// The table with stable id `id`, if in range.
+    #[must_use]
+    pub fn table_by_id(&self, id: TableId) -> Option<&AnnotatedTable> {
+        self.tables.get(id)
+    }
+
+    /// Whether `id` names a table in this corpus.
+    #[must_use]
+    pub fn contains_id(&self, id: TableId) -> bool {
+        id < self.tables.len()
+    }
+
+    /// Iterator over `(stable id, table)` pairs in id order.
+    pub fn iter_with_ids(&self) -> impl Iterator<Item = (TableId, &AnnotatedTable)> {
+        self.tables.iter().enumerate()
     }
 
     /// The subset of tables retrieved by `topic` (paper §4.1: topic subsets

@@ -12,7 +12,10 @@
 //! * [`bias`] — the Table 6 bias audit over person/geography types;
 //! * [`persist`] — monolithic single-file JSON save/load;
 //! * [`store`] — the sharded on-disk store (`manifest.json` + N shard files)
-//!   with streaming writes, parallel loads, and integrity checks.
+//!   with streaming writes, parallel loads, and integrity checks;
+//! * [`typeindex`] — the inverted semantic-type index (label → posting
+//!   list of `(table, column)` occurrences) behind the query-serving
+//!   subsystem's `/types` endpoints.
 
 #![warn(missing_docs)]
 
@@ -26,11 +29,12 @@ pub mod join;
 pub mod persist;
 pub mod stats;
 pub mod store;
+pub mod typeindex;
 pub mod union;
 
 pub use annstats::{AnnotationStats, Histogram};
 pub use bias::{bias_audit, BiasRow};
-pub use corpus::{AnnotatedTable, Corpus};
+pub use corpus::{AnnotatedTable, Corpus, TableId};
 pub use dedup::{
     combine_fingerprints, dedup_indices, dedup_indices_with, exact_duplicates,
     exact_duplicates_with, table_fingerprint, table_fingerprints, DuplicateGroup,
@@ -42,4 +46,5 @@ pub use store::{
     load_store, save_store, shard_id_for, CorpusStore, ShardEntry, ShardWriter, StoreError,
     StoreManifest,
 };
+pub use typeindex::{TypeCount, TypeIndex, TypePosting};
 pub use union::{union_groups, union_tables, UnionGroup};

@@ -1,0 +1,164 @@
+//! Bounded response cache for the pure query endpoints.
+//!
+//! Every query endpoint is a pure function of an immutable corpus, so a
+//! response computed once can be replayed verbatim for the same request
+//! target — no invalidation needed for the lifetime of the server. The
+//! cache is a FIFO-bounded map keyed by the raw request target
+//! (path + query string); eviction is insertion-order, which is enough
+//! for a corpus-immutable workload where the win is absorbing repeats.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A cached response: status plus the exact body bytes.
+#[derive(Debug, Clone)]
+pub struct CachedResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (shared, never mutated).
+    pub body: Arc<String>,
+}
+
+/// Cache statistics, reported under `/metrics`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including when the cache is disabled).
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Maximum entries kept.
+    pub capacity: usize,
+}
+
+/// FIFO-bounded response cache. `capacity == 0` disables caching (every
+/// lookup misses, nothing is stored).
+#[derive(Debug)]
+pub struct ResponseCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<String, CachedResponse>,
+    order: VecDeque<String>,
+}
+
+impl ResponseCache {
+    /// Creates a cache holding at most `capacity` responses.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ResponseCache {
+            capacity,
+            state: Mutex::new(CacheState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up the response for a request target.
+    #[must_use]
+    pub fn get(&self, target: &str) -> Option<CachedResponse> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let found = self.state.lock().map.get(target).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a response, evicting the oldest entry past capacity.
+    pub fn insert(&self, target: &str, response: CachedResponse) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.state.lock();
+        if state.map.contains_key(target) {
+            return; // racing workers computed the same pure response
+        }
+        while state.map.len() >= self.capacity {
+            let Some(oldest) = state.order.pop_front() else {
+                break;
+            };
+            state.map.remove(&oldest);
+        }
+        state.map.insert(target.to_string(), response);
+        state.order.push_back(target.to_string());
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.state.lock().map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(body: &str) -> CachedResponse {
+        CachedResponse {
+            status: 200,
+            body: Arc::new(body.to_string()),
+        }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let c = ResponseCache::new(4);
+        assert!(c.get("/a").is_none());
+        c.insert("/a", resp("x"));
+        let got = c.get("/a").unwrap();
+        assert_eq!(*got.body, "x");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let c = ResponseCache::new(2);
+        c.insert("/a", resp("a"));
+        c.insert("/b", resp("b"));
+        c.insert("/c", resp("c"));
+        assert!(c.get("/a").is_none(), "oldest evicted");
+        assert!(c.get("/b").is_some());
+        assert!(c.get("/c").is_some());
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = ResponseCache::new(0);
+        c.insert("/a", resp("a"));
+        assert!(c.get("/a").is_none());
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first() {
+        let c = ResponseCache::new(4);
+        c.insert("/a", resp("first"));
+        c.insert("/a", resp("second"));
+        assert_eq!(*c.get("/a").unwrap().body, "first");
+        assert_eq!(c.stats().entries, 1);
+    }
+}

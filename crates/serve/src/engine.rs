@@ -1,0 +1,323 @@
+//! The [`QueryEngine`]: a loaded corpus plus its read-only query indexes.
+
+use std::path::Path;
+
+use gittables_annotate::{Annotation, Method};
+use gittables_core::apps::{DataSearch, NearestCompletion, SchemaCompletion, SearchHit};
+use gittables_corpus::{Corpus, CorpusStore, StoreError, TableId, TypeCount, TypeIndex};
+use gittables_ontology::OntologyKind;
+use serde::{Deserialize, Serialize};
+
+/// How many rows `/tables/{id}` includes as a preview.
+pub const SAMPLE_ROWS: usize = 5;
+
+/// `/health` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` while the server answers.
+    pub status: String,
+    /// Corpus name.
+    pub corpus: String,
+    /// Number of tables served.
+    pub tables: usize,
+    /// Number of distinct semantic types indexed.
+    pub types: usize,
+}
+
+/// `/types/{label}/tables` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeTablesResponse {
+    /// The queried type label.
+    pub label: String,
+    /// Distinct ids of tables with at least one such column, ascending.
+    pub tables: Vec<TableId>,
+    /// Every `(table, column)` occurrence of the type.
+    pub postings: Vec<gittables_corpus::TypePosting>,
+}
+
+/// One `(method, ontology)` annotation set of a table, flattened for the
+/// `/tables/{id}` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotationSet {
+    /// Annotation method.
+    pub method: Method,
+    /// Source ontology.
+    pub ontology: OntologyKind,
+    /// The column annotations.
+    pub annotations: Vec<Annotation>,
+}
+
+/// `/tables/{id}` response body: schema + annotations + sample rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSummary {
+    /// Stable table id.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Provenance URL (`repository/path`).
+    pub url: String,
+    /// Topic whose query retrieved the source file.
+    pub topic: String,
+    /// Repository license, if any.
+    pub license: Option<String>,
+    /// Number of rows.
+    pub num_rows: usize,
+    /// Number of columns.
+    pub num_columns: usize,
+    /// The schema (attribute names, in column order).
+    pub schema: Vec<String>,
+    /// The four annotation sets (2 methods × 2 ontologies).
+    pub annotations: Vec<AnnotationSet>,
+    /// Up to [`SAMPLE_ROWS`] leading rows.
+    pub sample_rows: Vec<Vec<String>>,
+}
+
+/// A loaded corpus plus the shared read-only indexes every query runs
+/// against. Build once, share behind an `Arc` across server workers.
+pub struct QueryEngine {
+    corpus: Corpus,
+    search: DataSearch,
+    completion: NearestCompletion,
+    types: TypeIndex,
+}
+
+impl QueryEngine {
+    /// Builds the engine over an already-materialized corpus. Table ids
+    /// are the corpus positions (stable across store round trips).
+    ///
+    /// The three indexes are independent reads of the same corpus, so
+    /// they build on separate threads — cold start is the slowest build,
+    /// not the sum of all three.
+    #[must_use]
+    pub fn from_corpus(corpus: Corpus) -> Self {
+        let ids: Vec<TableId> = (0..corpus.len()).collect();
+        let (search, completion, types) = std::thread::scope(|s| {
+            let (c, ids) = (&corpus, &ids);
+            let search = s.spawn(move || DataSearch::build_with_ids(c, ids));
+            let completion = s.spawn(move || NearestCompletion::build_with_ids(c, ids));
+            let types = TypeIndex::build_with_ids(c, ids);
+            (
+                search.join().expect("search index build"),
+                completion.join().expect("completion index build"),
+                types,
+            )
+        });
+        QueryEngine {
+            corpus,
+            search,
+            completion,
+            types,
+        }
+    }
+
+    /// Loads the corpus persisted at `dir` (a [`CorpusStore`] directory)
+    /// and builds the indexes. Extraction is never re-run: this reads the
+    /// shards exactly as [`CorpusStore::load_corpus`] does, integrity
+    /// checks included.
+    ///
+    /// # Errors
+    /// Propagates store open/load failures.
+    pub fn load(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let corpus = CorpusStore::open(dir.as_ref())?.load_corpus()?;
+        Ok(Self::from_corpus(corpus))
+    }
+
+    /// The corpus being served.
+    #[must_use]
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The schema-embedding search index.
+    #[must_use]
+    pub fn search_index(&self) -> &DataSearch {
+        &self.search
+    }
+
+    /// The schema-completion engine.
+    #[must_use]
+    pub fn completion(&self) -> &NearestCompletion {
+        &self.completion
+    }
+
+    /// The inverted semantic-type index.
+    #[must_use]
+    pub fn type_index(&self) -> &TypeIndex {
+        &self.types
+    }
+
+    /// Number of tables served.
+    #[must_use]
+    pub fn num_tables(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// `/search`: top-`k` tables for a natural-language query.
+    #[must_use]
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        self.search.search(query, k)
+    }
+
+    /// `/complete`: the `k` nearest completions for a schema prefix.
+    #[must_use]
+    pub fn complete(&self, prefix: &[&str], k: usize) -> Vec<SchemaCompletion> {
+        self.completion.complete(prefix, k)
+    }
+
+    /// `/types`: per-type posting/table counts, in label order.
+    #[must_use]
+    pub fn type_counts(&self) -> Vec<TypeCount> {
+        self.types.counts()
+    }
+
+    /// `/types/{label}/tables`: the posting list of one type, or `None`
+    /// when the label is not indexed.
+    #[must_use]
+    pub fn type_tables(&self, label: &str) -> Option<TypeTablesResponse> {
+        let postings = self.types.postings(label)?;
+        Some(TypeTablesResponse {
+            label: label.to_string(),
+            tables: self.types.tables_with(label),
+            postings: postings.to_vec(),
+        })
+    }
+
+    /// `/tables/{id}`: schema + annotations + sample rows, or `None` when
+    /// `id` is out of range.
+    #[must_use]
+    pub fn table_summary(&self, id: TableId) -> Option<TableSummary> {
+        let at = self.corpus.table_by_id(id)?;
+        let t = &at.table;
+        let p = t.provenance();
+        let annotations = Corpus::annotation_configs()
+            .into_iter()
+            .map(|(method, ontology)| AnnotationSet {
+                method,
+                ontology,
+                annotations: at.annotations(method, ontology).annotations.clone(),
+            })
+            .collect();
+        let sample_rows = (0..t.num_rows().min(SAMPLE_ROWS))
+            .filter_map(|r| t.row(r))
+            .map(|row| row.into_iter().map(str::to_string).collect())
+            .collect();
+        Some(TableSummary {
+            id,
+            name: t.name().to_string(),
+            url: p.url(),
+            topic: p.topic.clone(),
+            license: p.license.clone(),
+            num_rows: t.num_rows(),
+            num_columns: t.num_columns(),
+            schema: t.schema().attributes().to_vec(),
+            annotations,
+            sample_rows,
+        })
+    }
+
+    /// `/health`: liveness plus corpus size.
+    #[must_use]
+    pub fn health(&self) -> HealthResponse {
+        HealthResponse {
+            status: "ok".to_string(),
+            corpus: self.corpus.name.clone(),
+            tables: self.corpus.len(),
+            types: self.types.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gittables_corpus::AnnotatedTable;
+    use gittables_table::Table;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new("engine-test");
+        for (i, attrs) in [
+            vec!["order_id", "status", "total_price"],
+            vec!["species", "habitat", "diet"],
+        ]
+        .iter()
+        .enumerate()
+        {
+            let row: Vec<&str> = attrs.iter().map(|_| "v").collect();
+            let rows = [row.clone(), row.clone(), row];
+            let t = Table::from_rows(format!("t{i}"), attrs, &rows).unwrap();
+            let mut at = AnnotatedTable::new(t);
+            at.syntactic_dbpedia.annotations = vec![Annotation {
+                column: 0,
+                type_id: 0,
+                label: "identifier".into(),
+                ontology: OntologyKind::DBpedia,
+                method: Method::Syntactic,
+                similarity: 1.0,
+            }];
+            c.push(at);
+        }
+        c
+    }
+
+    #[test]
+    fn engine_answers_match_direct_apps() {
+        let c = corpus();
+        let engine = QueryEngine::from_corpus(c.clone());
+        let direct = DataSearch::build(&c);
+        assert_eq!(
+            engine.search("order status", 2),
+            direct.search("order status", 2)
+        );
+        let direct = NearestCompletion::build(&c);
+        assert_eq!(
+            engine.complete(&["order_id"], 3),
+            direct.complete(&["order_id"], 3)
+        );
+        assert_eq!(engine.type_counts(), TypeIndex::build(&c).counts());
+    }
+
+    #[test]
+    fn table_summary_shape() {
+        let engine = QueryEngine::from_corpus(corpus());
+        let s = engine.table_summary(0).unwrap();
+        assert_eq!(s.id, 0);
+        assert_eq!(s.schema, vec!["order_id", "status", "total_price"]);
+        assert_eq!(s.num_rows, 3);
+        assert_eq!(s.sample_rows.len(), 3);
+        assert_eq!(s.annotations.len(), 4);
+        assert_eq!(s.annotations[0].annotations.len(), 1);
+        assert!(engine.table_summary(99).is_none());
+    }
+
+    #[test]
+    fn type_tables_known_and_unknown() {
+        let engine = QueryEngine::from_corpus(corpus());
+        let t = engine.type_tables("identifier").unwrap();
+        assert_eq!(t.tables, vec![0, 1]);
+        assert_eq!(t.postings.len(), 2);
+        assert!(engine.type_tables("nope").is_none());
+    }
+
+    #[test]
+    fn health_counts() {
+        let engine = QueryEngine::from_corpus(corpus());
+        let h = engine.health();
+        assert_eq!(h.status, "ok");
+        assert_eq!(h.tables, 2);
+        assert_eq!(h.types, 1);
+    }
+
+    #[test]
+    fn load_equals_from_corpus() {
+        let c = corpus();
+        let dir = std::env::temp_dir().join(format!("gt_engine_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        gittables_corpus::save_store(&c, &dir, 1).unwrap();
+        let loaded = QueryEngine::load(&dir).unwrap();
+        let direct = QueryEngine::from_corpus(c);
+        assert_eq!(loaded.corpus(), direct.corpus());
+        assert_eq!(loaded.search("order", 2), direct.search("order", 2));
+        assert_eq!(loaded.type_counts(), direct.type_counts());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,819 @@
+//! Hand-rolled HTTP/1.1 server on [`std::net::TcpListener`].
+//!
+//! No external dependencies: a fixed pool of worker threads pulls
+//! accepted connections off an [`mpsc`] channel and speaks just enough
+//! HTTP/1.1 (GET + keep-alive + `Content-Length`) to serve the JSON API.
+//!
+//! ## Concurrency model
+//!
+//! One acceptor thread owns the listener; `threads` workers own the
+//! connections. The [`QueryEngine`] is shared read-only behind an `Arc`,
+//! so request handling never takes a lock on the corpus or its indexes —
+//! the only shared mutable state is the response cache (one short-lived
+//! mutex) and the metrics (plain atomics).
+//!
+//! ## Graceful shutdown
+//!
+//! [`ServerHandle::request_shutdown`] (or the `/shutdown` endpoint)
+//! flips an atomic flag and wakes the acceptor with a loopback
+//! connection. The acceptor stops handing out connections and drops the
+//! channel sender; each worker drains the connections it already
+//! received — finishing any request in flight and answering it with
+//! `Connection: close` — then exits. No request accepted into the pool
+//! is abandoned mid-flight.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CachedResponse, ResponseCache};
+use crate::engine::QueryEngine;
+use crate::metrics::{Endpoint, Metrics, MetricsSnapshot};
+
+/// Maximum accepted request head (request line + headers) in bytes.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Maximum accepted request body in bytes (bodies are read and ignored).
+const MAX_BODY: usize = 64 * 1024;
+
+/// How long a partially-received request may dribble in before the
+/// connection is dropped.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(5);
+
+/// JSON body used for every non-2xx response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Human-readable description of what was wrong with the request.
+    pub error: String,
+}
+
+/// `/shutdown` acknowledgement body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShutdownResponse {
+    /// Always `"draining"`.
+    pub status: String,
+}
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Response-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Whether `GET|POST /shutdown` triggers a graceful shutdown.
+    pub enable_shutdown_endpoint: bool,
+    /// Poll tick for worker reads — the latency with which an idle
+    /// worker notices a shutdown request.
+    pub poll_interval: Duration,
+    /// How long an idle keep-alive connection is kept open.
+    pub keep_alive_timeout: Duration,
+    /// Requests served per connection before it is recycled with
+    /// `Connection: close`. Recycling bounds how long one persistent
+    /// client can pin a worker, so queued connections — `/shutdown`
+    /// from another client in particular — always get picked up even
+    /// when every worker is busy with keep-alive traffic.
+    pub max_requests_per_connection: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            cache_capacity: 1024,
+            enable_shutdown_endpoint: true,
+            poll_interval: Duration::from_millis(50),
+            keep_alive_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 256,
+        }
+    }
+}
+
+/// Everything the acceptor, workers, and handle share.
+struct Shared {
+    engine: Arc<QueryEngine>,
+    metrics: Metrics,
+    cache: ResponseCache,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    config: ServerConfig,
+}
+
+/// The address a wake-up connection should dial: the bound port, but on
+/// loopback when the server bound a wildcard address (connecting *to*
+/// `0.0.0.0`/`::` is not portable).
+fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    let mut addr = addr;
+    if addr.ip().is_unspecified() {
+        match addr {
+            SocketAddr::V4(_) => addr.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+            SocketAddr::V6(_) => addr.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+        }
+    }
+    addr
+}
+
+/// Flips the shutdown flag once and wakes the blocked acceptor.
+fn trigger_shutdown(shared: &Shared) {
+    if !shared.shutdown.swap(true, Ordering::SeqCst) {
+        // The acceptor blocks in `accept`; a throwaway loopback
+        // connection unblocks it so it can observe the flag.
+        let _ = TcpStream::connect_timeout(&wake_addr(shared.addr), Duration::from_secs(1));
+    }
+}
+
+/// The server: bind with [`Server::start`], control via [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor plus worker pool over a shared [`QueryEngine`].
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start(
+        engine: Arc<QueryEngine>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            metrics: Metrics::new(),
+            cache: ResponseCache::new(config.cache_capacity),
+            shutdown: AtomicBool::new(false),
+            addr: local,
+            config: config.clone(),
+        });
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(config.threads.max(1));
+        for _ in 0..config.threads.max(1) {
+            let shared = shared.clone();
+            let rx = rx.clone();
+            workers.push(std::thread::spawn(move || loop {
+                // Take the next connection, releasing the receiver lock
+                // before handling so other workers keep draining.
+                let next = { rx.lock().recv() };
+                match next {
+                    Ok(stream) => handle_connection(&shared, stream),
+                    Err(_) => break, // acceptor gone and queue drained
+                }
+            }));
+        }
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break; // drop the wake-up (or late) connection
+                    }
+                    match stream {
+                        Ok(s) => {
+                            if tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            // Back off instead of hot-spinning: a
+                            // persistent accept failure (e.g. EMFILE
+                            // under fd exhaustion) would otherwise burn
+                            // a core the workers need to free fds.
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                }
+                // Dropping `tx` here lets workers drain and exit.
+            })
+        };
+
+        Ok(ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Live metrics snapshot (same data `/metrics` serves).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(self.shared.cache.stats())
+    }
+
+    /// Whether a shutdown has been requested.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Starts a graceful shutdown without waiting for it to finish.
+    pub fn request_shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// Waits until the acceptor and every worker have exited. Without a
+    /// prior shutdown request this blocks until one arrives (e.g. the
+    /// `/shutdown` endpoint) — the serve-forever mode of the CLI.
+    pub fn join(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Graceful shutdown: request + drain + join.
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.join();
+    }
+}
+
+// --------------------------------------------------------------- connection
+
+/// One parsed request head.
+struct Request {
+    method: String,
+    /// Decoded path, for error messages (`/types/address/tables`).
+    path: String,
+    /// Per-segment-decoded path segments — the routing input. Splitting
+    /// precedes decoding so an encoded `/` inside a segment (a label
+    /// like `km%2Fh`) cannot change the route shape.
+    segments: Vec<String>,
+    /// Raw request target as sent (`/search?q=a%20b&k=3`) — the cache key.
+    raw_target: String,
+    /// Decoded query parameters in order of appearance.
+    query: Vec<(String, String)>,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Position right after the first `\r\n\r\n`, if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Percent-decodes `%XX` escapes; additionally maps `+` to space when
+/// `plus_as_space` (query components).
+fn percent_decode(s: &str, plus_as_space: bool) -> String {
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses `a=1&b=two+words` into decoded pairs.
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (percent_decode(k, true), percent_decode(v, true))
+        })
+        .collect()
+}
+
+/// Parses the request head (everything before the blank line).
+fn parse_request(head: &[u8]) -> Result<Request, String> {
+    let text = std::str::from_utf8(head).map_err(|_| "request head is not UTF-8".to_string())?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let raw_target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || raw_target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(format!("malformed request line `{request_line}`"));
+    }
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| format!("bad Content-Length `{value}`"))?;
+        }
+    }
+    let (path_raw, query_raw) = raw_target
+        .split_once('?')
+        .unwrap_or((raw_target.as_str(), ""));
+    // Split the RAW path into segments first, then decode each segment:
+    // a label containing an encoded `/` (`km%2Fh`) must stay one
+    // segment, not become two.
+    let segments: Vec<String> = path_raw
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| percent_decode(s, false))
+        .collect();
+    Ok(Request {
+        method,
+        path: percent_decode(path_raw, false),
+        segments,
+        query: parse_query(query_raw),
+        raw_target: raw_target.clone(),
+        keep_alive,
+        content_length,
+    })
+}
+
+/// What the router produced for one request.
+struct Routed {
+    status: u16,
+    body: Arc<String>,
+    endpoint: Endpoint,
+    /// The handler asked for a graceful shutdown (`/shutdown`).
+    shutdown: bool,
+}
+
+fn json_body<T: serde::Serialize>(value: &T) -> Arc<String> {
+    Arc::new(
+        serde_json::to_string(value)
+            .unwrap_or_else(|e| format!("{{\"error\":{:?}}}", e.to_string())),
+    )
+}
+
+fn error_body(status: u16, endpoint: Endpoint, message: impl Into<String>) -> Routed {
+    Routed {
+        status,
+        body: json_body(&ErrorResponse {
+            error: message.into(),
+        }),
+        endpoint,
+        shutdown: false,
+    }
+}
+
+fn ok_body<T: serde::Serialize>(endpoint: Endpoint, value: &T) -> Routed {
+    Routed {
+        status: 200,
+        body: json_body(value),
+        endpoint,
+        shutdown: false,
+    }
+}
+
+/// Parses an optional numeric query parameter with a default.
+fn num_param(req: &Request, key: &str, default: usize) -> Result<usize, String> {
+    match req.param(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("query parameter `{key}` must be a number, got `{v}`")),
+    }
+}
+
+/// Whether responses for this endpoint are pure functions of the target
+/// (and therefore cacheable for the lifetime of the immutable corpus).
+fn cacheable(endpoint: Endpoint) -> bool {
+    matches!(
+        endpoint,
+        Endpoint::Search
+            | Endpoint::Complete
+            | Endpoint::Types
+            | Endpoint::TypeTables
+            | Endpoint::Table
+    )
+}
+
+/// Routes one request to its handler. `endpoint` is the single
+/// classification of the request path (from [`endpoint_of_path`]) —
+/// dispatch, metrics attribution, and cacheability all derive from it,
+/// so they cannot drift apart.
+fn route(shared: &Shared, req: &Request, endpoint: Endpoint) -> Routed {
+    let engine = &shared.engine;
+    if req.method != "GET" && !(req.method == "POST" && endpoint == Endpoint::Shutdown) {
+        // Attributed to the classified endpoint so a spike of 405s shows
+        // which endpoint clients are misusing. Never cached: the cache is
+        // only consulted and filled for GETs.
+        return error_body(405, endpoint, format!("method {} not allowed", req.method));
+    }
+    match endpoint {
+        Endpoint::Health => ok_body(endpoint, &engine.health()),
+        Endpoint::Metrics => ok_body(endpoint, &shared.metrics.snapshot(shared.cache.stats())),
+        Endpoint::Search => {
+            let Some(q) = req.param("q") else {
+                return error_body(400, endpoint, "missing query parameter `q`");
+            };
+            match num_param(req, "k", 10) {
+                Ok(k) => ok_body(endpoint, &engine.search(q, k)),
+                Err(e) => error_body(400, endpoint, e),
+            }
+        }
+        Endpoint::Complete => {
+            let Some(prefix) = req.param("prefix") else {
+                return error_body(400, endpoint, "missing query parameter `prefix`");
+            };
+            let attrs: Vec<&str> = prefix.split(',').map(str::trim).collect();
+            match num_param(req, "k", 5) {
+                Ok(k) => ok_body(endpoint, &engine.complete(&attrs, k)),
+                Err(e) => error_body(400, endpoint, e),
+            }
+        }
+        Endpoint::Types => ok_body(endpoint, &engine.type_counts()),
+        Endpoint::TypeTables => {
+            let label = req.segments.get(1).map_or("", String::as_str);
+            match engine.type_tables(label) {
+                Some(t) => ok_body(endpoint, &t),
+                None => error_body(
+                    404,
+                    endpoint,
+                    format!("semantic type `{label}` is not indexed"),
+                ),
+            }
+        }
+        Endpoint::Table => {
+            let id = req.segments.get(1).map_or("", String::as_str);
+            match id.parse::<usize>() {
+                Err(_) => error_body(
+                    400,
+                    endpoint,
+                    format!("table id must be a number, got `{id}`"),
+                ),
+                Ok(id) => match engine.table_summary(id) {
+                    Some(t) => ok_body(endpoint, &t),
+                    None => error_body(404, endpoint, format!("no table with id {id}")),
+                },
+            }
+        }
+        Endpoint::Shutdown if shared.config.enable_shutdown_endpoint => Routed {
+            status: 200,
+            body: json_body(&ShutdownResponse {
+                status: "draining".to_string(),
+            }),
+            endpoint,
+            shutdown: true,
+        },
+        Endpoint::Shutdown | Endpoint::Other => {
+            error_body(404, Endpoint::Other, format!("no route for {}", req.path))
+        }
+    }
+}
+
+/// Routes with the response cache wrapped around pure endpoints.
+fn respond(shared: &Shared, req: &Request) -> Routed {
+    // Probe the cache only for GETs on pure endpoints — probing (and
+    // counting misses for) /health, /metrics, or unrouted paths would
+    // skew the hit rate with traffic that can never be cached.
+    let endpoint = endpoint_of_segments(&req.segments);
+    if req.method == "GET" && cacheable(endpoint) {
+        if let Some(hit) = shared.cache.get(&req.raw_target) {
+            return Routed {
+                status: hit.status,
+                body: hit.body,
+                endpoint,
+                shutdown: false,
+            };
+        }
+    }
+    // Cache GET responses on pure endpoints regardless of status: over
+    // an immutable corpus a 400 (bad parameters) or 404 (unknown label /
+    // id) is as permanent as a 200, and caching it keeps repeated
+    // misconfigured pollers from reading as an ever-falling hit rate.
+    let routed = route(shared, req, endpoint);
+    if req.method == "GET" && cacheable(routed.endpoint) {
+        shared.cache.insert(
+            &req.raw_target,
+            CachedResponse {
+                status: routed.status,
+                body: routed.body.clone(),
+            },
+        );
+    }
+    routed
+}
+
+/// Maps the per-segment-decoded path to its endpoint — the single
+/// classification dispatch, metrics, and cacheability all share.
+fn endpoint_of_segments(segments: &[String]) -> Endpoint {
+    let segments: Vec<&str> = segments.iter().map(String::as_str).collect();
+    match segments.as_slice() {
+        ["health"] => Endpoint::Health,
+        ["metrics"] => Endpoint::Metrics,
+        ["search"] => Endpoint::Search,
+        ["complete"] => Endpoint::Complete,
+        ["types"] => Endpoint::Types,
+        ["types", _, "tables"] => Endpoint::TypeTables,
+        ["tables", _] => Endpoint::Table,
+        ["shutdown"] => Endpoint::Shutdown,
+        _ => Endpoint::Other,
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete response in one `write_all`.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    stream.write_all(&out)?;
+    stream.flush()
+}
+
+/// Serves one connection until close, keep-alive timeout, or shutdown.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    // A client that never reads its response must not pin this worker
+    // forever once the socket send buffer fills: bound every write.
+    let _ = stream.set_write_timeout(Some(REQUEST_DEADLINE));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut idle_since = Instant::now();
+    let mut served = 0usize;
+    loop {
+        if let Some(end) = head_end(&buf) {
+            let req = match parse_request(&buf[..end - 4]) {
+                Ok(r) => r,
+                Err(e) => {
+                    shared.metrics.record(Endpoint::Other, 400, 0);
+                    let body = json_body(&ErrorResponse { error: e });
+                    let _ = write_response(&mut stream, 400, &body, false);
+                    return;
+                }
+            };
+            if req.content_length > MAX_BODY {
+                shared.metrics.record(Endpoint::Other, 413, 0);
+                let body = json_body(&ErrorResponse {
+                    error: "request body too large".to_string(),
+                });
+                let _ = write_response(&mut stream, 413, &body, false);
+                return;
+            }
+            let consumed = end + req.content_length;
+            if buf.len() < consumed {
+                // Body not fully received yet; keep reading below.
+                if read_more(shared, &mut stream, &mut buf, &mut chunk, &mut idle_since).is_err() {
+                    return;
+                }
+                continue;
+            }
+            // Full request in hand: this request WILL be answered, even
+            // mid-shutdown (drain guarantee); only the connection closes.
+            // Recycling after `max_requests_per_connection` bounds how
+            // long a persistent client can pin this worker, so queued
+            // connections (e.g. /shutdown from another client while all
+            // workers are busy) always get picked up.
+            served += 1;
+            let keep_alive = req.keep_alive
+                && !shared.shutdown.load(Ordering::SeqCst)
+                && served < shared.config.max_requests_per_connection.max(1);
+            let started = Instant::now();
+            let routed = respond(shared, &req);
+            let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            shared
+                .metrics
+                .record(routed.endpoint, routed.status, latency_us);
+            let keep_alive = keep_alive && !routed.shutdown;
+            let ok = write_response(&mut stream, routed.status, &routed.body, keep_alive);
+            if routed.shutdown {
+                trigger_shutdown(shared);
+            }
+            if ok.is_err() || !keep_alive {
+                return;
+            }
+            buf.drain(..consumed);
+            idle_since = Instant::now();
+            continue;
+        }
+        if buf.len() > MAX_HEAD {
+            shared.metrics.record(Endpoint::Other, 431, 0);
+            let body = json_body(&ErrorResponse {
+                error: "request head too large".to_string(),
+            });
+            let _ = write_response(&mut stream, 431, &body, false);
+            return;
+        }
+        if read_more(shared, &mut stream, &mut buf, &mut chunk, &mut idle_since).is_err() {
+            return;
+        }
+    }
+}
+
+/// One poll-tick read into `buf`. `Err(())` means the connection should
+/// be dropped (EOF, hard error, idle timeout, or idle shutdown).
+/// `idle_since` is restarted when the first bytes of a new request
+/// arrive, so the dribble deadline is measured from the start of the
+/// request — not from the end of the previous response.
+fn read_more(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    chunk: &mut [u8; 4096],
+    idle_since: &mut Instant,
+) -> Result<(), ()> {
+    match stream.read(chunk) {
+        Ok(0) => Err(()), // EOF
+        Ok(n) => {
+            if buf.is_empty() {
+                *idle_since = Instant::now();
+            }
+            buf.extend_from_slice(&chunk[..n]);
+            // The dribble deadline must also bind clients that keep the
+            // reads *succeeding* — one byte per poll tick would never
+            // hit the timeout branch below.
+            if idle_since.elapsed() > REQUEST_DEADLINE {
+                return Err(());
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            if buf.is_empty() {
+                // Idle between requests: close on shutdown or timeout.
+                if shared.shutdown.load(Ordering::SeqCst)
+                    || idle_since.elapsed() > shared.config.keep_alive_timeout
+                {
+                    return Err(());
+                }
+            } else if idle_since.elapsed() > REQUEST_DEADLINE {
+                // A dribbling request: answer nothing once it's too slow;
+                // even under shutdown we wait until the deadline so a
+                // request already partially received still gets served.
+                return Err(());
+            }
+            Ok(())
+        }
+        Err(_) => Err(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b", false), "a b");
+        assert_eq!(percent_decode("a+b", true), "a b");
+        assert_eq!(percent_decode("a+b", false), "a+b");
+        assert_eq!(percent_decode("100%", false), "100%");
+        assert_eq!(percent_decode("%zz", false), "%zz");
+        assert_eq!(percent_decode("caf%C3%A9", false), "café");
+    }
+
+    #[test]
+    fn query_parsing() {
+        let q = parse_query("q=order+status&k=5&empty=&flag");
+        assert_eq!(q[0], ("q".to_string(), "order status".to_string()));
+        assert_eq!(q[1], ("k".to_string(), "5".to_string()));
+        assert_eq!(q[2], ("empty".to_string(), String::new()));
+        assert_eq!(q[3], ("flag".to_string(), String::new()));
+    }
+
+    #[test]
+    fn request_parsing_and_keep_alive() {
+        let head = b"GET /search?q=a%20b&k=3 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n";
+        let req = parse_request(head).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.param("q"), Some("a b"));
+        assert_eq!(req.param("k"), Some("3"));
+        assert!(!req.keep_alive);
+        assert_eq!(req.raw_target, "/search?q=a%20b&k=3");
+
+        let req = parse_request(b"GET / HTTP/1.1\r\n").unwrap();
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let req = parse_request(b"GET / HTTP/1.0\r\n").unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+
+        assert!(parse_request(b"BOGUS\r\n").is_err());
+        assert!(parse_request(b"GET / HTTP/2\r\n").is_err());
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn wake_addr_rewrites_wildcard_binds() {
+        let v4: SocketAddr = "0.0.0.0:7878".parse().unwrap();
+        assert_eq!(wake_addr(v4), "127.0.0.1:7878".parse().unwrap());
+        let v6: SocketAddr = "[::]:7878".parse().unwrap();
+        assert_eq!(wake_addr(v6), "[::1]:7878".parse().unwrap());
+        let concrete: SocketAddr = "127.0.0.1:80".parse().unwrap();
+        assert_eq!(wake_addr(concrete), concrete);
+    }
+
+    fn segs(path: &str) -> Vec<String> {
+        parse_request(format!("GET {path} HTTP/1.1\r\n").as_bytes())
+            .unwrap()
+            .segments
+    }
+
+    #[test]
+    fn endpoint_attribution() {
+        assert_eq!(
+            endpoint_of_segments(&segs("/types/address/tables")),
+            Endpoint::TypeTables
+        );
+        assert_eq!(endpoint_of_segments(&segs("/types")), Endpoint::Types);
+        assert_eq!(endpoint_of_segments(&segs("/tables/7")), Endpoint::Table);
+        assert_eq!(endpoint_of_segments(&segs("/nope")), Endpoint::Other);
+    }
+
+    #[test]
+    fn encoded_slash_stays_inside_a_segment() {
+        // `/types/km%2Fh/tables` must route as a 3-segment type lookup
+        // for the literal label `km/h`, not as a 4-segment 404.
+        let s = segs("/types/km%2Fh/tables");
+        assert_eq!(s, vec!["types", "km/h", "tables"]);
+        assert_eq!(endpoint_of_segments(&s), Endpoint::TypeTables);
+    }
+}

@@ -1,0 +1,49 @@
+//! `gittables-serve` — the concurrent query-serving subsystem.
+//!
+//! The paper's §5 applications (data search, schema completion, semantic
+//! type lookup) exist elsewhere in this workspace as in-process examples
+//! that re-run the whole pipeline per invocation. This crate turns the
+//! persisted [`gittables_corpus::CorpusStore`] into a long-lived service:
+//!
+//! * [`QueryEngine`] loads a corpus from a store directory — never
+//!   re-running extraction — assigns stable table ids, and builds the
+//!   read-only shared indexes: the schema-embedding search index
+//!   ([`gittables_core::apps::DataSearch`]), the completion engine
+//!   ([`gittables_core::apps::NearestCompletion`]), and the inverted
+//!   semantic-type index ([`gittables_corpus::TypeIndex`]).
+//! * [`Server`] is a hand-rolled HTTP/1.1 server on
+//!   [`std::net::TcpListener`] with a fixed worker thread pool — no
+//!   external dependencies — serving JSON endpoints:
+//!
+//!   | endpoint                 | answer                                        |
+//!   |--------------------------|-----------------------------------------------|
+//!   | `/search?q=&k=`          | top-k tables for a natural-language query     |
+//!   | `/complete?prefix=&k=`   | nearest schema completions for a prefix       |
+//!   | `/types`                 | every semantic type with posting/table counts |
+//!   | `/types/{label}/tables`  | posting list of one type                      |
+//!   | `/tables/{id}`           | schema + annotations + sample rows            |
+//!   | `/health`                | liveness + corpus size                        |
+//!   | `/metrics`               | request counts, p50/p99 latency, cache stats  |
+//!   | `/shutdown`              | graceful drain (when enabled)                 |
+//!
+//! Every query endpoint's JSON body is byte-identical to serializing the
+//! corresponding in-process [`QueryEngine`] call on the same corpus: the
+//! handlers *are* those calls plus `serde_json::to_string`.
+//!
+//! Graceful shutdown drains in-flight work: the acceptor stops handing
+//! out connections, and every connection already handed to a worker
+//! completes its current request before the pool exits.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod http;
+pub mod metrics;
+
+pub use cache::{CacheStats, ResponseCache};
+pub use client::{get, HttpClient};
+pub use engine::{AnnotationSet, HealthResponse, QueryEngine, TableSummary, TypeTablesResponse};
+pub use http::{ErrorResponse, Server, ServerConfig, ServerHandle, ShutdownResponse};
+pub use metrics::{EndpointCount, Metrics, MetricsSnapshot};

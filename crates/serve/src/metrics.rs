@@ -1,0 +1,240 @@
+//! Lock-free request metrics: per-endpoint counters plus a log-bucketed
+//! latency histogram, all plain atomics so recording never contends.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+
+/// The routable endpoints, used to key per-endpoint counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `/health`
+    Health,
+    /// `/metrics`
+    Metrics,
+    /// `/search`
+    Search,
+    /// `/complete`
+    Complete,
+    /// `/types`
+    Types,
+    /// `/types/{label}/tables`
+    TypeTables,
+    /// `/tables/{id}`
+    Table,
+    /// `/shutdown`
+    Shutdown,
+    /// Anything unrouted (404s).
+    Other,
+}
+
+/// All endpoints, aligned with the counter array.
+pub const ENDPOINTS: [Endpoint; 9] = [
+    Endpoint::Health,
+    Endpoint::Metrics,
+    Endpoint::Search,
+    Endpoint::Complete,
+    Endpoint::Types,
+    Endpoint::TypeTables,
+    Endpoint::Table,
+    Endpoint::Shutdown,
+    Endpoint::Other,
+];
+
+impl Endpoint {
+    /// Stable name used in `/metrics` output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Health => "health",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Search => "search",
+            Endpoint::Complete => "complete",
+            Endpoint::Types => "types",
+            Endpoint::TypeTables => "type_tables",
+            Endpoint::Table => "table",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        ENDPOINTS.iter().position(|e| *e == self).expect("listed")
+    }
+}
+
+/// Number of latency buckets: bucket `i` holds latencies in
+/// `[2^i, 2^{i+1})` microseconds, the last bucket is open-ended.
+const BUCKETS: usize = 40;
+
+/// Request counters + latency histogram. Cheap to share (`&self` only).
+#[derive(Debug)]
+pub struct Metrics {
+    counts: [AtomicU64; 9],
+    ok: AtomicU64,
+    client_errors: AtomicU64,
+    histogram: [AtomicU64; BUCKETS],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            ok: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bucket index for a latency in microseconds (log2 scale).
+fn bucket(us: u64) -> usize {
+    let b = 63 - (us | 1).leading_zeros() as usize;
+    b.min(BUCKETS - 1)
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, latency_us: u64) {
+        self.counts[endpoint.index()].fetch_add(1, Ordering::Relaxed);
+        if (200..300).contains(&status) {
+            self.ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.histogram[bucket(latency_us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Latency quantile estimate in microseconds: the upper bound of the
+    /// histogram bucket containing the `q`-quantile request (0 when no
+    /// requests were recorded).
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .histogram
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the quantile request, 1-based.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << (i + 1)).saturating_sub(1);
+            }
+        }
+        (1u64 << BUCKETS).saturating_sub(1)
+    }
+
+    /// Snapshot for `/metrics`, folding in the response-cache stats.
+    #[must_use]
+    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        MetricsSnapshot {
+            total_requests: self.total(),
+            ok: self.ok.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            p50_us: self.quantile_us(0.50),
+            p99_us: self.quantile_us(0.99),
+            requests: ENDPOINTS
+                .iter()
+                .map(|e| EndpointCount {
+                    endpoint: e.name().to_string(),
+                    count: self.counts[e.index()].load(Ordering::Relaxed),
+                })
+                .collect(),
+            cache,
+        }
+    }
+}
+
+/// One endpoint's request count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointCount {
+    /// Endpoint name (see [`Endpoint::name`]).
+    pub endpoint: String,
+    /// Requests routed to it.
+    pub count: u64,
+}
+
+/// `/metrics` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests handled since start.
+    pub total_requests: u64,
+    /// Responses with a 2xx status.
+    pub ok: u64,
+    /// Responses with a non-2xx status.
+    pub client_errors: u64,
+    /// Estimated median handler latency (µs, histogram upper bound).
+    /// Includes cache replays: this is observed response latency, so it
+    /// drops as the cache warms — cold-query cost is the p99 tail.
+    pub p50_us: u64,
+    /// Estimated 99th-percentile handler latency (µs).
+    pub p99_us: u64,
+    /// Per-endpoint request counts.
+    pub requests: Vec<EndpointCount>,
+    /// Response-cache statistics.
+    pub cache: CacheStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_is_log2() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(3), 1);
+        assert_eq!(bucket(1024), 10);
+        assert_eq!(bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_from_histogram() {
+        let m = Metrics::new();
+        assert_eq!(m.quantile_us(0.5), 0);
+        // 99 fast requests (~1µs) and one slow (= 1s).
+        for _ in 0..99 {
+            m.record(Endpoint::Search, 200, 1);
+        }
+        m.record(Endpoint::Search, 200, 1_000_000);
+        assert_eq!(m.total(), 100);
+        assert!(m.quantile_us(0.5) <= 1, "{}", m.quantile_us(0.5));
+        assert!(m.quantile_us(0.99) <= 1);
+        assert!(m.quantile_us(1.0) >= 1_000_000 / 2);
+    }
+
+    #[test]
+    fn snapshot_counts_statuses() {
+        let m = Metrics::new();
+        m.record(Endpoint::Search, 200, 5);
+        m.record(Endpoint::Other, 404, 5);
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.total_requests, 2);
+        assert_eq!(s.ok, 1);
+        assert_eq!(s.client_errors, 1);
+        let search = s.requests.iter().find(|r| r.endpoint == "search").unwrap();
+        assert_eq!(search.count, 1);
+    }
+}

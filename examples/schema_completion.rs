@@ -1,13 +1,18 @@
 //! Schema completion (paper §5.2, Algorithm 1, Table 8): complete schema
 //! prefixes from real database schemas using nearest corpus schemas.
 //!
+//! The completion engine is built by the shared [`QueryEngine`]
+//! constructor — the exact same code path the `gittables serve` HTTP
+//! subsystem uses — so what this example prints is what
+//! `/complete?prefix=...` serves.
+//!
 //! ```sh
 //! cargo run --release --example schema_completion
 //! ```
 
-use gittables_core::apps::NearestCompletion;
 use gittables_core::{Pipeline, PipelineConfig};
 use gittables_githost::GitHost;
+use gittables_serve::QueryEngine;
 
 /// The three CTU Prague Relational Learning Repository prefixes evaluated in
 /// the paper's Table 8 (employees / ClassicModels orders / AdventureWorks
@@ -59,7 +64,8 @@ fn main() {
     let (corpus, _) = pipeline.run(&host);
     println!("corpus: {} tables", corpus.len());
 
-    let nc = NearestCompletion::build(&corpus);
+    let engine = QueryEngine::from_corpus(corpus);
+    let nc = engine.completion();
     println!("indexed {} distinct schemas\n", nc.len());
 
     for (name, prefix, full) in TARGETS {

@@ -1,0 +1,59 @@
+//! End-to-end serving demo: build a corpus, persist it to a sharded
+//! store, load it into a [`QueryEngine`], serve it over HTTP, and query
+//! it with the bundled client — the full `gittables serve` round trip in
+//! one process.
+//!
+//! ```sh
+//! cargo run --release --example serve_corpus
+//! ```
+
+use std::sync::Arc;
+
+use gittables_core::{Pipeline, PipelineConfig};
+use gittables_githost::GitHost;
+use gittables_serve::{client, QueryEngine, Server, ServerConfig};
+
+fn main() {
+    // Build once, persist, reload — the server never re-runs extraction.
+    let pipeline = Pipeline::new(PipelineConfig::sized(21, 6, 12));
+    let host = GitHost::new();
+    pipeline.populate_host(&host);
+    let (corpus, _) = pipeline.run(&host);
+    let dir = std::env::temp_dir().join(format!("gt_serve_example_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    gittables_corpus::save_store(&corpus, &dir, 64).expect("save store");
+    let engine = QueryEngine::load(&dir).expect("load store");
+    println!(
+        "serving {} tables, {} semantic types",
+        engine.num_tables(),
+        engine.type_index().len()
+    );
+
+    let handle = Server::start(
+        Arc::new(engine),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    println!("listening on http://{addr}\n");
+
+    for target in [
+        "/health",
+        "/search?q=status+and+sales+amount+per+product&k=3",
+        "/types",
+        "/tables/0",
+        "/metrics",
+    ] {
+        let (status, body) = client::get(addr, target).expect("request");
+        let preview: String = body.chars().take(120).collect();
+        println!("GET {target}\n  {status} {preview}...\n");
+    }
+
+    handle.shutdown();
+    println!("server drained");
+    std::fs::remove_dir_all(&dir).ok();
+}

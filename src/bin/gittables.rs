@@ -13,19 +13,23 @@
 //! gittables save    --corpus corpus.json --out store_dir/ [--shard 256]
 //! gittables load    --store store_dir/ --out corpus.json
 //! gittables resume  --store store_dir/ [--seed 42] [--topics 10] [--repos 40] [--max-shards N]
+//! gittables serve   store_dir/ [--addr 127.0.0.1:7878] [--threads 4] [--cache 1024]
 //! ```
 //!
 //! `save`/`load` convert between the monolithic JSON file and the sharded
 //! on-disk store; `resume` runs the pipeline incrementally against a store,
-//! skipping repositories whose shards are already committed.
+//! skipping repositories whose shards are already committed; `serve` loads
+//! a store once and answers HTTP queries against it until `/shutdown`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gittables_core::apps::{DataSearch, NearestCompletion};
 use gittables_core::{Pipeline, PipelineConfig};
 use gittables_corpus::{persist, AnnotationStats, Corpus, CorpusStats};
 use gittables_githost::GitHost;
+use gittables_serve::{QueryEngine, Server, ServerConfig};
 
 fn opt(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -258,6 +262,41 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    // The store directory is the positional argument (`serve dir/`) with
+    // `--store dir/` accepted as an alias.
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .or_else(|| opt(args, "--store"))
+        .ok_or("missing store directory (serve <store-dir>)")?;
+    let addr = opt(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let threads = num(args, "--threads", 4usize);
+    let cache = num(args, "--cache", 1024usize);
+    eprintln!("loading corpus from {dir} ...");
+    let engine = QueryEngine::load(&dir).map_err(|e| format!("loading store {dir}: {e}"))?;
+    eprintln!(
+        "loaded {} tables, {} semantic types, {} distinct schemas",
+        engine.num_tables(),
+        engine.type_index().len(),
+        engine.completion().len()
+    );
+    let config = ServerConfig {
+        threads,
+        cache_capacity: cache,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(Arc::new(engine), addr.as_str(), config)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    // Printed on stdout so scripts can discover an ephemeral port.
+    println!("serving on http://{}", handle.addr());
+    eprintln!("{threads} worker threads; GET /shutdown for a graceful drain");
+    handle.join();
+    eprintln!("server drained");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -272,8 +311,9 @@ fn main() -> ExitCode {
         Some("save") => cmd_save(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: gittables <build|stats|search|complete|annotate|export|union|dedup|save|load|resume> [options]");
+            eprintln!("usage: gittables <build|stats|search|complete|annotate|export|union|dedup|save|load|resume|serve> [options]");
             eprintln!("  build    --out corpus.json [--seed N] [--topics N] [--repos N]");
             eprintln!("  stats    --corpus corpus.json");
             eprintln!("  search   --corpus corpus.json --query \"...\" [--k N]");
@@ -285,6 +325,7 @@ fn main() -> ExitCode {
             eprintln!("  save     --corpus corpus.json --out store_dir/ [--shard N]");
             eprintln!("  load     --store store_dir/ --out corpus.json");
             eprintln!("  resume   --store store_dir/ [--seed N] [--topics N] [--repos N] [--max-shards N]");
+            eprintln!("  serve    store_dir/ [--addr HOST:PORT] [--threads N] [--cache N]");
             return ExitCode::from(2);
         }
     };

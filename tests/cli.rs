@@ -94,6 +94,89 @@ fn annotate_csv_file() {
 }
 
 #[test]
+fn serve_subcommand_roundtrip() {
+    // build → save → serve on an ephemeral port → query → /shutdown →
+    // clean exit: the CI smoke test, self-contained.
+    let corpus = temp_path("serve_corpus.json");
+    let store = temp_path("serve_store");
+    std::fs::remove_dir_all(&store).ok();
+    let out = bin()
+        .args([
+            "build",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--topics",
+            "2",
+            "--repos",
+            "5",
+            "--seed",
+            "9",
+        ])
+        .output()
+        .expect("run build");
+    assert!(out.status.success());
+    let out = bin()
+        .args([
+            "save",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--shard",
+            "16",
+        ])
+        .output()
+        .expect("run save");
+    assert!(out.status.success());
+
+    let mut child = bin()
+        .args([
+            "serve",
+            store.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+
+    // The server prints `serving on http://ADDR` once ready.
+    let mut line = String::new();
+    {
+        use std::io::BufRead;
+        let stdout = child.stdout.as_mut().expect("piped stdout");
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read serve banner");
+    }
+    let addr: std::net::SocketAddr = line
+        .trim()
+        .strip_prefix("serving on http://")
+        .unwrap_or_else(|| panic!("unexpected banner `{line}`"))
+        .parse()
+        .expect("parse bound address");
+
+    let (status, body) = gittables_serve::client::get(addr, "/health").expect("health");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    let (status, body) =
+        gittables_serve::client::get(addr, "/search?q=values+and+ids&k=3").expect("search");
+    assert_eq!(status, 200);
+    assert!(body.starts_with('['), "{body}");
+
+    let (status, _) = gittables_serve::client::get(addr, "/shutdown").expect("shutdown");
+    assert_eq!(status, 200);
+    let exit = child.wait().expect("serve exit");
+    assert!(exit.success(), "serve exited with {exit:?}");
+
+    std::fs::remove_file(&corpus).ok();
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
 fn usage_on_unknown_command() {
     let out = bin().arg("nonsense").output().expect("run");
     assert!(!out.status.success());
