@@ -16,6 +16,7 @@
 
 use std::time::Instant;
 
+use gittables_bench::report::{extract_block, number_field, peak_rss_kb, write_bench_file};
 use gittables_bench::ExptArgs;
 use gittables_core::Pipeline;
 use gittables_githost::GitHost;
@@ -32,25 +33,6 @@ struct Metrics {
     bytes_parsed: usize,
     peak_rss_kb: u64,
     serial_parallel_identical: bool,
-}
-
-/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`).
-/// Returns 0 where procfs is unavailable — a proxy, not a guarantee.
-fn peak_rss_kb() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            return rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-        }
-    }
-    0
 }
 
 fn measure(args: &ExptArgs) -> Metrics {
@@ -120,38 +102,13 @@ fn metrics_json(m: &Metrics, indent: &str) -> String {
     )
 }
 
-/// Extracts the raw `"baseline": { ... }` object from a previous run's file
-/// by brace matching (the file is always written by this binary, so the
-/// object never contains braces inside strings).
+/// The previous run's `baseline` block and its `tables_per_sec`, so a
+/// re-run preserves the original baseline verbatim.
 fn existing_baseline(path: &str) -> Option<(String, f64)> {
     let text = std::fs::read_to_string(path).ok()?;
-    let key = "\"baseline\":";
-    let at = text.find(key)?;
-    let open = at + text[at..].find('{')?;
-    let mut depth = 0usize;
-    let mut end = None;
-    for (i, b) in text[open..].bytes().enumerate() {
-        match b {
-            b'{' => depth += 1,
-            b'}' => {
-                depth -= 1;
-                if depth == 0 {
-                    end = Some(open + i + 1);
-                    break;
-                }
-            }
-            _ => {}
-        }
-    }
-    let block = text[open..end?].to_string();
-    let tps_key = "\"tables_per_sec\":";
-    let tat = block.find(tps_key)? + tps_key.len();
-    let num: String = block[tat..]
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-        .collect();
-    Some((block, num.parse().ok()?))
+    let block = extract_block(&text, "baseline")?;
+    let tps = number_field(&block, "tables_per_sec")?;
+    Some((block, tps))
 }
 
 fn main() {
@@ -181,7 +138,5 @@ fn main() {
             metrics_json(&m, "  "),
         ),
     };
-    std::fs::write(&out, &body).expect("write BENCH_pipeline.json");
-    println!("{body}");
-    eprintln!("wrote {out}");
+    write_bench_file(&out, &body);
 }

@@ -26,6 +26,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use gittables_bench::report::write_bench_file;
 use gittables_bench::ExptArgs;
 use gittables_serve::{HttpClient, QueryEngine, Server, ServerConfig};
 
@@ -275,7 +276,5 @@ fn main() {
         measured_json(&types_conc, "    "),
         types_conc.rps / types_serial.rps,
     );
-    std::fs::write(&out, &body).expect("write BENCH_query.json");
-    println!("{body}");
-    eprintln!("wrote {out}");
+    write_bench_file(&out, &body);
 }

@@ -1,0 +1,223 @@
+//! Store cold-start harness: measures `load_corpus` wall time, tables/s,
+//! and peak RSS for the same synth corpus persisted as a `jsonl` store
+//! versus a `colv1` store, and records the comparison in
+//! `BENCH_store.json` — the perf trajectory of the store→memory boundary
+//! (the dominant cost of `gittables serve` cold starts).
+//!
+//! Usage: `cargo run --release -p gittables_bench --bin bench_store`
+//! (optionally `--seed/--topics/--repos/--shard/--runs`, plus
+//! `--out <path>`).
+//!
+//! ## Method
+//!
+//! Peak RSS (`VmHWM`) is a per-process high-water mark, so loads are
+//! measured in **child processes** (`--measure-load <dir>`, one load per
+//! process): each format gets one discarded warm-up run (page cache) and
+//! `--runs` measured runs; the best wall time and the median peak RSS
+//! are recorded.
+//!
+//! ## Equivalence gate
+//!
+//! Before any number is recorded the harness asserts, in-process, that
+//! the two stores load **bit-identical corpora** (`Corpus` equality over
+//! every cell, annotation, and provenance — the same data the shard
+//! fingerprints protect) and that a [`QueryEngine`] built over each
+//! answers `/search`, `/types`, and `/tables/{id}` with byte-identical
+//! JSON. A format change that alters any observable byte fails here
+//! before it can masquerade as a speedup.
+
+use std::time::Instant;
+
+use gittables_bench::report::{number_field, peak_rss_kb, write_bench_file};
+use gittables_bench::ExptArgs;
+use gittables_corpus::{load_store, save_store_as, StoreFormat};
+use gittables_serve::QueryEngine;
+
+/// Child mode: load the store at `dir` once, print one flat JSON line.
+fn measure_load_child(dir: &str) {
+    let started = Instant::now();
+    let corpus = load_store(dir).expect("load store");
+    let wall = started.elapsed().as_secs_f64();
+    println!(
+        "{{\"wall_secs\":{wall:.6},\"tables\":{},\"peak_rss_kb\":{}}}",
+        corpus.len(),
+        peak_rss_kb()
+    );
+}
+
+/// One format's measured load characteristics.
+struct Measured {
+    wall_secs: f64,
+    tables_per_sec: f64,
+    peak_rss_kb: u64,
+    bytes_on_disk: u64,
+    runs: usize,
+}
+
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// Runs `bench_store --measure-load <dir>` in a child process and parses
+/// its JSON line.
+fn spawn_load(dir: &std::path::Path) -> (f64, f64, u64) {
+    let exe = std::env::current_exe().expect("current exe");
+    let out = std::process::Command::new(exe)
+        .args(["--measure-load", dir.to_str().expect("utf-8 path")])
+        .output()
+        .expect("spawn load child");
+    assert!(
+        out.status.success(),
+        "child load failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let line = String::from_utf8_lossy(&out.stdout);
+    let wall = number_field(&line, "wall_secs").expect("wall_secs");
+    let tables = number_field(&line, "tables").expect("tables");
+    let rss = number_field(&line, "peak_rss_kb").expect("peak_rss_kb") as u64;
+    (wall, tables, rss)
+}
+
+fn measure(dir: &std::path::Path, runs: usize) -> Measured {
+    spawn_load(dir); // warm the page cache; discarded
+    let mut walls = Vec::with_capacity(runs);
+    let mut rsses = Vec::with_capacity(runs);
+    let mut tables = 0f64;
+    for _ in 0..runs {
+        let (wall, t, rss) = spawn_load(dir);
+        walls.push(wall);
+        rsses.push(rss);
+        tables = t;
+    }
+    walls.sort_by(f64::total_cmp);
+    rsses.sort_unstable();
+    let wall_secs = walls[0];
+    Measured {
+        wall_secs,
+        tables_per_sec: tables / wall_secs,
+        peak_rss_kb: rsses[runs / 2],
+        bytes_on_disk: dir_bytes(dir),
+        runs,
+    }
+}
+
+fn measured_json(m: &Measured, indent: &str) -> String {
+    format!(
+        "{{\n{i}  \"wall_secs\": {:.4},\n{i}  \"tables_per_sec\": {:.1},\n{i}  \"peak_rss_kb\": {},\n{i}  \"bytes_on_disk\": {},\n{i}  \"runs\": {}\n{i}}}",
+        m.wall_secs,
+        m.tables_per_sec,
+        m.peak_rss_kb,
+        m.bytes_on_disk,
+        m.runs,
+        i = indent,
+    )
+}
+
+/// Asserts both engines serve byte-identical JSON for a sample of every
+/// query endpoint family.
+fn assert_engines_identical(a: &QueryEngine, b: &QueryEngine) {
+    let pairs: Vec<(String, String)> = vec![
+        (
+            serde_json::to_string(&a.search("status and sales amount", 10)).unwrap(),
+            serde_json::to_string(&b.search("status and sales amount", 10)).unwrap(),
+        ),
+        (
+            serde_json::to_string(&a.type_counts()).unwrap(),
+            serde_json::to_string(&b.type_counts()).unwrap(),
+        ),
+        (
+            serde_json::to_string(&a.complete(&["id", "name"], 5)).unwrap(),
+            serde_json::to_string(&b.complete(&["id", "name"], 5)).unwrap(),
+        ),
+        (
+            serde_json::to_string(&a.health()).unwrap(),
+            serde_json::to_string(&b.health()).unwrap(),
+        ),
+    ];
+    for (x, y) in pairs {
+        assert_eq!(x, y, "query endpoint bytes diverged across formats");
+    }
+    for id in 0..a.num_tables().min(5) {
+        let x = serde_json::to_string(&a.table_summary(id)).unwrap();
+        let y = serde_json::to_string(&b.table_summary(id)).unwrap();
+        assert_eq!(x, y, "table summary {id} diverged across formats");
+    }
+    for label in a.type_index().labels().iter().take(5) {
+        let x = serde_json::to_string(&a.type_tables(label)).unwrap();
+        let y = serde_json::to_string(&b.type_tables(label)).unwrap();
+        assert_eq!(x, y, "type tables `{label}` diverged across formats");
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("--measure-load") {
+        measure_load_child(raw.get(1).expect("--measure-load <dir>"));
+        return;
+    }
+
+    let mut args = ExptArgs::parse();
+    // A store bench wants a corpus big enough for load time to dominate
+    // process startup; explicit flags still win.
+    if !std::env::args().any(|a| a == "--topics") {
+        args.topics = 8;
+    }
+    if !std::env::args().any(|a| a == "--repos") {
+        args.repos = 30;
+    }
+    let out = args.get("out").unwrap_or("BENCH_store.json").to_string();
+    let shard: usize = args.get_num("shard", 64);
+    let runs: usize = args.get_num("runs", 3);
+
+    eprintln!(
+        "building corpus (seed {}, {} topics x {} repos)...",
+        args.seed, args.topics, args.repos
+    );
+    let (corpus, _) = gittables_bench::build_corpus(&args);
+    let base = std::env::temp_dir().join(format!("gt_bench_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let jsonl_dir = base.join("jsonl");
+    let colv1_dir = base.join("colv1");
+    save_store_as(&corpus, &jsonl_dir, shard, StoreFormat::Jsonl).expect("save jsonl");
+    save_store_as(&corpus, &colv1_dir, shard, StoreFormat::ColV1).expect("save colv1");
+
+    // Equivalence gate: bit-identical corpora and query bytes, or no
+    // numbers get recorded.
+    eprintln!("verifying cross-format equivalence...");
+    let from_jsonl = load_store(&jsonl_dir).expect("load jsonl");
+    let from_colv1 = load_store(&colv1_dir).expect("load colv1");
+    assert_eq!(from_jsonl, corpus, "jsonl roundtrip altered the corpus");
+    assert_eq!(from_colv1, corpus, "colv1 roundtrip altered the corpus");
+    let engine_jsonl = QueryEngine::from_corpus(from_jsonl);
+    let engine_colv1 = QueryEngine::from_corpus(from_colv1);
+    assert_engines_identical(&engine_jsonl, &engine_colv1);
+    drop((engine_jsonl, engine_colv1));
+
+    eprintln!("measuring jsonl loads ({runs} runs)...");
+    let jsonl = measure(&jsonl_dir, runs);
+    eprintln!("measuring colv1 loads ({runs} runs)...");
+    let colv1 = measure(&colv1_dir, runs);
+    std::fs::remove_dir_all(&base).ok();
+
+    let body = format!(
+        "{{\n  \"bench\": \"store_cold_load\",\n  \"config\": {{ \"seed\": {}, \"topics\": {}, \"repos\": {}, \"tables_per_shard\": {shard} }},\n  \"corpus_tables\": {},\n  \"jsonl\": {},\n  \"colv1\": {},\n  \"speedup_load_wall\": {:.2},\n  \"rss_ratio_colv1_vs_jsonl\": {:.3},\n  \"size_ratio_colv1_vs_jsonl\": {:.3},\n  \"note\": \"per-format loads run in fresh child processes (VmHWM is a process high-water mark); corpora and query-endpoint bytes verified identical across formats before measuring\"\n}}\n",
+        args.seed,
+        args.topics,
+        args.repos,
+        corpus.len(),
+        measured_json(&jsonl, "  "),
+        measured_json(&colv1, "  "),
+        jsonl.wall_secs / colv1.wall_secs,
+        colv1.peak_rss_kb as f64 / jsonl.peak_rss_kb.max(1) as f64,
+        colv1.bytes_on_disk as f64 / jsonl.bytes_on_disk.max(1) as f64,
+    );
+    write_bench_file(&out, &body);
+}

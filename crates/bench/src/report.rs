@@ -1,0 +1,113 @@
+//! Shared helpers for the `BENCH_*.json` performance-trajectory files
+//! written by `bench_pipeline`, `bench_query`, and `bench_store`.
+//!
+//! The files are hand-formatted JSON (the harnesses control every byte,
+//! so no serializer is needed): these helpers centralize the bits every
+//! harness was duplicating — peak-RSS sampling, extracting a previous
+//! run's block to preserve a baseline, pulling a numeric field back out,
+//! and the write-print-confirm output protocol.
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`).
+/// Returns 0 where procfs is unavailable — a proxy, not a guarantee.
+#[must_use]
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Extracts the raw `"<key>": { ... }` object from a previously written
+/// bench file by brace matching. Valid only for files written by these
+/// harnesses, whose objects never contain braces inside strings.
+#[must_use]
+pub fn extract_block(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)?;
+    let open = at + text[at..].find('{')?;
+    let mut depth = 0usize;
+    for (i, b) in text[open..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[open..open + i + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Pulls the numeric value of `"<key>": <number>` out of a bench block
+/// (or any flat JSON text).
+#[must_use]
+pub fn number_field(block: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = block.find(&needle)? + needle.len();
+    let num: String = block[at..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+/// Writes a finished bench body to `path`, echoes it to stdout (the
+/// human-readable result), and confirms the path on stderr.
+///
+/// # Panics
+/// Panics when the file cannot be written — a bench run whose numbers
+/// vanish silently is worse than a loud failure.
+pub fn write_bench_file(path: &str, body: &str) {
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("{body}");
+    eprintln!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "x",
+  "baseline": { "wall_secs": 1.5, "nested": { "k": 2 }, "tables_per_sec": 212.0 },
+  "after": { "wall_secs": 0.5 }
+}"#;
+
+    #[test]
+    fn block_extraction_matches_braces() {
+        let block = extract_block(SAMPLE, "baseline").unwrap();
+        assert!(block.starts_with('{') && block.ends_with('}'));
+        assert!(block.contains("nested"));
+        assert!(!block.contains("after"));
+        assert!(extract_block(SAMPLE, "missing").is_none());
+    }
+
+    #[test]
+    fn numeric_fields_parse() {
+        let block = extract_block(SAMPLE, "baseline").unwrap();
+        assert_eq!(number_field(&block, "tables_per_sec"), Some(212.0));
+        assert_eq!(number_field(&block, "wall_secs"), Some(1.5));
+        assert_eq!(number_field(&block, "nope"), None);
+    }
+
+    #[test]
+    fn peak_rss_reports_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+}

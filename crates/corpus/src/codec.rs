@@ -1,0 +1,261 @@
+//! The [`ShardCodec`] abstraction: how shard bytes become tables.
+//!
+//! A [`crate::store::CorpusStore`] records its shard format in
+//! `manifest.json` (`"format"`) and resolves it to a codec once at
+//! open/create time; every shard write, load, export, and migration then
+//! streams through the same two-method interface. Two codecs exist:
+//!
+//! * [`StoreFormat::Jsonl`] — one JSON document per line. Human-greppable
+//!   and append-friendly, but every load re-parses text through a value
+//!   tree (the manifest without a `format` field means `jsonl`: stores
+//!   written before the field existed keep loading unchanged).
+//! * [`StoreFormat::ColV1`] — the binary columnar segment of
+//!   [`crate::colv1`], decoded by slicing an `mmap`ed arena.
+//!
+//! Integrity checking is deliberately *outside* the codec: the store
+//! verifies table counts and content fingerprints on every load path, so
+//! both formats share one enforcement point.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use crate::colv1;
+use crate::corpus::AnnotatedTable;
+use crate::store::StoreError;
+
+/// On-disk shard format of a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFormat {
+    /// One JSON document per line (`<id>.jsonl`).
+    Jsonl,
+    /// Binary columnar segments (`<id>.colv1`), mmap-decoded.
+    ColV1,
+}
+
+impl StoreFormat {
+    /// The name written into `manifest.json` (and used as the file
+    /// extension).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreFormat::Jsonl => "jsonl",
+            StoreFormat::ColV1 => "colv1",
+        }
+    }
+
+    /// Parses a manifest/CLI format name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<StoreFormat> {
+        match s {
+            "jsonl" => Some(StoreFormat::Jsonl),
+            "colv1" => Some(StoreFormat::ColV1),
+            _ => None,
+        }
+    }
+
+    /// Every supported format, for help text and docs.
+    pub const ALL: [StoreFormat; 2] = [StoreFormat::Jsonl, StoreFormat::ColV1];
+}
+
+impl std::fmt::Display for StoreFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A streaming single-shard encoder produced by [`ShardCodec::begin`].
+/// Push tables one at a time; [`ShardEncoder::finish`] makes the file
+/// durable (flush + fsync) but does *not* commit it to the manifest.
+pub trait ShardEncoder: Send {
+    /// Appends one table.
+    ///
+    /// # Errors
+    /// Propagates I/O and encoding failures.
+    fn push(&mut self, table: &AnnotatedTable) -> Result<(), StoreError>;
+
+    /// Flushes and fsyncs the shard file.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    fn finish(self: Box<Self>) -> Result<(), StoreError>;
+}
+
+/// One shard format: naming, streaming encode, and whole-shard decode.
+pub trait ShardCodec: Send + Sync {
+    /// The format this codec implements.
+    fn format(&self) -> StoreFormat;
+
+    /// The shard file name for shard `id`.
+    fn file_name(&self, id: &str) -> String {
+        format!("{id}.{}", self.format().name())
+    }
+
+    /// Starts writing a shard file at `path`.
+    ///
+    /// # Errors
+    /// Propagates file-creation failures.
+    fn begin(&self, path: &Path) -> Result<Box<dyn ShardEncoder>, StoreError>;
+
+    /// Reads every table of the shard at `path`, in write order. `file`
+    /// is the shard's store-relative name, used in error values.
+    ///
+    /// # Errors
+    /// `NotFound` surfaces as [`StoreError::Io`] (the store maps it to
+    /// [`StoreError::MissingShard`]); corrupt content surfaces as typed
+    /// decode errors, never a panic or a partial list.
+    fn read(&self, path: &Path, file: &str) -> Result<Vec<AnnotatedTable>, StoreError>;
+
+    /// [`Self::read`] plus each table's content fingerprint
+    /// ([`crate::dedup::table_fingerprint`]), for the store's integrity
+    /// check. The default recomputes fingerprints in a second pass over
+    /// the decoded tables; codecs that stream the same bytes anyway
+    /// (colv1) fold the hashing into decode, where the cells are still
+    /// cache-hot.
+    ///
+    /// # Errors
+    /// As [`Self::read`].
+    fn read_fingerprinted(
+        &self,
+        path: &Path,
+        file: &str,
+    ) -> Result<(Vec<AnnotatedTable>, Vec<u64>), StoreError> {
+        let tables = self.read(path, file)?;
+        let fingerprints = tables
+            .iter()
+            .map(|at| crate::dedup::table_fingerprint(&at.table))
+            .collect();
+        Ok((tables, fingerprints))
+    }
+}
+
+/// The codec for `format` (codecs are stateless, so one static each).
+#[must_use]
+pub fn codec_for(format: StoreFormat) -> &'static dyn ShardCodec {
+    match format {
+        StoreFormat::Jsonl => &JsonlCodec,
+        StoreFormat::ColV1 => &ColV1Codec,
+    }
+}
+
+// -------------------------------------------------------------------- jsonl
+
+/// One JSON document per line.
+pub struct JsonlCodec;
+
+struct JsonlEncoder {
+    writer: std::io::BufWriter<std::fs::File>,
+}
+
+impl ShardEncoder for JsonlEncoder {
+    fn push(&mut self, table: &AnnotatedTable) -> Result<(), StoreError> {
+        // The JSON printer escapes raw newlines inside strings, so
+        // lines == tables.
+        let line = serde_json::to_string(table)?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    fn finish(mut self: Box<Self>) -> Result<(), StoreError> {
+        self.writer.flush()?;
+        // The durability promise of `commit_shard` requires the shard's
+        // bytes to hit disk before its manifest entry does.
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+}
+
+impl ShardCodec for JsonlCodec {
+    fn format(&self) -> StoreFormat {
+        StoreFormat::Jsonl
+    }
+
+    fn begin(&self, path: &Path) -> Result<Box<dyn ShardEncoder>, StoreError> {
+        let handle = std::fs::File::create(path)?;
+        Ok(Box::new(JsonlEncoder {
+            writer: std::io::BufWriter::new(handle),
+        }))
+    }
+
+    fn read(&self, path: &Path, _file: &str) -> Result<Vec<AnnotatedTable>, StoreError> {
+        let file = std::fs::File::open(path)?;
+        let reader = BufReader::new(file);
+        let mut tables = Vec::new();
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            tables.push(serde_json::from_str(&line)?);
+        }
+        Ok(tables)
+    }
+}
+
+// -------------------------------------------------------------------- colv1
+
+/// Binary columnar segments (see [`crate::colv1`] for the layout).
+pub struct ColV1Codec;
+
+struct ColV1Encoder {
+    writer: colv1::SegmentWriter,
+}
+
+impl ShardEncoder for ColV1Encoder {
+    fn push(&mut self, table: &AnnotatedTable) -> Result<(), StoreError> {
+        self.writer.push(table)
+    }
+
+    fn finish(self: Box<Self>) -> Result<(), StoreError> {
+        self.writer.finish()
+    }
+}
+
+impl ShardCodec for ColV1Codec {
+    fn format(&self) -> StoreFormat {
+        StoreFormat::ColV1
+    }
+
+    fn begin(&self, path: &Path) -> Result<Box<dyn ShardEncoder>, StoreError> {
+        let file = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        Ok(Box::new(ColV1Encoder {
+            writer: colv1::SegmentWriter::create(path, file)?,
+        }))
+    }
+
+    fn read(&self, path: &Path, file: &str) -> Result<Vec<AnnotatedTable>, StoreError> {
+        let arena = colv1::Arena::load(path)?;
+        colv1::decode_segment(arena.bytes(), file)
+    }
+
+    fn read_fingerprinted(
+        &self,
+        path: &Path,
+        file: &str,
+    ) -> Result<(Vec<AnnotatedTable>, Vec<u64>), StoreError> {
+        let arena = colv1::Arena::load(path)?;
+        colv1::decode_segment_fingerprinted(arena.bytes(), file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_names_roundtrip() {
+        for f in StoreFormat::ALL {
+            assert_eq!(StoreFormat::parse(f.name()), Some(f));
+        }
+        assert_eq!(StoreFormat::parse("nope"), None);
+    }
+
+    #[test]
+    fn file_names_carry_the_extension() {
+        assert_eq!(codec_for(StoreFormat::Jsonl).file_name("s1"), "s1.jsonl");
+        assert_eq!(codec_for(StoreFormat::ColV1).file_name("s1"), "s1.colv1");
+    }
+}

@@ -1,0 +1,759 @@
+//! `colv1` — the zero-copy binary columnar shard segment format.
+//!
+//! JSONL shards pay three times on every load: the raw document is read
+//! into memory, parsed into a JSON value tree, and only then folded into
+//! tables — so cold-start wall time and peak RSS both scale with the
+//! *textual* corpus size. A `colv1` segment instead lays every table out
+//! as flat, length-prefixed binary columns and is decoded by **slicing**:
+//! the file is `mmap`ed (or read once into an arena), fixed-width fields
+//! are read in place, and the only per-cell work is materializing the
+//! final `String` straight out of the mapped cell arena. No intermediate
+//! tree, no text parsing, no escape handling.
+//!
+//! ## Segment layout (all integers little-endian)
+//!
+//! ```text
+//! "GTCOLV1\0"                      file magic (8 bytes)
+//! table block × N                  see below
+//! u64 offset[N]                    byte offset of each table block
+//! u64 N                            table count
+//! u64 footer_start                 where offset[0] begins
+//! "GTCOLF1\0"                      footer magic (8 bytes)
+//! ```
+//!
+//! The footer is written last and read first: a truncated or partially
+//! written segment fails the trailing-magic check before any block is
+//! touched. Every multi-byte read is bounds-checked against the arena,
+//! so corrupted offsets surface as typed [`StoreError::Corrupt`] values,
+//! never panics or silent partial loads.
+//!
+//! ### Table block
+//!
+//! ```text
+//! str name                         str := u32 len + UTF-8 bytes
+//! str repository, str path         provenance
+//! u8 has_license (+ str license)
+//! str topic, u64 file_size
+//! u32 num_columns, u64 num_rows
+//! column × num_columns:
+//!   str name
+//!   u8 atomic type tag
+//!   cell arena: u32 end_offset[num_rows] (cumulative), then the bytes
+//! annotation set × 4 (syntactic/semantic × DBpedia/Schema.org):
+//!   u64 num_columns, u32 count
+//!   annotation × count: u64 column, u32 type_id, u8 ontology, u8 method,
+//!                       u32 similarity (f32 bits)
+//!   label arena: u32 end_offset[count], then the bytes
+//! ```
+//!
+//! Cell and label arenas store one shared byte blob plus cumulative end
+//! offsets, so decoding cell `i` is two offset reads and one slice.
+//!
+//! ## Memory mapping
+//!
+//! On 64-bit Unix targets segments are mapped read-only with `mmap(2)`
+//! (declared directly against libc, which `std` already links — no new
+//! dependency). Pages stream in on demand and live in the page cache, so
+//! a load's peak RSS is the *decoded* corpus, not decoded + raw + tree.
+//! Set `GITTABLES_NO_MMAP=1` to force the read-once arena fallback (also
+//! used on other targets, for empty files, and when `mmap` fails).
+//! Caveat shared with every file-mapping reader: truncating a segment
+//! while another process has it mapped is undefined behavior at the OS
+//! level (`SIGBUS`); stores are private directories, and `migrate` swaps
+//! formats by atomic manifest rename, never by truncating segments.
+
+use std::io::Write;
+use std::path::Path;
+
+use gittables_annotate::{Annotation, Method, TableAnnotations};
+use gittables_ontology::OntologyKind;
+use gittables_table::{AtomicType, Column, Provenance, Table};
+
+use crate::corpus::AnnotatedTable;
+use crate::store::StoreError;
+
+/// Magic bytes opening every `colv1` segment.
+pub const FILE_MAGIC: &[u8; 8] = b"GTCOLV1\0";
+
+/// Magic bytes closing every `colv1` segment (the commit mark: a segment
+/// without it was never fully written).
+pub const FOOTER_MAGIC: &[u8; 8] = b"GTCOLF1\0";
+
+fn corrupt(file: &str, detail: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        file: file.to_string(),
+        detail: detail.into(),
+    }
+}
+
+// ------------------------------------------------------------------- arena
+
+/// Read-only mapping of a whole segment file.
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod mapped {
+    use std::os::unix::io::AsRawFd;
+
+    // `std` links libc on every Unix target, so declaring the two symbols
+    // we need avoids depending on the `libc` crate (unavailable in the
+    // offline build container).
+    extern "C" {
+        fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// An owned `mmap` region, unmapped on drop.
+    #[derive(Debug)]
+    pub struct Map {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // The mapping is private and read-only for its whole lifetime.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        /// Maps `len` bytes of `file` read-only; `None` when the kernel
+        /// refuses (callers fall back to reading the file).
+        pub fn of(file: &std::fs::File, len: usize) -> Option<Map> {
+            if len == 0 {
+                return None; // zero-length mmap is EINVAL
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as usize == usize::MAX {
+                None // MAP_FAILED
+            } else {
+                Some(Map { ptr, len })
+            }
+        }
+
+        /// The mapped bytes.
+        pub fn bytes(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// The bytes of a segment: memory-mapped where supported, otherwise read
+/// once into an owned buffer. Either way decoding slices out of one
+/// contiguous region.
+#[derive(Debug)]
+pub enum Arena {
+    /// Read-once fallback (non-Unix targets, empty files, `mmap` refusal,
+    /// or `GITTABLES_NO_MMAP=1`).
+    Owned(Vec<u8>),
+    /// Live `mmap` of the segment file.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped(mapped::Map),
+}
+
+impl Arena {
+    /// Loads `path`, preferring `mmap`.
+    ///
+    /// # Errors
+    /// Propagates `open`/`read` failures (including `NotFound`, which the
+    /// store maps to [`StoreError::MissingShard`]).
+    pub fn load(path: &Path) -> std::io::Result<Arena> {
+        let mut file = std::fs::File::open(path)?;
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if std::env::var_os("GITTABLES_NO_MMAP").is_none() {
+            if let Ok(meta) = file.metadata() {
+                let len = usize::try_from(meta.len()).unwrap_or(0);
+                if let Some(map) = mapped::Map::of(&file, len) {
+                    return Ok(Arena::Mapped(map));
+                }
+            }
+        }
+        let mut buf = Vec::new();
+        std::io::Read::read_to_end(&mut file, &mut buf)?;
+        Ok(Arena::Owned(buf))
+    }
+
+    /// The segment bytes.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            Arena::Owned(v) => v,
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Arena::Mapped(m) => m.bytes(),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- encoding
+
+/// Tag bytes for [`AtomicType`]; the decoder rejects anything else.
+fn atomic_tag(t: AtomicType) -> u8 {
+    match t {
+        AtomicType::Integer => 0,
+        AtomicType::Float => 1,
+        AtomicType::Boolean => 2,
+        AtomicType::Date => 3,
+        AtomicType::String => 4,
+        AtomicType::Empty => 5,
+    }
+}
+
+fn atomic_from_tag(tag: u8) -> Option<AtomicType> {
+    Some(match tag {
+        0 => AtomicType::Integer,
+        1 => AtomicType::Float,
+        2 => AtomicType::Boolean,
+        3 => AtomicType::Date,
+        4 => AtomicType::String,
+        5 => AtomicType::Empty,
+        _ => return None,
+    })
+}
+
+fn ontology_tag(o: OntologyKind) -> u8 {
+    match o {
+        OntologyKind::DBpedia => 0,
+        OntologyKind::SchemaOrg => 1,
+    }
+}
+
+fn ontology_from_tag(tag: u8) -> Option<OntologyKind> {
+    Some(match tag {
+        0 => OntologyKind::DBpedia,
+        1 => OntologyKind::SchemaOrg,
+        _ => return None,
+    })
+}
+
+fn method_tag(m: Method) -> u8 {
+    match m {
+        Method::Syntactic => 0,
+        Method::Semantic => 1,
+    }
+}
+
+fn method_from_tag(tag: u8) -> Option<Method> {
+    Some(match tag {
+        0 => Method::Syntactic,
+        1 => Method::Semantic,
+        _ => return None,
+    })
+}
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Length-prefixed string. Lengths beyond `u32::MAX` (a 4 GiB single
+/// value) are refused at encode time rather than truncated.
+fn put_str(out: &mut Vec<u8>, s: &str, file: &str) -> Result<(), StoreError> {
+    let len = u32::try_from(s.len())
+        .map_err(|_| corrupt(file, format!("string of {} bytes overflows u32", s.len())))?;
+    put_u32(out, len);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Shared byte arena: cumulative end offsets then the blob. Decoding item
+/// `i` is `blob[end[i-1]..end[i]]`.
+fn put_arena<'a>(
+    out: &mut Vec<u8>,
+    items: impl Iterator<Item = &'a str> + Clone,
+    file: &str,
+) -> Result<(), StoreError> {
+    let mut end = 0u64;
+    for s in items.clone() {
+        end += s.len() as u64;
+        let end32 = u32::try_from(end)
+            .map_err(|_| corrupt(file, format!("arena of {end} bytes overflows u32")))?;
+        put_u32(out, end32);
+    }
+    for s in items {
+        out.extend_from_slice(s.as_bytes());
+    }
+    Ok(())
+}
+
+fn encode_annotations(
+    out: &mut Vec<u8>,
+    set: &TableAnnotations,
+    file: &str,
+) -> Result<(), StoreError> {
+    put_u64(out, set.num_columns as u64);
+    let count = u32::try_from(set.annotations.len())
+        .map_err(|_| corrupt(file, "annotation count overflows u32"))?;
+    put_u32(out, count);
+    for a in &set.annotations {
+        put_u64(out, a.column as u64);
+        put_u32(out, a.type_id);
+        put_u8(out, ontology_tag(a.ontology));
+        put_u8(out, method_tag(a.method));
+        put_u32(out, a.similarity.to_bits());
+    }
+    put_arena(out, set.annotations.iter().map(|a| a.label.as_str()), file)
+}
+
+/// Encodes one table block into `out` (cleared first).
+pub(crate) fn encode_table(
+    out: &mut Vec<u8>,
+    at: &AnnotatedTable,
+    file: &str,
+) -> Result<(), StoreError> {
+    out.clear();
+    let t = &at.table;
+    put_str(out, t.name(), file)?;
+    let p = t.provenance();
+    put_str(out, &p.repository, file)?;
+    put_str(out, &p.path, file)?;
+    match &p.license {
+        Some(l) => {
+            put_u8(out, 1);
+            put_str(out, l, file)?;
+        }
+        None => put_u8(out, 0),
+    }
+    put_str(out, &p.topic, file)?;
+    put_u64(out, p.file_size as u64);
+    let ncols =
+        u32::try_from(t.num_columns()).map_err(|_| corrupt(file, "column count overflows u32"))?;
+    put_u32(out, ncols);
+    put_u64(out, t.num_rows() as u64);
+    for c in t.columns() {
+        put_str(out, c.name(), file)?;
+        put_u8(out, atomic_tag(c.atomic_type()));
+        put_arena(out, c.values().iter().map(String::as_str), file)?;
+    }
+    for (method, ontology) in crate::corpus::Corpus::annotation_configs() {
+        encode_annotations(out, at.annotations(method, ontology), file)?;
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------- decoding
+
+/// Bounds-checked cursor over the segment arena.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    file: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        // `checked_add`: a crafted length near usize::MAX must error, not
+        // overflow (dev/test builds run with overflow checks = panic).
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| corrupt(self.file, "length overflows the segment"))?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| corrupt(self.file, format!("truncated at byte {}", self.pos)))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn len_of(&self, v: u64, what: &str) -> Result<usize, StoreError> {
+        usize::try_from(v).map_err(|_| corrupt(self.file, format!("{what} {v} overflows usize")))
+    }
+
+    /// Capacity hint bounded by the bytes actually left in the segment, so
+    /// a corrupt count can never trigger a huge allocation before the
+    /// bounds-checked reads reject it.
+    fn cap(&self, n: usize) -> usize {
+        n.min(self.bytes.len().saturating_sub(self.pos))
+    }
+
+    fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| corrupt(self.file, "string is not valid UTF-8"))
+    }
+
+    /// Decodes a shared arena of `count` strings (cumulative end offsets
+    /// then the blob), slicing each item straight out of the mapping.
+    /// The blob is UTF-8-validated **once** as a whole; each cell is then
+    /// an O(1) char-boundary-checked `str` slice plus one copy — the only
+    /// per-cell work on the load path.
+    fn arena(&mut self, count: usize) -> Result<Vec<String>, StoreError> {
+        let index_bytes = count
+            .checked_mul(4)
+            .ok_or_else(|| corrupt(self.file, "arena count overflows"))?;
+        let ends = self.take(index_bytes)?;
+        let total = if count == 0 {
+            0
+        } else {
+            u32::from_le_bytes(ends[(count - 1) * 4..].try_into().expect("4")) as usize
+        };
+        let blob = std::str::from_utf8(self.take(total)?)
+            .map_err(|_| corrupt(self.file, "arena bytes are not valid UTF-8"))?;
+        let mut out = Vec::with_capacity(count.min(index_bytes));
+        let mut start = 0usize;
+        for chunk in ends.chunks_exact(4) {
+            let end = u32::from_le_bytes(chunk.try_into().expect("4")) as usize;
+            // `get` rejects both non-monotonic offsets and offsets that
+            // split a multi-byte character.
+            let s = blob
+                .get(start..end)
+                .ok_or_else(|| corrupt(self.file, "arena offsets are not monotonic"))?;
+            out.push(s.to_string());
+            start = end;
+        }
+        Ok(out)
+    }
+}
+
+fn decode_annotations(cur: &mut Cursor<'_>) -> Result<TableAnnotations, StoreError> {
+    let num_columns = cur.u64()?;
+    let num_columns = cur.len_of(num_columns, "annotation num_columns")?;
+    let count = cur.u32()? as usize;
+    let mut fixed = Vec::with_capacity(cur.cap(count));
+    for _ in 0..count {
+        let column = cur.u64()?;
+        let column = cur.len_of(column, "annotation column")?;
+        let type_id = cur.u32()?;
+        let ontology = ontology_from_tag(cur.u8()?)
+            .ok_or_else(|| corrupt(cur.file, "unknown ontology tag"))?;
+        let method =
+            method_from_tag(cur.u8()?).ok_or_else(|| corrupt(cur.file, "unknown method tag"))?;
+        let similarity = f32::from_bits(cur.u32()?);
+        fixed.push((column, type_id, ontology, method, similarity));
+    }
+    let labels = cur.arena(count)?;
+    let annotations = fixed
+        .into_iter()
+        .zip(labels)
+        .map(
+            |((column, type_id, ontology, method, similarity), label)| Annotation {
+                column,
+                type_id,
+                label,
+                ontology,
+                method,
+                similarity,
+            },
+        )
+        .collect();
+    Ok(TableAnnotations {
+        annotations,
+        num_columns,
+    })
+}
+
+fn decode_table(cur: &mut Cursor<'_>) -> Result<AnnotatedTable, StoreError> {
+    let name = cur.str()?;
+    let repository = cur.str()?;
+    let path = cur.str()?;
+    let license = match cur.u8()? {
+        0 => None,
+        1 => Some(cur.str()?),
+        _ => return Err(corrupt(cur.file, "bad license tag")),
+    };
+    let topic = cur.str()?;
+    let file_size = cur.u64()?;
+    let file_size = cur.len_of(file_size, "file_size")?;
+    let ncols = cur.u32()? as usize;
+    let nrows = cur.u64()?;
+    let nrows = cur.len_of(nrows, "row count")?;
+    let mut columns = Vec::with_capacity(cur.cap(ncols));
+    for _ in 0..ncols {
+        let col_name = cur.str()?;
+        let atomic =
+            atomic_from_tag(cur.u8()?).ok_or_else(|| corrupt(cur.file, "unknown atomic tag"))?;
+        let values = cur.arena(nrows)?;
+        columns.push(Column::from_raw_parts(col_name, values, atomic));
+    }
+    let table = Table::new(name, columns)
+        .map_err(|e| corrupt(cur.file, format!("inconsistent table block: {e}")))?
+        .with_provenance(Provenance {
+            repository,
+            path,
+            license,
+            topic,
+            file_size,
+        });
+    let mut at = AnnotatedTable::new(table);
+    for (method, ontology) in crate::corpus::Corpus::annotation_configs() {
+        *at.annotations_mut(method, ontology) = decode_annotations(cur)?;
+    }
+    Ok(at)
+}
+
+/// Decodes a whole segment. Every structural violation — missing magic,
+/// truncation, offsets out of range, bad tags — is a typed
+/// [`StoreError::Corrupt`]; the function never panics on untrusted bytes
+/// and never returns a partial table list.
+pub(crate) fn decode_segment(bytes: &[u8], file: &str) -> Result<Vec<AnnotatedTable>, StoreError> {
+    Ok(decode_all(bytes, file, false)?.0)
+}
+
+/// [`decode_segment`] plus each table's content fingerprint, hashed
+/// right after its block is decoded — while the freshly materialized
+/// cells are still cache-hot — instead of in a second pass over the
+/// whole shard.
+pub(crate) fn decode_segment_fingerprinted(
+    bytes: &[u8],
+    file: &str,
+) -> Result<(Vec<AnnotatedTable>, Vec<u64>), StoreError> {
+    decode_all(bytes, file, true)
+}
+
+fn decode_all(
+    bytes: &[u8],
+    file: &str,
+    fingerprint: bool,
+) -> Result<(Vec<AnnotatedTable>, Vec<u64>), StoreError> {
+    // Fixed trailer: offsets array, N, footer_start, footer magic.
+    let min = FILE_MAGIC.len() + 8 + 8 + FOOTER_MAGIC.len();
+    if bytes.len() < min {
+        return Err(corrupt(
+            file,
+            format!("segment of {} bytes is truncated", bytes.len()),
+        ));
+    }
+    if &bytes[..FILE_MAGIC.len()] != FILE_MAGIC {
+        return Err(corrupt(file, "bad file magic (not a colv1 segment)"));
+    }
+    if &bytes[bytes.len() - FOOTER_MAGIC.len()..] != FOOTER_MAGIC {
+        return Err(corrupt(
+            file,
+            "bad footer magic (segment not fully written)",
+        ));
+    }
+    let fixed = bytes.len() - FOOTER_MAGIC.len() - 16;
+    let count = u64::from_le_bytes(bytes[fixed..fixed + 8].try_into().expect("8"));
+    let footer_start = u64::from_le_bytes(bytes[fixed + 8..fixed + 16].try_into().expect("8"));
+    let count = usize::try_from(count).map_err(|_| corrupt(file, "table count overflows usize"))?;
+    let footer_start = usize::try_from(footer_start)
+        .map_err(|_| corrupt(file, "footer offset overflows usize"))?;
+    if count
+        .checked_mul(8)
+        .and_then(|n| footer_start.checked_add(n))
+        != Some(fixed)
+    {
+        return Err(corrupt(file, "footer index does not match table count"));
+    }
+    if footer_start < FILE_MAGIC.len() {
+        return Err(corrupt(file, "footer overlaps file magic"));
+    }
+    let mut tables = Vec::with_capacity(count);
+    let mut fingerprints = Vec::with_capacity(if fingerprint { count } else { 0 });
+    let mut prev = 0usize;
+    for i in 0..count {
+        let at = footer_start + i * 8;
+        let offset = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8"));
+        let offset =
+            usize::try_from(offset).map_err(|_| corrupt(file, "block offset overflows usize"))?;
+        if offset < FILE_MAGIC.len() || offset >= footer_start || (i > 0 && offset <= prev) {
+            return Err(corrupt(file, format!("block offset {offset} out of range")));
+        }
+        prev = offset;
+        let mut cur = Cursor {
+            // Blocks may only read up to the footer: a corrupt block
+            // cannot wander into the index and misparse it as cells.
+            bytes: &bytes[..footer_start],
+            pos: offset,
+            file,
+        };
+        let at = decode_table(&mut cur)?;
+        if fingerprint {
+            fingerprints.push(crate::dedup::table_fingerprint(&at.table));
+        }
+        tables.push(at);
+    }
+    Ok((tables, fingerprints))
+}
+
+/// Streaming segment writer: tables are encoded and appended one at a
+/// time (one encode buffer of scratch memory), the footer index last.
+pub(crate) struct SegmentWriter {
+    writer: std::io::BufWriter<std::fs::File>,
+    offsets: Vec<u64>,
+    pos: u64,
+    scratch: Vec<u8>,
+    file: String,
+}
+
+impl SegmentWriter {
+    pub(crate) fn create(path: &Path, file: String) -> Result<SegmentWriter, StoreError> {
+        let handle = std::fs::File::create(path)?;
+        let mut writer = std::io::BufWriter::new(handle);
+        writer.write_all(FILE_MAGIC)?;
+        Ok(SegmentWriter {
+            writer,
+            offsets: Vec::new(),
+            pos: FILE_MAGIC.len() as u64,
+            scratch: Vec::new(),
+            file,
+        })
+    }
+
+    pub(crate) fn push(&mut self, at: &AnnotatedTable) -> Result<(), StoreError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        encode_table(&mut scratch, at, &self.file)?;
+        self.writer.write_all(&scratch)?;
+        self.offsets.push(self.pos);
+        self.pos += scratch.len() as u64;
+        self.scratch = scratch;
+        Ok(())
+    }
+
+    /// Writes the footer and makes the segment durable (flush + fsync).
+    pub(crate) fn finish(mut self) -> Result<(), StoreError> {
+        let footer_start = self.pos;
+        for off in &self.offsets {
+            self.writer.write_all(&off.to_le_bytes())?;
+        }
+        self.writer
+            .write_all(&(self.offsets.len() as u64).to_le_bytes())?;
+        self.writer.write_all(&footer_start.to_le_bytes())?;
+        self.writer.write_all(FOOTER_MAGIC)?;
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gittables_table::Table;
+
+    fn sample() -> AnnotatedTable {
+        let t = Table::from_rows(
+            "t",
+            &["id", "note"],
+            &[&["1", "plain"], &["2", "has,comma \"q\" \n line"]],
+        )
+        .unwrap()
+        .with_provenance(
+            Provenance::new("alice/rides", "data/rides.csv")
+                .with_license("mit")
+                .with_topic("ride"),
+        );
+        let mut at = AnnotatedTable::new(t);
+        at.semantic_schema.annotations.push(Annotation {
+            column: 1,
+            type_id: 7,
+            label: "note".into(),
+            ontology: OntologyKind::SchemaOrg,
+            method: Method::Semantic,
+            similarity: 0.875,
+        });
+        at
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let at = sample();
+        let mut buf = Vec::new();
+        encode_table(&mut buf, &at, "test").unwrap();
+        let mut cur = Cursor {
+            bytes: &buf,
+            pos: 0,
+            file: "test",
+        };
+        let back = decode_table(&mut cur).unwrap();
+        assert_eq!(cur.pos, buf.len(), "block decodes exactly its bytes");
+        assert_eq!(at, back);
+    }
+
+    #[test]
+    fn segment_roundtrip_and_truncation() {
+        let dir = std::env::temp_dir().join(format!("gt_colv1_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg.colv1");
+        let mut w = SegmentWriter::create(&path, "seg.colv1".into()).unwrap();
+        w.push(&sample()).unwrap();
+        w.push(&sample()).unwrap();
+        w.finish().unwrap();
+
+        let arena = Arena::load(&path).unwrap();
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if std::env::var_os("GITTABLES_NO_MMAP").is_none() {
+            assert!(
+                matches!(arena, Arena::Mapped(_)),
+                "mmap path must engage on 64-bit unix"
+            );
+        }
+        let tables = decode_segment(arena.bytes(), "seg.colv1").unwrap();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0], sample());
+
+        // The read-once fallback decodes identically.
+        let owned = Arena::Owned(std::fs::read(&path).unwrap());
+        assert_eq!(decode_segment(owned.bytes(), "seg.colv1").unwrap(), tables);
+
+        // Any truncation point must produce a typed error, never a panic.
+        let full = std::fs::read(&path).unwrap();
+        for cut in [0, 1, 8, full.len() / 2, full.len() - 1] {
+            let err = decode_segment(&full[..cut], "seg.colv1").unwrap_err();
+            assert!(
+                matches!(err, StoreError::Corrupt { .. }),
+                "cut={cut}: {err}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn huge_length_errors_instead_of_overflowing() {
+        // A crafted length near usize::MAX must produce a typed error,
+        // not an add overflow (dev/test builds panic on overflow).
+        let bytes = [0u8; 16];
+        let mut cur = Cursor {
+            bytes: &bytes,
+            pos: 8,
+            file: "t",
+        };
+        assert!(matches!(
+            cur.take(usize::MAX - 4),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let err =
+            decode_segment(b"NOTCOLV1 some random bytes that are long enough", "x").unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }));
+    }
+}

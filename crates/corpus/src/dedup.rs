@@ -46,18 +46,29 @@ fn fnv(h: &mut u64, bytes: &[u8]) {
     *h = acc;
 }
 
+/// [`fnv`] over `bytes` followed by the one-byte terminator `sep` — one
+/// call instead of two. Cells are tiny (store loads fingerprint millions
+/// of them), so the per-call setup of a separate separator round shows
+/// up; the digest byte sequence is unchanged.
+fn fnv_terminated(h: &mut u64, bytes: &[u8], sep: u8) {
+    const PRIME: u64 = 0x100_0000_01b3;
+    fnv(h, bytes);
+    *h = (*h ^ u64::from(sep)).wrapping_mul(PRIME);
+}
+
 /// Exact content fingerprint: schema + all cells.
+///
+/// Header names are read straight off the columns (the same strings
+/// `Table::schema` would copy) — fingerprinting allocates nothing.
 #[must_use]
 pub fn table_fingerprint(table: &gittables_table::Table) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for a in table.schema().iter() {
-        fnv(&mut h, a.as_bytes());
-        fnv(&mut h, b"\x1f");
+    for col in table.columns() {
+        fnv_terminated(&mut h, col.name().as_bytes(), 0x1f);
     }
     for col in table.columns() {
         for v in col.values() {
-            fnv(&mut h, v.as_bytes());
-            fnv(&mut h, b"\x1e");
+            fnv_terminated(&mut h, v.as_bytes(), 0x1e);
         }
     }
     h

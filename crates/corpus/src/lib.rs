@@ -12,7 +12,12 @@
 //! * [`bias`] — the Table 6 bias audit over person/geography types;
 //! * [`persist`] — monolithic single-file JSON save/load;
 //! * [`store`] — the sharded on-disk store (`manifest.json` + N shard files)
-//!   with streaming writes, parallel loads, and integrity checks;
+//!   with streaming writes, parallel loads, integrity checks, and
+//!   in-place-atomic migration between shard formats;
+//! * [`codec`] — the [`ShardCodec`] trait and its two implementations
+//!   (`jsonl` text lines, `colv1` binary columnar segments);
+//! * [`colv1`] — the mmap-decoded binary columnar segment format behind
+//!   fast, low-RSS cold starts;
 //! * [`typeindex`] — the inverted semantic-type index (label → posting
 //!   list of `(table, column)` occurrences) behind the query-serving
 //!   subsystem's `/types` endpoints.
@@ -21,6 +26,8 @@
 
 pub mod annstats;
 pub mod bias;
+pub mod codec;
+pub mod colv1;
 #[allow(clippy::module_inception)]
 pub mod corpus;
 pub mod dedup;
@@ -34,6 +41,7 @@ pub mod union;
 
 pub use annstats::{AnnotationStats, Histogram};
 pub use bias::{bias_audit, BiasRow};
+pub use codec::{codec_for, ShardCodec, ShardEncoder, StoreFormat};
 pub use corpus::{AnnotatedTable, Corpus, TableId};
 pub use dedup::{
     combine_fingerprints, dedup_indices, dedup_indices_with, exact_duplicates,
@@ -43,8 +51,8 @@ pub use export::{export_csv, export_csv_store};
 pub use join::{join_candidates, join_tables, JoinCandidate};
 pub use stats::CorpusStats;
 pub use store::{
-    load_store, save_store, shard_id_for, CorpusStore, ShardEntry, ShardWriter, StoreError,
-    StoreManifest,
+    load_store, migrate_store, save_store, save_store_as, shard_id_for, CorpusStore, MigrateReport,
+    ShardEntry, ShardWriter, StoreError, StoreManifest,
 };
 pub use typeindex::{TypeCount, TypeIndex, TypePosting};
 pub use union::{union_groups, union_tables, UnionGroup};

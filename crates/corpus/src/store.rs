@@ -7,11 +7,18 @@
 //!
 //! ```text
 //! store/
-//!   manifest.json          # StoreManifest: name, format version, shard index
+//!   manifest.json          # StoreManifest: name, shard format, shard index
+//!   <shard-id>.colv1       # binary columnar segment (crate::colv1), or
 //!   <shard-id>.jsonl       # one AnnotatedTable as JSON per line
-//!   <shard-id>.jsonl
 //!   ...
 //! ```
+//!
+//! Shard bytes are produced and consumed through a [`ShardCodec`]
+//! resolved once from the manifest's `format` field (absent ⇒ `jsonl`,
+//! so pre-field stores keep loading): `jsonl` is the greppable text
+//! format, `colv1` the mmap-decoded binary columnar format built for
+//! fast, low-RSS cold starts. [`migrate_store`] rewrites a store between
+//! formats in place, committing by atomic manifest rename.
 //!
 //! Key properties:
 //!
@@ -22,29 +29,31 @@
 //!   its [`ShardEntry`] is committed to the manifest (written via a temp file
 //!   + atomic rename). An interrupted build keeps every committed shard.
 //! * **Parallel loads** — [`CorpusStore::load_corpus`] reads shards with a
-//!   rayon fan-out; each shard is parsed line by line, so peak memory per
-//!   worker is one shard, not the whole corpus.
+//!   rayon fan-out, so peak memory per worker is one shard, not the whole
+//!   corpus.
 //! * **Integrity checks** — every shard entry records its table count and a
 //!   content fingerprint (an order-sensitive fold of
 //!   [`crate::dedup::table_fingerprint`] via
-//!   [`crate::dedup::combine_fingerprints`]); both are verified on load and
-//!   mismatches surface as typed [`StoreError`]s, never panics.
+//!   [`crate::dedup::combine_fingerprints`]); both are verified on load —
+//!   identically for every codec — and mismatches surface as typed
+//!   [`StoreError`]s, never panics.
 //! * **Stable ordering** — each table carries the global corpus position it
 //!   was produced at (`ShardEntry::indices`), so a corpus reassembled from
 //!   shards is identical to the corpus that was written, regardless of shard
-//!   layout or load scheduling.
+//!   layout, format, or load scheduling.
 //!
 //! The pipeline's resume mode (`gittables_core`) shards by repository and
 //! stashes its per-shard stage report in [`ShardEntry::meta`]; the store
 //! itself treats `meta` as an opaque string.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::codec::{codec_for, ShardCodec, ShardEncoder, StoreFormat};
 use crate::corpus::{AnnotatedTable, Corpus};
 use crate::dedup::{combine_fingerprints, table_fingerprint};
 use crate::persist::PersistError;
@@ -112,6 +121,20 @@ pub enum StoreError {
         /// Name the caller expected.
         expected: String,
     },
+    /// A shard file's bytes violate its format's structure: truncation,
+    /// bad magic, out-of-range offsets, invalid UTF-8, or a file whose
+    /// content is not the format the manifest records.
+    Corrupt {
+        /// Shard file name (store-relative).
+        file: String,
+        /// What was structurally wrong.
+        detail: String,
+    },
+    /// The manifest records a shard format this build does not know.
+    UnsupportedFormat {
+        /// The unrecognized `format` value.
+        format: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -153,6 +176,12 @@ impl std::fmt::Display for StoreError {
                 f,
                 "store holds corpus `{store}` but the caller is producing `{expected}`"
             ),
+            StoreError::Corrupt { file, detail } => {
+                write!(f, "shard file `{file}` is corrupt: {detail}")
+            }
+            StoreError::UnsupportedFormat { format } => {
+                write!(f, "unsupported store format `{format}`")
+            }
         }
     }
 }
@@ -205,36 +234,62 @@ pub struct StoreManifest {
     pub version: u32,
     /// Corpus name / version tag.
     pub name: String,
+    /// Shard format name (see [`StoreFormat`]). Absent in manifests
+    /// written before the field existed, which means `"jsonl"`.
+    pub format: Option<String>,
     /// Committed shards, in commit order.
     pub shards: Vec<ShardEntry>,
 }
 
+impl StoreManifest {
+    /// The resolved shard format.
+    ///
+    /// # Errors
+    /// [`StoreError::UnsupportedFormat`] when the recorded name is
+    /// unknown to this build.
+    pub fn store_format(&self) -> Result<StoreFormat, StoreError> {
+        match &self.format {
+            None => Ok(StoreFormat::Jsonl),
+            Some(name) => StoreFormat::parse(name).ok_or_else(|| StoreError::UnsupportedFormat {
+                format: name.clone(),
+            }),
+        }
+    }
+}
+
 /// A streaming writer for one shard: tables are appended as they are
 /// produced, so producing a shard needs memory for one table at a time.
+/// Encoding is delegated to the store's [`ShardCodec`]; fingerprints and
+/// global indices are tracked here, identically for every format.
 ///
 /// Created by [`CorpusStore::begin_shard`]; call [`ShardWriter::finish`] and
 /// commit the returned entry with [`CorpusStore::commit_shard`] to make the
 /// shard visible.
-#[derive(Debug)]
 pub struct ShardWriter {
-    writer: BufWriter<std::fs::File>,
+    encoder: Box<dyn ShardEncoder>,
     id: String,
     file: String,
     fingerprints: Vec<u64>,
     indices: Vec<usize>,
 }
 
+impl std::fmt::Debug for ShardWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardWriter")
+            .field("id", &self.id)
+            .field("file", &self.file)
+            .field("tables", &self.indices.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl ShardWriter {
     /// Appends one table at global corpus position `index`.
     ///
     /// # Errors
-    /// Propagates I/O and serialization failures.
+    /// Propagates I/O and encoding failures.
     pub fn push(&mut self, index: usize, table: &AnnotatedTable) -> Result<(), StoreError> {
-        // One JSON document per line; the JSON printer never emits raw
-        // newlines (they are escaped inside strings), so lines == tables.
-        let line = serde_json::to_string(table)?;
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        self.encoder.push(table)?;
         self.fingerprints.push(table_fingerprint(&table.table));
         self.indices.push(index);
         Ok(())
@@ -252,16 +307,16 @@ impl ShardWriter {
         self.indices.is_empty()
     }
 
-    /// Flushes the shard file and returns its manifest entry (not yet
-    /// committed).
+    /// Flushes and fsyncs the shard file and returns its manifest entry
+    /// (not yet committed).
     ///
     /// # Errors
     /// Propagates I/O failures.
-    pub fn finish(mut self) -> Result<ShardEntry, StoreError> {
-        self.writer.flush()?;
+    pub fn finish(self) -> Result<ShardEntry, StoreError> {
         // The durability promise of `commit_shard` requires the shard's
-        // bytes to hit disk before its manifest entry does.
-        self.writer.get_ref().sync_all()?;
+        // bytes to hit disk before its manifest entry does; `finish`
+        // fsyncs in every codec.
+        self.encoder.finish()?;
         Ok(ShardEntry {
             fingerprint: combine_fingerprints(self.fingerprints.iter().copied()),
             tables: self.indices.len(),
@@ -280,15 +335,31 @@ impl ShardWriter {
 pub struct CorpusStore {
     dir: PathBuf,
     manifest: Mutex<StoreManifest>,
+    format: StoreFormat,
 }
 
 impl CorpusStore {
-    /// Creates a fresh store at `dir` (creating the directory if needed).
+    /// Creates a fresh store at `dir` (creating the directory if needed)
+    /// in the legacy-default `jsonl` format. Use
+    /// [`Self::create_with_format`] to pick the shard format.
     ///
     /// # Errors
     /// [`StoreError::AlreadyExists`] if `dir` already holds a manifest;
     /// otherwise propagates I/O failures.
     pub fn create(dir: impl Into<PathBuf>, name: impl Into<String>) -> Result<Self, StoreError> {
+        Self::create_with_format(dir, name, StoreFormat::Jsonl)
+    }
+
+    /// Creates a fresh store at `dir` whose shards use `format`.
+    ///
+    /// # Errors
+    /// [`StoreError::AlreadyExists`] if `dir` already holds a manifest;
+    /// otherwise propagates I/O failures.
+    pub fn create_with_format(
+        dir: impl Into<PathBuf>,
+        name: impl Into<String>,
+        format: StoreFormat,
+    ) -> Result<Self, StoreError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         if dir.join(MANIFEST_FILE).exists() {
@@ -299,18 +370,22 @@ impl CorpusStore {
             manifest: Mutex::new(StoreManifest {
                 version: FORMAT_VERSION,
                 name: name.into(),
+                format: Some(format.name().to_string()),
                 shards: Vec::new(),
             }),
+            format,
         };
         store.persist_manifest(&store.manifest.lock())?;
         Ok(store)
     }
 
-    /// Opens an existing store.
+    /// Opens an existing store, auto-detecting its shard format from the
+    /// manifest (`format` absent ⇒ `jsonl`, so old stores keep loading).
     ///
     /// # Errors
-    /// [`StoreError::MissingManifest`] when `dir` has no manifest; otherwise
-    /// propagates I/O and deserialization failures.
+    /// [`StoreError::MissingManifest`] when `dir` has no manifest,
+    /// [`StoreError::UnsupportedFormat`] for an unknown format name;
+    /// otherwise propagates I/O and deserialization failures.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let dir = dir.into();
         let path = dir.join(MANIFEST_FILE);
@@ -322,13 +397,16 @@ impl CorpusStore {
             Err(e) => return Err(e.into()),
         };
         let manifest: StoreManifest = serde_json::from_reader(BufReader::new(file))?;
+        let format = manifest.store_format()?;
         Ok(CorpusStore {
             dir,
             manifest: Mutex::new(manifest),
+            format,
         })
     }
 
-    /// Opens `dir` as a store, creating a fresh one when no manifest exists.
+    /// Opens `dir` as a store, creating a fresh `jsonl` one when no
+    /// manifest exists. See [`Self::open_or_create_with_format`].
     ///
     /// # Errors
     /// Propagates [`Self::open`]/[`Self::create`] failures.
@@ -336,12 +414,39 @@ impl CorpusStore {
         dir: impl Into<PathBuf>,
         name: impl Into<String>,
     ) -> Result<Self, StoreError> {
+        Self::open_or_create_with_format(dir, name, StoreFormat::Jsonl)
+    }
+
+    /// Opens `dir` as a store, creating a fresh one with `format` when no
+    /// manifest exists. An existing store keeps its recorded format —
+    /// `format` only applies to creation (use [`migrate_store`] to change
+    /// an existing store).
+    ///
+    /// # Errors
+    /// Propagates [`Self::open`]/[`Self::create_with_format`] failures.
+    pub fn open_or_create_with_format(
+        dir: impl Into<PathBuf>,
+        name: impl Into<String>,
+        format: StoreFormat,
+    ) -> Result<Self, StoreError> {
         let dir = dir.into();
         if dir.join(MANIFEST_FILE).exists() {
             Self::open(dir)
         } else {
-            Self::create(dir, name)
+            Self::create_with_format(dir, name, format)
         }
+    }
+
+    /// The shard format this store reads and writes.
+    #[must_use]
+    pub fn format(&self) -> StoreFormat {
+        self.format
+    }
+
+    /// The codec implementing [`Self::format`].
+    #[must_use]
+    pub fn codec(&self) -> &'static dyn ShardCodec {
+        codec_for(self.format)
     }
 
     /// The store directory.
@@ -407,10 +512,10 @@ impl CorpusStore {
         if self.has_shard(id) {
             return Err(StoreError::DuplicateShard { id: id.to_string() });
         }
-        let file = format!("{id}.jsonl");
-        let handle = std::fs::File::create(self.dir.join(&file))?;
+        let codec = self.codec();
+        let file = codec.file_name(id);
         Ok(ShardWriter {
-            writer: BufWriter::new(handle),
+            encoder: codec.begin(&self.dir.join(&file))?,
             id: id.to_string(),
             file,
             fingerprints: Vec::new(),
@@ -450,12 +555,14 @@ impl CorpusStore {
         Ok(())
     }
 
-    /// Loads one shard, verifying its table count and content fingerprint.
-    /// Returns `(global index, table)` pairs in shard order.
+    /// Loads one shard through the store's codec, verifying its table
+    /// count and content fingerprint. Returns `(global index, table)`
+    /// pairs in shard order.
     ///
     /// # Errors
     /// [`StoreError::MissingShard`] when the file is gone,
-    /// [`StoreError::Json`] on truncated/corrupt lines, and
+    /// [`StoreError::Json`]/[`StoreError::Corrupt`] on truncated or
+    /// corrupt content (per format), and
     /// [`StoreError::TableCountMismatch`]/[`StoreError::FingerprintMismatch`]
     /// when the content disagrees with the manifest.
     pub fn load_shard(
@@ -463,39 +570,20 @@ impl CorpusStore {
         entry: &ShardEntry,
     ) -> Result<Vec<(usize, AnnotatedTable)>, StoreError> {
         let path = self.dir.join(&entry.file);
-        let file = match std::fs::File::open(&path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+        let (decoded, fingerprints) = match self.codec().read_fingerprinted(&path, &entry.file) {
+            Ok(read) => read,
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Err(StoreError::MissingShard {
                     id: entry.id.clone(),
                 });
             }
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(e),
         };
-        let reader = BufReader::new(file);
-        let mut tables: Vec<(usize, AnnotatedTable)> = Vec::with_capacity(entry.tables);
-        let mut fingerprints: Vec<u64> = Vec::with_capacity(entry.tables);
-        for line in reader.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let at: AnnotatedTable = serde_json::from_str(&line)?;
-            fingerprints.push(table_fingerprint(&at.table));
-            // More lines than indices surfaces as a count mismatch below;
-            // the placeholder keeps the scan going without panicking.
-            let index = entry
-                .indices
-                .get(tables.len())
-                .copied()
-                .unwrap_or(usize::MAX);
-            tables.push((index, at));
-        }
-        if tables.len() != entry.tables || entry.indices.len() != entry.tables {
+        if decoded.len() != entry.tables || entry.indices.len() != entry.tables {
             return Err(StoreError::TableCountMismatch {
                 id: entry.id.clone(),
                 expected: entry.tables,
-                actual: tables.len(),
+                actual: decoded.len(),
             });
         }
         let actual = combine_fingerprints(fingerprints);
@@ -506,7 +594,7 @@ impl CorpusStore {
                 actual,
             });
         }
-        Ok(tables)
+        Ok(entry.indices.iter().copied().zip(decoded).collect())
     }
 
     /// Loads the whole corpus with a rayon fan-out over shards, verifying
@@ -557,8 +645,9 @@ pub fn shard_id_for(name: &str) -> String {
     format!("{safe}-{h:016x}")
 }
 
-/// Saves a corpus into a fresh store at `dir`, splitting it into shards of
-/// at most `tables_per_shard` tables.
+/// Saves a corpus into a fresh `jsonl` store at `dir`, splitting it into
+/// shards of at most `tables_per_shard` tables. See [`save_store_as`] to
+/// pick the shard format.
 ///
 /// # Errors
 /// Propagates [`CorpusStore::create`] and shard-write failures.
@@ -567,7 +656,22 @@ pub fn save_store(
     dir: impl Into<PathBuf>,
     tables_per_shard: usize,
 ) -> Result<CorpusStore, StoreError> {
-    let store = CorpusStore::create(dir, corpus.name.clone())?;
+    save_store_as(corpus, dir, tables_per_shard, StoreFormat::Jsonl)
+}
+
+/// Saves a corpus into a fresh store at `dir` in `format`, splitting it
+/// into shards of at most `tables_per_shard` tables.
+///
+/// # Errors
+/// Propagates [`CorpusStore::create_with_format`] and shard-write
+/// failures.
+pub fn save_store_as(
+    corpus: &Corpus,
+    dir: impl Into<PathBuf>,
+    tables_per_shard: usize,
+    format: StoreFormat,
+) -> Result<CorpusStore, StoreError> {
+    let store = CorpusStore::create_with_format(dir, corpus.name.clone(), format)?;
     let per_shard = tables_per_shard.max(1);
     for (n, chunk) in corpus.tables.chunks(per_shard).enumerate() {
         let base = n * per_shard;
@@ -578,6 +682,110 @@ pub fn save_store(
         store.commit_shard(writer.finish()?)?;
     }
     Ok(store)
+}
+
+/// The outcome of a [`migrate_store`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrateReport {
+    /// Format the store held before.
+    pub from: StoreFormat,
+    /// Format the store holds now.
+    pub to: StoreFormat,
+    /// Shards rewritten (0 when the store was already in `to`).
+    pub shards: usize,
+    /// Tables rewritten.
+    pub tables: usize,
+}
+
+/// Rewrites the store at `dir` into shard format `to`, in place and
+/// atomically: new-format segments are written alongside the old files
+/// (with full integrity checks on both read and re-read), then the
+/// manifest is swapped by atomic rename — the commit point — and only
+/// then are the old files removed. A crash before the rename leaves the
+/// original store untouched; a crash after it leaves a fully migrated
+/// store plus some stale files that a re-run cleans up. Shard ids,
+/// table counts, fingerprints, global indices, and resume metadata are
+/// all preserved, so a migrated store loads a bit-identical corpus and
+/// still resumes.
+///
+/// # Errors
+/// Propagates open/decode/encode failures; verification failures of the
+/// rewritten segments abort before the manifest is touched.
+pub fn migrate_store(
+    dir: impl Into<PathBuf>,
+    to: StoreFormat,
+) -> Result<MigrateReport, StoreError> {
+    let dir = dir.into();
+    let store = CorpusStore::open(&dir)?;
+    let from = store.format();
+    if from == to {
+        // Already in the target format — but a previous migration that
+        // crashed after its manifest commit may have left old-format
+        // files behind; this re-run is where they get cleaned up.
+        for entry in store.shard_entries() {
+            for stale in StoreFormat::ALL.into_iter().filter(|f| *f != to) {
+                std::fs::remove_file(dir.join(codec_for(stale).file_name(&entry.id))).ok();
+            }
+        }
+        return Ok(MigrateReport {
+            from,
+            to,
+            shards: 0,
+            tables: 0,
+        });
+    }
+    let entries = store.shard_entries();
+    let codec = codec_for(to);
+    let rewritten: Vec<Result<ShardEntry, StoreError>> = entries
+        .par_iter()
+        .map(|entry| {
+            // Decode through the old codec with the usual integrity
+            // checks, re-encode, then re-read the new segment and verify
+            // its fingerprint before it can ever be committed.
+            let tables = store.load_shard(entry)?;
+            let file = codec.file_name(&entry.id);
+            let path = dir.join(&file);
+            let mut encoder = codec.begin(&path)?;
+            for (_, at) in &tables {
+                encoder.push(at)?;
+            }
+            encoder.finish()?;
+            let (reread, reread_fps) = codec.read_fingerprinted(&path, &file)?;
+            let fingerprint = combine_fingerprints(reread_fps);
+            if reread.len() != entry.tables || fingerprint != entry.fingerprint {
+                return Err(StoreError::Corrupt {
+                    file,
+                    detail: "rewritten segment failed verification".to_string(),
+                });
+            }
+            Ok(ShardEntry {
+                file,
+                ..entry.clone()
+            })
+        })
+        .collect();
+    let mut new_entries = Vec::with_capacity(entries.len());
+    for r in rewritten {
+        new_entries.push(r?);
+    }
+    let tables = new_entries.iter().map(|e| e.tables).sum();
+    {
+        let mut manifest = store.manifest.lock();
+        manifest.format = Some(to.name().to_string());
+        manifest.shards = new_entries;
+        store.persist_manifest(&manifest)?;
+    }
+    // The manifest rename committed the migration; the old files are now
+    // unreferenced. Removal is best-effort — a leftover file is inert.
+    for entry in &entries {
+        std::fs::remove_file(dir.join(&entry.file)).ok();
+    }
+    Ok(MigrateReport {
+        from,
+        to,
+        shards: entries.len(),
+        tables,
+    })
 }
 
 /// Loads the corpus stored at `dir` (parallel, with integrity checks).
@@ -682,6 +890,95 @@ mod tests {
         let b = shard_id_for("owner_repo");
         assert_ne!(a, b);
         assert!(a.starts_with("owner_repo-"));
+    }
+
+    #[test]
+    fn colv1_roundtrip_matches_jsonl() {
+        let base = tmp("fmt");
+        let c = corpus(9);
+        let jd = base.join("jsonl");
+        let cd = base.join("colv1");
+        save_store_as(&c, &jd, 4, StoreFormat::Jsonl).unwrap();
+        save_store_as(&c, &cd, 4, StoreFormat::ColV1).unwrap();
+        let from_jsonl = load_store(&jd).unwrap();
+        let from_colv1 = load_store(&cd).unwrap();
+        assert_eq!(from_jsonl, c);
+        assert_eq!(from_colv1, c);
+        assert_eq!(CorpusStore::open(&cd).unwrap().format(), StoreFormat::ColV1);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn migrate_roundtrip_preserves_corpus_and_metadata() {
+        let dir = tmp("migrate");
+        let c = corpus(7);
+        save_store_as(&c, &dir, 3, StoreFormat::Jsonl).unwrap();
+        let before = CorpusStore::open(&dir).unwrap().shard_entries();
+
+        let report = migrate_store(&dir, StoreFormat::ColV1).unwrap();
+        assert_eq!(
+            (report.from, report.to),
+            (StoreFormat::Jsonl, StoreFormat::ColV1)
+        );
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.tables, 7);
+        let store = CorpusStore::open(&dir).unwrap();
+        assert_eq!(store.format(), StoreFormat::ColV1);
+        assert_eq!(store.load_corpus().unwrap(), c);
+        // Ids, counts, fingerprints, and indices survive; only file
+        // names change extension. No stale .jsonl files remain.
+        let after = store.shard_entries();
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.id, a.id);
+            assert_eq!(b.tables, a.tables);
+            assert_eq!(b.fingerprint, a.fingerprint);
+            assert_eq!(b.indices, a.indices);
+            assert_eq!(a.file, format!("{}.colv1", a.id));
+            assert!(!dir.join(&b.file).exists(), "stale {}", b.file);
+        }
+
+        // Migrating back restores the original corpus too.
+        migrate_store(&dir, StoreFormat::Jsonl).unwrap();
+        assert_eq!(load_store(&dir).unwrap(), c);
+
+        // A same-format migration is a no-op — except it sweeps up
+        // other-format files a crashed post-commit migration left behind.
+        let stale = dir.join(format!("{}.colv1", after[0].id));
+        std::fs::write(&stale, b"leftover").unwrap();
+        let noop = migrate_store(&dir, StoreFormat::Jsonl).unwrap();
+        assert_eq!(noop.shards, 0);
+        assert!(!stale.exists(), "stale file must be swept on re-run");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_manifest_format_is_typed() {
+        let dir = tmp("badfmt");
+        save_store(&corpus(2), &dir, 8).unwrap();
+        let manifest = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            manifest.replace("\"jsonl\"", "\"tar.zst\""),
+        )
+        .unwrap();
+        let err = CorpusStore::open(&dir).unwrap_err();
+        assert!(matches!(err, StoreError::UnsupportedFormat { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_without_format_field_means_jsonl() {
+        let dir = tmp("legacy");
+        save_store(&corpus(3), &dir, 2).unwrap();
+        // Simulate a pre-`format` manifest by dropping the field.
+        let manifest = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        let stripped = manifest.replace("\"format\":\"jsonl\",", "");
+        assert_ne!(manifest, stripped, "fixture must actually strip the field");
+        std::fs::write(dir.join(MANIFEST_FILE), stripped).unwrap();
+        let store = CorpusStore::open(&dir).unwrap();
+        assert_eq!(store.format(), StoreFormat::Jsonl);
+        assert_eq!(store.load_corpus().unwrap(), corpus(3));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

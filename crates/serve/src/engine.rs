@@ -72,6 +72,22 @@ pub struct TableSummary {
     pub sample_rows: Vec<Vec<String>>,
 }
 
+/// How an engine's cold start was spent: the store→memory load versus
+/// the in-memory index builds. Served under `/metrics` (`engine`) so a
+/// cold-start regression — a slow store format, a bloated index build —
+/// is observable in production, per component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct EngineBuildStats {
+    /// Wall time spent opening the store and materializing the corpus
+    /// (0 when the engine was built from an in-memory corpus).
+    pub store_load_ms: f64,
+    /// Wall time spent building the search/completion/type indexes.
+    pub index_build_ms: f64,
+    /// Shard format of the store the corpus came from (`None` for
+    /// in-memory engines).
+    pub store_format: Option<String>,
+}
+
 /// A loaded corpus plus the shared read-only indexes every query runs
 /// against. Build once, share behind an `Arc` across server workers.
 pub struct QueryEngine {
@@ -79,6 +95,7 @@ pub struct QueryEngine {
     search: DataSearch,
     completion: NearestCompletion,
     types: TypeIndex,
+    build: EngineBuildStats,
 }
 
 impl QueryEngine {
@@ -90,6 +107,7 @@ impl QueryEngine {
     /// not the sum of all three.
     #[must_use]
     pub fn from_corpus(corpus: Corpus) -> Self {
+        let started = std::time::Instant::now();
         let ids: Vec<TableId> = (0..corpus.len()).collect();
         let (search, completion, types) = std::thread::scope(|s| {
             let (c, ids) = (&corpus, &ids);
@@ -107,19 +125,38 @@ impl QueryEngine {
             search,
             completion,
             types,
+            build: EngineBuildStats {
+                index_build_ms: started.elapsed().as_secs_f64() * 1e3,
+                ..EngineBuildStats::default()
+            },
         }
     }
 
     /// Loads the corpus persisted at `dir` (a [`CorpusStore`] directory)
-    /// and builds the indexes. Extraction is never re-run: this reads the
+    /// and builds the indexes, recording the cold-start breakdown in
+    /// [`Self::build_stats`]. Extraction is never re-run: this reads the
     /// shards exactly as [`CorpusStore::load_corpus`] does, integrity
-    /// checks included.
+    /// checks included, through whatever [`gittables_corpus::StoreFormat`]
+    /// the manifest records.
     ///
     /// # Errors
     /// Propagates store open/load failures.
     pub fn load(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
-        let corpus = CorpusStore::open(dir.as_ref())?.load_corpus()?;
-        Ok(Self::from_corpus(corpus))
+        let started = std::time::Instant::now();
+        let store = CorpusStore::open(dir.as_ref())?;
+        let format = store.format();
+        let corpus = store.load_corpus()?;
+        let store_load_ms = started.elapsed().as_secs_f64() * 1e3;
+        let mut engine = Self::from_corpus(corpus);
+        engine.build.store_load_ms = store_load_ms;
+        engine.build.store_format = Some(format.name().to_string());
+        Ok(engine)
+    }
+
+    /// The cold-start breakdown recorded when this engine was built.
+    #[must_use]
+    pub fn build_stats(&self) -> &EngineBuildStats {
+        &self.build
     }
 
     /// The corpus being served.

@@ -221,7 +221,10 @@ impl ServerHandle {
     /// Live metrics snapshot (same data `/metrics` serves).
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(self.shared.cache.stats())
+        self.shared.metrics.snapshot(
+            self.shared.cache.stats(),
+            self.shared.engine.build_stats().clone(),
+        )
     }
 
     /// Whether a shutdown has been requested.
@@ -463,7 +466,12 @@ fn route(shared: &Shared, req: &Request, endpoint: Endpoint) -> Routed {
     }
     match endpoint {
         Endpoint::Health => ok_body(endpoint, &engine.health()),
-        Endpoint::Metrics => ok_body(endpoint, &shared.metrics.snapshot(shared.cache.stats())),
+        Endpoint::Metrics => ok_body(
+            endpoint,
+            &shared
+                .metrics
+                .snapshot(shared.cache.stats(), engine.build_stats().clone()),
+        ),
         Endpoint::Search => {
             let Some(q) = req.param("q") else {
                 return error_body(400, endpoint, "missing query parameter `q`");

@@ -44,6 +44,8 @@ pub mod metrics;
 
 pub use cache::{CacheStats, ResponseCache};
 pub use client::{get, HttpClient};
-pub use engine::{AnnotationSet, HealthResponse, QueryEngine, TableSummary, TypeTablesResponse};
+pub use engine::{
+    AnnotationSet, EngineBuildStats, HealthResponse, QueryEngine, TableSummary, TypeTablesResponse,
+};
 pub use http::{ErrorResponse, Server, ServerConfig, ServerHandle, ShutdownResponse};
 pub use metrics::{EndpointCount, Metrics, MetricsSnapshot};

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
+use crate::engine::EngineBuildStats;
 
 /// The routable endpoints, used to key per-endpoint counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,10 +146,12 @@ impl Metrics {
         (1u64 << BUCKETS).saturating_sub(1)
     }
 
-    /// Snapshot for `/metrics`, folding in the response-cache stats.
+    /// Snapshot for `/metrics`, folding in the response-cache stats and
+    /// the engine's cold-start breakdown.
     #[must_use]
-    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+    pub fn snapshot(&self, cache: CacheStats, engine: EngineBuildStats) -> MetricsSnapshot {
         MetricsSnapshot {
+            engine,
             total_requests: self.total(),
             ok: self.ok.load(Ordering::Relaxed),
             client_errors: self.client_errors.load(Ordering::Relaxed),
@@ -194,6 +197,9 @@ pub struct MetricsSnapshot {
     pub requests: Vec<EndpointCount>,
     /// Response-cache statistics.
     pub cache: CacheStats,
+    /// Cold-start breakdown of the serving engine (store load vs index
+    /// build), fixed at engine construction.
+    pub engine: EngineBuildStats,
 }
 
 #[cfg(test)]
@@ -230,7 +236,7 @@ mod tests {
         let m = Metrics::new();
         m.record(Endpoint::Search, 200, 5);
         m.record(Endpoint::Other, 404, 5);
-        let s = m.snapshot(CacheStats::default());
+        let s = m.snapshot(CacheStats::default(), EngineBuildStats::default());
         assert_eq!(s.total_requests, 2);
         assert_eq!(s.ok, 1);
         assert_eq!(s.client_errors, 1);

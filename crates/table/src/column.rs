@@ -26,6 +26,23 @@ impl Column {
         }
     }
 
+    /// Reassembles a column from parts persisted by a binary decoder,
+    /// trusting `atomic` instead of re-inferring it. `atomic` should be
+    /// the value [`infer_column_type`] would produce for `values` (every
+    /// encoder persists the inferred type verbatim, so decoding restores
+    /// exactly what was saved); a different value produces a column whose
+    /// cached type lies until the next [`Self::replace_values`] — the
+    /// same trust serde deserialization of the `atomic` field already
+    /// extends, so decoders stay panic-free on untrusted bytes.
+    #[must_use]
+    pub fn from_raw_parts(name: String, values: Vec<String>, atomic: AtomicType) -> Self {
+        Column {
+            name,
+            values,
+            atomic,
+        }
+    }
+
     /// Creates a column from string slices.
     #[must_use]
     pub fn from_slice<S: AsRef<str>>(name: impl Into<String>, values: &[S]) -> Self {

@@ -10,16 +10,20 @@
 //! gittables export  --corpus corpus.json --out dir/
 //! gittables union   --corpus corpus.json [--min 3]
 //! gittables dedup   --corpus corpus.json
-//! gittables save    --corpus corpus.json --out store_dir/ [--shard 256]
+//! gittables save    --corpus corpus.json --out store_dir/ [--shard 256] [--format colv1|jsonl]
 //! gittables load    --store store_dir/ --out corpus.json
-//! gittables resume  --store store_dir/ [--seed 42] [--topics 10] [--repos 40] [--max-shards N]
+//! gittables resume  --store store_dir/ [--seed 42] [--topics 10] [--repos 40] [--max-shards N] [--format colv1|jsonl]
+//! gittables migrate store_dir/ --to <colv1|jsonl>
 //! gittables serve   store_dir/ [--addr 127.0.0.1:7878] [--threads 4] [--cache 1024]
 //! ```
 //!
 //! `save`/`load` convert between the monolithic JSON file and the sharded
-//! on-disk store; `resume` runs the pipeline incrementally against a store,
-//! skipping repositories whose shards are already committed; `serve` loads
-//! a store once and answers HTTP queries against it until `/shutdown`.
+//! on-disk store (shard format defaults to the binary columnar `colv1`;
+//! reads auto-detect from the manifest); `migrate` rewrites a store
+//! between shard formats in place, atomically; `resume` runs the pipeline
+//! incrementally against a store, skipping repositories whose shards are
+//! already committed; `serve` loads a store once and answers HTTP queries
+//! against it until `/shutdown`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -202,17 +206,50 @@ fn cmd_dedup(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--format` (default: the fast binary `colv1`).
+fn store_format(args: &[String]) -> Result<gittables_corpus::StoreFormat, String> {
+    match opt(args, "--format") {
+        None => Ok(gittables_corpus::StoreFormat::ColV1),
+        Some(v) => gittables_corpus::StoreFormat::parse(&v)
+            .ok_or_else(|| format!("unknown store format `{v}` (use colv1 or jsonl)")),
+    }
+}
+
 fn cmd_save(args: &[String]) -> Result<(), String> {
     let corpus = load(args)?;
     let out = opt(args, "--out").ok_or("missing --out <dir>")?;
     let shard = num(args, "--shard", PipelineConfig::small(0).tables_per_shard);
-    let store = gittables_corpus::save_store(&corpus, PathBuf::from(&out), shard)
+    let format = store_format(args)?;
+    let store = gittables_corpus::save_store_as(&corpus, PathBuf::from(&out), shard, format)
         .map_err(|e| e.to_string())?;
     eprintln!(
-        "wrote {} tables across {} shards under {out}",
+        "wrote {} tables across {} {format} shards under {out}",
         store.len(),
         store.num_shards()
     );
+    Ok(())
+}
+
+fn cmd_migrate(args: &[String]) -> Result<(), String> {
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .or_else(|| opt(args, "--store"))
+        .ok_or("missing store directory (migrate <store-dir> --to <format>)")?;
+    let to_arg = opt(args, "--to").ok_or("missing --to <colv1|jsonl>")?;
+    let to = gittables_corpus::StoreFormat::parse(&to_arg)
+        .ok_or_else(|| format!("unknown store format `{to_arg}` (use colv1 or jsonl)"))?;
+    let report =
+        gittables_corpus::migrate_store(PathBuf::from(&dir), to).map_err(|e| e.to_string())?;
+    if report.shards == 0 && report.from == report.to {
+        eprintln!("{dir} is already {to}; nothing to do");
+    } else {
+        eprintln!(
+            "migrated {dir} from {} to {}: {} shards, {} tables rewritten",
+            report.from, report.to, report.shards, report.tables
+        );
+    }
     Ok(())
 }
 
@@ -239,11 +276,17 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         None => None,
     };
     let pipeline = Pipeline::new(PipelineConfig::sized(seed, topics, repos));
-    let store =
-        gittables_corpus::CorpusStore::open_or_create(PathBuf::from(&dir), pipeline.corpus_name())
-            .map_err(|e| e.to_string())?;
+    // `--format` applies when the store is first created; an existing
+    // store keeps its recorded format (use `migrate` to change it).
+    let store = gittables_corpus::CorpusStore::open_or_create_with_format(
+        PathBuf::from(&dir),
+        pipeline.corpus_name(),
+        store_format(args)?,
+    )
+    .map_err(|e| e.to_string())?;
     eprintln!(
-        "resuming into {dir}: seed {seed}, {topics} topics x {repos} repos ({} shards already stored)",
+        "resuming into {dir} ({} format): seed {seed}, {topics} topics x {repos} repos ({} shards already stored)",
+        store.format(),
         store.num_shards()
     );
     let host = GitHost::new();
@@ -311,9 +354,10 @@ fn main() -> ExitCode {
         Some("save") => cmd_save(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
+        Some("migrate") => cmd_migrate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: gittables <build|stats|search|complete|annotate|export|union|dedup|save|load|resume|serve> [options]");
+            eprintln!("usage: gittables <build|stats|search|complete|annotate|export|union|dedup|save|load|resume|migrate|serve> [options]");
             eprintln!("  build    --out corpus.json [--seed N] [--topics N] [--repos N]");
             eprintln!("  stats    --corpus corpus.json");
             eprintln!("  search   --corpus corpus.json --query \"...\" [--k N]");
@@ -322,9 +366,10 @@ fn main() -> ExitCode {
             eprintln!("  export   --corpus corpus.json --out dir/");
             eprintln!("  union    --corpus corpus.json [--min N]");
             eprintln!("  dedup    --corpus corpus.json");
-            eprintln!("  save     --corpus corpus.json --out store_dir/ [--shard N]");
+            eprintln!("  save     --corpus corpus.json --out store_dir/ [--shard N] [--format colv1|jsonl]");
             eprintln!("  load     --store store_dir/ --out corpus.json");
-            eprintln!("  resume   --store store_dir/ [--seed N] [--topics N] [--repos N] [--max-shards N]");
+            eprintln!("  resume   --store store_dir/ [--seed N] [--topics N] [--repos N] [--max-shards N] [--format colv1|jsonl]");
+            eprintln!("  migrate  store_dir/ --to <colv1|jsonl>");
             eprintln!("  serve    store_dir/ [--addr HOST:PORT] [--threads N] [--cache N]");
             return ExitCode::from(2);
         }

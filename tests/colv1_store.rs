@@ -1,0 +1,370 @@
+//! Cross-format store tests: any corpus persisted as `colv1` must reload
+//! bit-identical to the JSONL round trip (annotations, provenance, and
+//! shard boundaries included), stream identically through the export and
+//! CLI-load paths, and fail **typed** — never panic, never partially
+//! load — on truncated segments, bad magic, and manifest/format
+//! mismatches.
+
+use std::path::PathBuf;
+
+use gittables_annotate::Annotation;
+use gittables_corpus::{
+    export_csv_store, load_store, migrate_store, save_store_as, AnnotatedTable, Corpus,
+    CorpusStore, StoreError, StoreFormat,
+};
+use gittables_serve::QueryEngine;
+use gittables_table::{Provenance, Table};
+use proptest::prelude::*;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gt_colv1_it_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Cell vocabulary stressing every encoding path: quoting, delimiters,
+/// raw newlines, multi-byte UTF-8, empty and missing-marker cells.
+const NASTY: &[&str] = &[
+    "plain",
+    "",
+    "nan",
+    "has,comma",
+    "has \"quotes\"",
+    "two\nlines",
+    "tab\there",
+    "café ☕ 表",
+    "  padded  ",
+    "123",
+    "4.5e-3",
+    "true",
+];
+
+/// A generated corpus shape: per-table column/row counts plus a salt
+/// that deterministically picks cells, provenance, and annotations.
+#[derive(Debug, Clone)]
+struct Spec {
+    tables: Vec<(usize, usize)>,
+    salt: u64,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (1usize..5, 1usize..4, 0usize..7, 0u64..u64::MAX).prop_map(|(n, cols, rows, salt)| Spec {
+        // Vary shape per table off the base dims so shard boundaries land
+        // differently from corpus to corpus.
+        tables: (0..n)
+            .map(|i| (1 + (cols + i) % 4, (rows + 3 * i) % 6))
+            .collect(),
+        salt,
+    })
+}
+
+fn build_corpus(spec: &Spec) -> Corpus {
+    let mut corpus = Corpus::new(format!("prop-{}", spec.salt % 997));
+    for (ti, &(cols, rows)) in spec.tables.iter().enumerate() {
+        let header: Vec<String> = (0..cols).map(|c| format!("col{c}_{ti}")).collect();
+        let row_data: Vec<Vec<String>> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|c| {
+                        let k = spec
+                            .salt
+                            .wrapping_mul(31)
+                            .wrapping_add((ti * 131 + r * 17 + c) as u64);
+                        NASTY[(k % NASTY.len() as u64) as usize].to_string()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut prov = Provenance::new(format!("owner/repo{}", ti % 3), format!("data/t{ti}.csv"))
+            .with_topic(NASTY[(spec.salt as usize + ti) % NASTY.len()]);
+        if (spec.salt as usize + ti).is_multiple_of(2) {
+            prov = prov.with_license("cc0-1.0");
+        }
+        prov.file_size = (spec.salt % 100_000) as usize + ti;
+        let table = Table::from_string_rows(format!("t{ti}"), &header, row_data)
+            .unwrap()
+            .with_provenance(prov);
+        let mut at = AnnotatedTable::new(table);
+        // Populate every (method, ontology) slot with salt-derived
+        // annotations; finite similarities only (the real annotators
+        // never produce NaN/inf, and JSON nulls them).
+        for (si, (method, ontology)) in Corpus::annotation_configs().into_iter().enumerate() {
+            let slot = at.annotations_mut(method, ontology);
+            slot.num_columns = cols;
+            for c in 0..cols {
+                if (spec.salt as usize + ti + si + c).is_multiple_of(3) {
+                    slot.annotations.push(Annotation {
+                        column: c,
+                        type_id: ((spec.salt as u32).wrapping_add(c as u32)) % 5000,
+                        label: format!("type {}", NASTY[(si + c) % NASTY.len()]),
+                        ontology,
+                        method,
+                        similarity: ((spec.salt % 1000) as f32).mul_add(1e-3, 1e-4 * c as f32),
+                    });
+                }
+            }
+        }
+        corpus.push(at);
+    }
+    corpus
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// colv1 and jsonl round trips are bit-identical to each other and to
+    /// the original corpus, across shard boundaries.
+    #[test]
+    fn colv1_roundtrip_bit_identical_to_jsonl(
+        spec in spec_strategy(),
+        per_shard in 1usize..4,
+    ) {
+        let corpus = build_corpus(&spec);
+        let base = tmp("prop");
+        let jd = base.join("jsonl");
+        let cd = base.join("colv1");
+        save_store_as(&corpus, &jd, per_shard, StoreFormat::Jsonl).unwrap();
+        save_store_as(&corpus, &cd, per_shard, StoreFormat::ColV1).unwrap();
+        let from_jsonl = load_store(&jd).unwrap();
+        let from_colv1 = load_store(&cd).unwrap();
+        prop_assert_eq!(&from_jsonl, &corpus);
+        prop_assert_eq!(&from_colv1, &corpus);
+        prop_assert_eq!(&from_colv1, &from_jsonl);
+        // Shard boundaries and fingerprints agree entry by entry.
+        let je = CorpusStore::open(&jd).unwrap().shard_entries();
+        let ce = CorpusStore::open(&cd).unwrap().shard_entries();
+        prop_assert_eq!(je.len(), ce.len());
+        for (j, c) in je.iter().zip(&ce) {
+            prop_assert_eq!(&j.id, &c.id);
+            prop_assert_eq!(j.tables, c.tables);
+            prop_assert_eq!(j.fingerprint, c.fingerprint);
+            prop_assert_eq!(&j.indices, &c.indices);
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    /// Migration in either direction reproduces the exact corpus.
+    #[test]
+    fn migration_preserves_corpus(spec in spec_strategy()) {
+        let corpus = build_corpus(&spec);
+        let dir = tmp("prop_mig");
+        save_store_as(&corpus, &dir, 2, StoreFormat::ColV1).unwrap();
+        migrate_store(&dir, StoreFormat::Jsonl).unwrap();
+        prop_assert_eq!(&load_store(&dir).unwrap(), &corpus);
+        migrate_store(&dir, StoreFormat::ColV1).unwrap();
+        prop_assert_eq!(&load_store(&dir).unwrap(), &corpus);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+fn sample_corpus() -> Corpus {
+    build_corpus(&Spec {
+        tables: vec![(3, 4), (2, 2), (4, 1), (1, 5)],
+        salt: 20260729,
+    })
+}
+
+/// The first committed colv1 segment file of a store.
+fn first_segment(dir: &PathBuf) -> PathBuf {
+    let entry = CorpusStore::open(dir).unwrap().shard_entries()[0].clone();
+    dir.join(entry.file)
+}
+
+#[test]
+fn truncated_segment_is_typed_never_partial() {
+    let corpus = sample_corpus();
+    let dir = tmp("trunc");
+    save_store_as(&corpus, &dir, 2, StoreFormat::ColV1).unwrap();
+    let path = first_segment(&dir);
+    let bytes = std::fs::read(&path).unwrap();
+    // Every truncation point: footer gone, index gone, mid-block, near-empty.
+    for cut in [bytes.len() - 1, bytes.len() - 9, bytes.len() / 2, 10, 0] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = CorpusStore::open(&dir).unwrap().load_corpus().unwrap_err();
+        assert!(
+            matches!(err, StoreError::Corrupt { .. }),
+            "cut={cut}: expected Corrupt, got {err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_footer_magic_is_typed() {
+    let dir = tmp("magic");
+    save_store_as(&sample_corpus(), &dir, 8, StoreFormat::ColV1).unwrap();
+    let path = first_segment(&dir);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = CorpusStore::open(&dir).unwrap().load_corpus().unwrap_err();
+    assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_footer_index_is_typed() {
+    let dir = tmp("bitrot_footer");
+    save_store_as(&sample_corpus(), &dir, 8, StoreFormat::ColV1).unwrap();
+    let path = first_segment(&dir);
+    let original = std::fs::read(&path).unwrap();
+    // Corrupt the footer's fixed fields (footer_start, table count): the
+    // consistency check must reject both, deterministically.
+    for flip_from_end in [17, 25] {
+        let mut bytes = original.clone();
+        let at = bytes.len() - flip_from_end;
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = CorpusStore::open(&dir).unwrap().load_corpus().unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corruption_is_never_silent() {
+    // Flipping any single block byte either fails typed (structure or
+    // content fingerprint) or decodes to an observably different corpus
+    // (a name/provenance/annotation byte — fields the content
+    // fingerprint deliberately ignores, exactly as in JSONL shards).
+    let corpus = sample_corpus();
+    let dir = tmp("bitrot_block");
+    save_store_as(&corpus, &dir, usize::MAX, StoreFormat::ColV1).unwrap();
+    let path = first_segment(&dir);
+    let original = std::fs::read(&path).unwrap();
+    for pos in (9..original.len().saturating_sub(40)).step_by(97) {
+        let mut bytes = original.clone();
+        bytes[pos] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        match CorpusStore::open(&dir).unwrap().load_corpus() {
+            Err(
+                StoreError::Corrupt { .. }
+                | StoreError::FingerprintMismatch { .. }
+                | StoreError::TableCountMismatch { .. },
+            ) => {}
+            Err(other) => panic!("unexpected error kind at byte {pos}: {other}"),
+            Ok(loaded) => assert_ne!(loaded, corpus, "silent corruption at byte {pos}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manifest_format_mismatching_file_content_is_typed() {
+    // Manifest says colv1, but the segment holds JSONL text: the decoder
+    // must reject it as corrupt, not misparse or panic.
+    let dir = tmp("mismatch");
+    save_store_as(&sample_corpus(), &dir, 8, StoreFormat::ColV1).unwrap();
+    let path = first_segment(&dir);
+    let colv1_bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, "{\"not\":\"a segment\"}\n").unwrap();
+    let err = CorpusStore::open(&dir).unwrap().load_corpus().unwrap_err();
+    assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+
+    // And the reverse: manifest says jsonl, segment holds colv1 binary —
+    // a typed JSON error, still no panic or partial load.
+    let dir2 = tmp("mismatch2");
+    save_store_as(&sample_corpus(), &dir2, 8, StoreFormat::Jsonl).unwrap();
+    let store2 = CorpusStore::open(&dir2).unwrap();
+    let entry = store2.shard_entries()[0].clone();
+    std::fs::write(dir2.join(&entry.file), colv1_bytes).unwrap();
+    let err = store2.load_corpus().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            // Binary bytes fail the line reader (invalid UTF-8) or the
+            // JSON parser, depending on where the first bad byte lands.
+            StoreError::Json(_) | StoreError::Io(_) | StoreError::TableCountMismatch { .. }
+        ),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
+fn export_streams_identically_through_both_codecs() {
+    let corpus = sample_corpus();
+    let base = tmp("export");
+    let jd = base.join("jsonl_store");
+    let cd = base.join("colv1_store");
+    let js = save_store_as(&corpus, &jd, 3, StoreFormat::Jsonl).unwrap();
+    let cs = save_store_as(&corpus, &cd, 3, StoreFormat::ColV1).unwrap();
+    let je = base.join("jsonl_export");
+    let ce = base.join("colv1_export");
+    assert_eq!(
+        export_csv_store(&js, &je).unwrap(),
+        export_csv_store(&cs, &ce).unwrap()
+    );
+    // Identical file sets with identical bytes (manifest paths are
+    // absolute, so compare them relative to each export root).
+    let manifest = std::fs::read_to_string(je.join("manifest.tsv")).unwrap();
+    let manifest_c = std::fs::read_to_string(ce.join("manifest.tsv")).unwrap();
+    assert_eq!(
+        manifest.replace(je.to_str().unwrap(), "<root>"),
+        manifest_c.replace(ce.to_str().unwrap(), "<root>")
+    );
+    for line in manifest.lines().skip(1) {
+        let path = line.split('\t').next().unwrap();
+        let rel = std::path::Path::new(path).strip_prefix(&je).unwrap();
+        assert_eq!(
+            std::fs::read(path).unwrap(),
+            std::fs::read(ce.join(rel)).unwrap(),
+            "export mismatch for {rel:?}"
+        );
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn cli_load_path_identical_across_formats() {
+    // What `gittables load` does — store → load_store → save_corpus —
+    // must produce byte-identical corpus.json regardless of format.
+    let corpus = sample_corpus();
+    let base = tmp("cliload");
+    std::fs::create_dir_all(&base).unwrap();
+    let mut outputs = Vec::new();
+    for format in StoreFormat::ALL {
+        let sd = base.join(format!("store_{format}"));
+        save_store_as(&corpus, &sd, 2, format).unwrap();
+        let loaded = load_store(&sd).unwrap();
+        let out = base.join(format!("corpus_{format}.json"));
+        gittables_corpus::persist::save_corpus(&loaded, &out).unwrap();
+        outputs.push(std::fs::read(&out).unwrap());
+    }
+    assert_eq!(outputs[0], outputs[1], "load output differs across formats");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn engine_reports_cold_start_breakdown_per_format() {
+    let corpus = sample_corpus();
+    let base = tmp("engine");
+    for format in StoreFormat::ALL {
+        let sd = base.join(format!("store_{format}"));
+        save_store_as(&corpus, &sd, 2, format).unwrap();
+        let engine = QueryEngine::load(&sd).unwrap();
+        let stats = engine.build_stats();
+        assert_eq!(stats.store_format.as_deref(), Some(format.name()));
+        assert!(stats.store_load_ms >= 0.0);
+        assert!(stats.index_build_ms > 0.0);
+        // The breakdown is served via /metrics (snapshot carries it).
+        let snap = serde_json::to_string(
+            &gittables_serve::Metrics::new()
+                .snapshot(gittables_serve::CacheStats::default(), stats.clone()),
+        )
+        .unwrap();
+        assert!(snap.contains("store_load_ms"), "{snap}");
+        assert!(snap.contains(format.name()), "{snap}");
+    }
+    // In-memory engines have no store to attribute load time to.
+    let direct = QueryEngine::from_corpus(corpus);
+    assert_eq!(direct.build_stats().store_format, None);
+    assert_eq!(direct.build_stats().store_load_ms, 0.0);
+    std::fs::remove_dir_all(&base).ok();
+}
