@@ -22,6 +22,12 @@
 //! byte-identical to the in-process engine answers for every target it
 //! is about to hammer — a serving-path change that breaks equivalence
 //! fails here before any number is recorded.
+//!
+//! The harness also records the **sidecar cold start**: the corpus is
+//! persisted as a colv1 store, indexed (`gittables index`), and
+//! [`QueryEngine::load`] is timed from boot to the first answered
+//! `/search` — after asserting the sidecar-booted engine's answer for
+//! every bench target is byte-identical to the in-memory engine's.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -49,7 +55,8 @@ fn encode(s: &str) -> String {
 /// queries hit the embedding path with realistic tokens.
 fn search_targets(engine: &QueryEngine, n: usize) -> Vec<String> {
     let mut words: Vec<String> = Vec::new();
-    for at in &engine.corpus().tables {
+    let corpus = engine.corpus().expect("bench engine is materialized");
+    for at in &corpus.tables {
         for attr in at.table.schema().iter() {
             let w: String = attr
                 .chars()
@@ -242,6 +249,18 @@ fn main() {
         args.seed, args.topics, args.repos
     );
     let (corpus, _) = gittables_bench::build_corpus(&args);
+    // Persist the same corpus so the sidecar cold start is measured over
+    // exactly the data the serving benches answer from.
+    let store_dir =
+        std::env::temp_dir().join(format!("gt_bench_query_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+    gittables_corpus::save_store_as(
+        &corpus,
+        &store_dir,
+        64,
+        gittables_corpus::StoreFormat::ColV1,
+    )
+    .expect("save store");
     let engine = Arc::new(QueryEngine::from_corpus(corpus));
     eprintln!(
         "serving {} tables, {} semantic types; {requests} requests per mode; cores={cores}",
@@ -254,6 +273,38 @@ fn main() {
     assert_equivalence(&engine, &search);
     assert_equivalence(&engine, &types);
 
+    // Sidecar cold start: index the store, pin the lazy engine's bytes
+    // to the in-memory engine for every bench target, then time
+    // boot→first query (best of 5, page cache warm).
+    eprintln!("building index sidecars...");
+    gittables_serve::build_sidecars(&store_dir).expect("build sidecars");
+    {
+        let lazy = QueryEngine::load(&store_dir).expect("sidecar boot");
+        assert_eq!(
+            lazy.build_stats().boot_path,
+            "sidecar",
+            "sidecar boot fell back: {:?}",
+            lazy.build_stats().fallback_reason
+        );
+        for t in search.iter().chain(&types) {
+            assert_eq!(
+                in_process_answer(&lazy, t),
+                in_process_answer(&engine, t),
+                "sidecar-booted answer diverged for {t}"
+            );
+        }
+    }
+    let mut cold_start_ms = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let lazy = QueryEngine::load(&store_dir).expect("sidecar boot");
+        let body = in_process_answer(&lazy, &search[0]);
+        assert!(!body.is_empty());
+        cold_start_ms = cold_start_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    std::fs::remove_dir_all(&store_dir).ok();
+    eprintln!("sidecar cold start to first query: {cold_start_ms:.2} ms");
+
     eprintln!("search: serial (1 worker, 1 client)...");
     let search_serial = measure(&engine, &search, 1, 1, requests);
     eprintln!("search: concurrent ({threads} workers, {threads} clients)...");
@@ -264,7 +315,7 @@ fn main() {
     let types_conc = measure(&engine, &types, threads, threads, requests);
 
     let body = format!(
-        "{{\n  \"bench\": \"query_serving\",\n  \"config\": {{ \"seed\": {}, \"topics\": {}, \"repos\": {}, \"requests\": {requests}, \"threads\": {threads} }},\n  \"hardware\": {{ \"cores\": {cores} }},\n  \"corpus_tables\": {},\n  \"search\": {{\n    \"serial\": {},\n    \"concurrent\": {},\n    \"speedup_concurrent_vs_serial\": {:.2}\n  }},\n  \"types\": {{\n    \"serial\": {},\n    \"concurrent\": {},\n    \"speedup_concurrent_vs_serial\": {:.2}\n  }},\n  \"note\": \"cache disabled; every response pre-verified byte-identical to the in-process engine answer; thread speedup is bounded by available cores\"\n}}\n",
+        "{{\n  \"bench\": \"query_serving\",\n  \"config\": {{ \"seed\": {}, \"topics\": {}, \"repos\": {}, \"requests\": {requests}, \"threads\": {threads} }},\n  \"hardware\": {{ \"cores\": {cores} }},\n  \"corpus_tables\": {},\n  \"sidecar_cold_start_to_first_query_ms\": {cold_start_ms:.3},\n  \"search\": {{\n    \"serial\": {},\n    \"concurrent\": {},\n    \"speedup_concurrent_vs_serial\": {:.2}\n  }},\n  \"types\": {{\n    \"serial\": {},\n    \"concurrent\": {},\n    \"speedup_concurrent_vs_serial\": {:.2}\n  }},\n  \"note\": \"cache disabled; every response pre-verified byte-identical to the in-process engine answer (and to the sidecar-booted engine's, before its cold start was timed); thread speedup is bounded by available cores\"\n}}\n",
         args.seed,
         args.topics,
         args.repos,

@@ -1,8 +1,10 @@
 //! Store cold-start harness: measures `load_corpus` wall time, tables/s,
 //! and peak RSS for the same synth corpus persisted as a `jsonl` store
-//! versus a `colv1` store, and records the comparison in
-//! `BENCH_store.json` — the perf trajectory of the store→memory boundary
-//! (the dominant cost of `gittables serve` cold starts).
+//! versus a `colv1` store — plus the **sidecar boot** path
+//! (`gittables index` + [`QueryEngine::load`]), timed to the first
+//! answered query — and records the comparison in `BENCH_store.json`,
+//! the perf trajectory of the store→memory boundary (the dominant cost
+//! of `gittables serve` cold starts).
 //!
 //! Usage: `cargo run --release -p gittables_bench --bin bench_store`
 //! (optionally `--seed/--topics/--repos/--shard/--runs`, plus
@@ -41,6 +43,23 @@ fn measure_load_child(dir: &str) {
     println!(
         "{{\"wall_secs\":{wall:.6},\"tables\":{},\"peak_rss_kb\":{}}}",
         corpus.len(),
+        peak_rss_kb()
+    );
+}
+
+/// Child mode: boot a [`QueryEngine`] off the sidecars at `dir` and
+/// answer one `/search`-shaped query — the serve path's true cold start.
+fn measure_boot_child(dir: &str) {
+    let started = Instant::now();
+    let engine = QueryEngine::load(dir).expect("boot engine");
+    let boot = started.elapsed().as_secs_f64();
+    let hits = engine.search("status and sales amount", 10).len();
+    let to_first_query = started.elapsed().as_secs_f64();
+    assert!(hits > 0, "first query answered nothing");
+    println!(
+        "{{\"wall_secs\":{boot:.6},\"to_first_query_secs\":{to_first_query:.6},\"boot_sidecar\":{},\"tables\":{},\"peak_rss_kb\":{}}}",
+        u8::from(engine.build_stats().boot_path == "sidecar"),
+        engine.num_tables(),
         peak_rss_kb()
     );
 }
@@ -84,6 +103,61 @@ fn spawn_load(dir: &std::path::Path) -> (f64, f64, u64) {
     let tables = number_field(&line, "tables").expect("tables");
     let rss = number_field(&line, "peak_rss_kb").expect("peak_rss_kb") as u64;
     (wall, tables, rss)
+}
+
+/// One sidecar-boot measurement (child process): engine-ready and
+/// first-query-answered wall times plus the process's peak RSS.
+struct BootMeasured {
+    boot_ms: f64,
+    to_first_query_ms: f64,
+    peak_rss_kb: u64,
+    runs: usize,
+}
+
+/// Runs `bench_store --measure-boot <dir>` in a child and parses it.
+fn spawn_boot(dir: &std::path::Path) -> (f64, f64, u64) {
+    let exe = std::env::current_exe().expect("current exe");
+    let out = std::process::Command::new(exe)
+        .args(["--measure-boot", dir.to_str().expect("utf-8 path")])
+        .output()
+        .expect("spawn boot child");
+    assert!(
+        out.status.success(),
+        "child boot failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let line = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        number_field(&line, "boot_sidecar"),
+        Some(1.0),
+        "boot child fell back to a rebuild: {line}"
+    );
+    let boot = number_field(&line, "wall_secs").expect("wall_secs");
+    let first = number_field(&line, "to_first_query_secs").expect("to_first_query_secs");
+    let rss = number_field(&line, "peak_rss_kb").expect("peak_rss_kb") as u64;
+    (boot, first, rss)
+}
+
+fn measure_boot(dir: &std::path::Path, runs: usize) -> BootMeasured {
+    spawn_boot(dir); // warm the page cache; discarded
+    let mut boots = Vec::with_capacity(runs);
+    let mut firsts = Vec::with_capacity(runs);
+    let mut rsses = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let (boot, first, rss) = spawn_boot(dir);
+        boots.push(boot);
+        firsts.push(first);
+        rsses.push(rss);
+    }
+    boots.sort_by(f64::total_cmp);
+    firsts.sort_by(f64::total_cmp);
+    rsses.sort_unstable();
+    BootMeasured {
+        boot_ms: boots[0] * 1e3,
+        to_first_query_ms: firsts[0] * 1e3,
+        peak_rss_kb: rsses[runs / 2],
+        runs,
+    }
 }
 
 fn measure(dir: &std::path::Path, runs: usize) -> Measured {
@@ -163,6 +237,10 @@ fn main() {
         measure_load_child(raw.get(1).expect("--measure-load <dir>"));
         return;
     }
+    if raw.first().map(String::as_str) == Some("--measure-boot") {
+        measure_boot_child(raw.get(1).expect("--measure-boot <dir>"));
+        return;
+    }
 
     let mut args = ExptArgs::parse();
     // A store bench wants a corpus big enough for load time to dominate
@@ -205,18 +283,43 @@ fn main() {
     let jsonl = measure(&jsonl_dir, runs);
     eprintln!("measuring colv1 loads ({runs} runs)...");
     let colv1 = measure(&colv1_dir, runs);
+
+    // Sidecar boot path: index the colv1 store, verify the lazy engine's
+    // endpoint bytes against the materialized rebuild, then time
+    // boot→first query in child processes.
+    eprintln!("building index sidecars...");
+    let report = gittables_serve::build_sidecars(&colv1_dir).expect("build sidecars");
+    let lazy = QueryEngine::load(&colv1_dir).expect("sidecar boot");
+    assert_eq!(
+        lazy.build_stats().boot_path,
+        "sidecar",
+        "sidecar boot fell back: {:?}",
+        lazy.build_stats().fallback_reason
+    );
+    let materialized = QueryEngine::load_materialized(&colv1_dir).expect("materialized boot");
+    assert_engines_identical(&lazy, &materialized);
+    drop((lazy, materialized));
+    eprintln!("measuring sidecar boots ({runs} runs)...");
+    let boot = measure_boot(&colv1_dir, runs);
     std::fs::remove_dir_all(&base).ok();
 
     let body = format!(
-        "{{\n  \"bench\": \"store_cold_load\",\n  \"config\": {{ \"seed\": {}, \"topics\": {}, \"repos\": {}, \"tables_per_shard\": {shard} }},\n  \"corpus_tables\": {},\n  \"jsonl\": {},\n  \"colv1\": {},\n  \"speedup_load_wall\": {:.2},\n  \"rss_ratio_colv1_vs_jsonl\": {:.3},\n  \"size_ratio_colv1_vs_jsonl\": {:.3},\n  \"note\": \"per-format loads run in fresh child processes (VmHWM is a process high-water mark); corpora and query-endpoint bytes verified identical across formats before measuring\"\n}}\n",
+        "{{\n  \"bench\": \"store_cold_load\",\n  \"config\": {{ \"seed\": {}, \"topics\": {}, \"repos\": {}, \"tables_per_shard\": {shard} }},\n  \"corpus_tables\": {},\n  \"jsonl\": {},\n  \"colv1\": {},\n  \"sidecar_boot\": {{\n    \"boot_ms\": {:.3},\n    \"to_first_query_ms\": {:.3},\n    \"peak_rss_kb\": {},\n    \"sidecar_bytes\": {},\n    \"runs\": {}\n  }},\n  \"speedup_load_wall\": {:.2},\n  \"speedup_boot_vs_colv1_load\": {:.1},\n  \"rss_ratio_colv1_vs_jsonl\": {:.3},\n  \"rss_ratio_sidecar_vs_colv1\": {:.3},\n  \"size_ratio_colv1_vs_jsonl\": {:.3},\n  \"note\": \"per-format loads and sidecar boots run in fresh child processes (VmHWM is a process high-water mark); corpora and query-endpoint bytes verified identical across formats — and between the sidecar-booted and materialized engines — before measuring; sidecar boot is timed to the first answered query\"\n}}\n",
         args.seed,
         args.topics,
         args.repos,
         corpus.len(),
         measured_json(&jsonl, "  "),
         measured_json(&colv1, "  "),
+        boot.boot_ms,
+        boot.to_first_query_ms,
+        boot.peak_rss_kb,
+        report.bytes,
+        boot.runs,
         jsonl.wall_secs / colv1.wall_secs,
+        colv1.wall_secs * 1e3 / boot.to_first_query_ms.max(1e-3),
         colv1.peak_rss_kb as f64 / jsonl.peak_rss_kb.max(1) as f64,
+        boot.peak_rss_kb as f64 / colv1.peak_rss_kb.max(1) as f64,
         colv1.bytes_on_disk as f64 / jsonl.bytes_on_disk.max(1) as f64,
     );
     write_bench_file(&out, &body);

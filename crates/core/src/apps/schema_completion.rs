@@ -5,7 +5,7 @@
 //! distance between attribute embeddings) and return them as suggested
 //! completions.
 
-use gittables_corpus::{Corpus, TableId};
+use gittables_corpus::{Corpus, F32Matrix, TableId};
 use gittables_embed::{cosine, SentenceEncoder};
 use gittables_table::Schema;
 use serde::{Deserialize, Serialize};
@@ -22,10 +22,20 @@ pub struct SchemaCompletion {
 }
 
 /// The NearestCompletion engine: pre-embeds corpus schema attributes.
+///
+/// Per-attribute embeddings live flat in one row-major [`F32Matrix`]
+/// (schema `i`'s rows are `starts[i]..starts[i + 1]`), which is either
+/// built in memory or a zero-copy view into a mapped index sidecar
+/// ([`gittables_corpus::sidecar`]) — distances read plain `&[f32]` rows
+/// either way, so both boot paths rank bit-identically.
 pub struct NearestCompletion {
     encoder: SentenceEncoder,
-    /// `(schema, per-attribute embeddings)` pairs.
-    schemas: Vec<(Schema, Vec<Vec<f32>>)>,
+    /// Distinct schemas, in first-seen order.
+    schemas: Vec<Schema>,
+    /// `schemas.len() + 1` cumulative row offsets into `rows`.
+    starts: Vec<usize>,
+    /// One embedding row per schema attribute, flat.
+    rows: F32Matrix,
 }
 
 impl NearestCompletion {
@@ -59,17 +69,76 @@ impl NearestCompletion {
         ids: &[TableId],
         encoder: SentenceEncoder,
     ) -> Self {
+        let dim = encoder.embedder().dim;
         let mut seen = std::collections::HashSet::new();
         let mut schemas = Vec::new();
+        let mut starts = vec![0usize];
+        let mut flat = Vec::new();
         for t in ids.iter().filter_map(|&id| corpus.table_by_id(id)) {
             let schema = t.table.schema();
             if schema.is_empty() || !seen.insert(schema.attributes().to_vec()) {
                 continue;
             }
-            let embeddings = schema.iter().map(|a| encoder.embed(a)).collect();
-            schemas.push((schema, embeddings));
+            for a in schema.iter() {
+                flat.extend_from_slice(&encoder.embed(a));
+            }
+            starts.push(starts.last().expect("seeded") + schema.len());
+            schemas.push(schema);
         }
-        NearestCompletion { encoder, schemas }
+        let total = *starts.last().expect("seeded");
+        let rows = F32Matrix::from_vec(flat, total, dim);
+        NearestCompletion {
+            encoder,
+            schemas,
+            starts,
+            rows,
+        }
+    }
+
+    /// Reassembles the engine from persisted parts (the sidecar boot
+    /// path): the exact schemas, row offsets, and per-attribute embedding
+    /// rows a [`Self::build_with_ids`] call produced, in the same order.
+    /// Ranking is bit-identical because the rows are.
+    ///
+    /// # Panics
+    /// When `starts` is not a `schemas.len() + 1` cumulative offset list
+    /// consistent with the schema lengths and `rows`.
+    #[must_use]
+    pub fn from_raw_parts(schemas: Vec<Schema>, starts: Vec<usize>, rows: F32Matrix) -> Self {
+        assert_eq!(
+            starts.len(),
+            schemas.len() + 1,
+            "offset per schema plus end"
+        );
+        for (i, s) in schemas.iter().enumerate() {
+            assert_eq!(starts[i + 1] - starts[i], s.len(), "rows match schema {i}");
+        }
+        assert_eq!(*starts.last().expect("non-empty"), rows.rows(), "row total");
+        NearestCompletion {
+            encoder: SentenceEncoder::default(),
+            schemas,
+            starts,
+            rows,
+        }
+    }
+
+    /// The distinct schemas, in first-seen order — the serialization path
+    /// of the completion sidecar.
+    #[must_use]
+    pub fn entry_schemas(&self) -> &[Schema] {
+        &self.schemas
+    }
+
+    /// The cumulative row offsets (`schemas.len() + 1` entries).
+    #[must_use]
+    pub fn row_starts(&self) -> &[usize] {
+        &self.starts
+    }
+
+    /// The flat per-attribute embedding matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &F32Matrix {
+        &self.rows
     }
 
     /// Number of indexed schemas.
@@ -103,10 +172,11 @@ impl NearestCompletion {
             .schemas
             .iter()
             .enumerate()
-            .filter(|(_, (s, _))| s.len() > n)
-            .map(|(idx, (_, embs))| {
+            .filter(|(_, s)| s.len() > n)
+            .map(|(idx, _)| {
+                let base = self.starts[idx];
                 let d: f64 = (0..n)
-                    .map(|i| 1.0 - f64::from(cosine(&prefix_emb[i], &embs[i])))
+                    .map(|i| 1.0 - f64::from(cosine(&prefix_emb[i], self.rows.row(base + i))))
                     .sum::<f64>()
                     / n as f64;
                 (idx, d)
@@ -117,7 +187,7 @@ impl NearestCompletion {
         scored
             .into_iter()
             .map(|(idx, d)| {
-                let (s, _) = &self.schemas[idx];
+                let s = &self.schemas[idx];
                 SchemaCompletion {
                     schema: s.clone(),
                     prefix_distance: d,

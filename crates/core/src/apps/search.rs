@@ -1,7 +1,7 @@
 //! Data search over table schemas (§5.3, Fig. 6b): embed entire table
 //! schemas and rank them against a natural-language query.
 
-use gittables_corpus::{Corpus, TableId};
+use gittables_corpus::{Corpus, F32Matrix, TableId};
 use gittables_embed::{cosine, SentenceEncoder};
 use gittables_table::Schema;
 use serde::{Deserialize, Serialize};
@@ -18,10 +18,19 @@ pub struct SearchHit {
 }
 
 /// A schema-embedding search index over a corpus.
+///
+/// Entry embeddings live in one row-major [`F32Matrix`], which is either
+/// built in memory or a zero-copy view into a mapped index sidecar
+/// ([`gittables_corpus::sidecar`]) — scoring reads plain `&[f32]` rows
+/// either way, so both boot paths rank bit-identically.
 pub struct DataSearch {
     encoder: SentenceEncoder,
-    /// `(table index, schema, schema embedding)`.
-    entries: Vec<(usize, Schema, Vec<f32>)>,
+    /// Stable table id per entry.
+    ids: Vec<TableId>,
+    /// Schema per entry, parallel to `ids`.
+    schemas: Vec<Schema>,
+    /// Row `n` is entry `n`'s schema embedding.
+    rows: F32Matrix,
 }
 
 impl DataSearch {
@@ -41,29 +50,84 @@ impl DataSearch {
     #[must_use]
     pub fn build_with_ids(corpus: &Corpus, ids: &[TableId]) -> Self {
         let encoder = SentenceEncoder::default();
-        let entries = ids
+        let dim = encoder.embedder().dim;
+        let mut kept = Vec::new();
+        let mut schemas = Vec::new();
+        let mut flat = Vec::new();
+        for (id, t) in ids
             .iter()
             .filter_map(|&id| corpus.table_by_id(id).map(|t| (id, t)))
-            .map(|(id, t)| {
-                let schema = t.table.schema();
-                let attrs: Vec<&str> = schema.iter().collect();
-                let emb = encoder.embed_schema(&attrs);
-                (id, schema, emb)
-            })
-            .collect();
-        DataSearch { encoder, entries }
+        {
+            let schema = t.table.schema();
+            let attrs: Vec<&str> = schema.iter().collect();
+            flat.extend_from_slice(&encoder.embed_schema(&attrs));
+            kept.push(id);
+            schemas.push(schema);
+        }
+        let rows = F32Matrix::from_vec(flat, kept.len(), dim);
+        DataSearch {
+            encoder,
+            ids: kept,
+            schemas,
+            rows,
+        }
+    }
+
+    /// Reassembles an index from persisted parts (the sidecar boot path):
+    /// the exact ids, schemas, and embedding rows a
+    /// [`Self::build_with_ids`] call produced, in the same order. Scoring
+    /// is bit-identical because the rows are.
+    ///
+    /// # Panics
+    /// When `ids`, `schemas`, and `rows` are not parallel.
+    #[must_use]
+    pub fn from_raw_parts(ids: Vec<TableId>, schemas: Vec<Schema>, rows: F32Matrix) -> Self {
+        assert_eq!(ids.len(), schemas.len(), "schema per entry");
+        assert_eq!(ids.len(), rows.rows(), "embedding row per entry");
+        DataSearch {
+            encoder: SentenceEncoder::default(),
+            ids,
+            schemas,
+            rows,
+        }
+    }
+
+    /// The embedding dimensionality this build's default encoder
+    /// produces — what a persisted matrix must match to be servable.
+    #[must_use]
+    pub fn encoder_dim() -> usize {
+        SentenceEncoder::default().embedder().dim
+    }
+
+    /// The stable table ids, in entry order — the serialization path of
+    /// the search sidecar.
+    #[must_use]
+    pub fn entry_ids(&self) -> &[TableId] {
+        &self.ids
+    }
+
+    /// The schemas, parallel to [`Self::entry_ids`].
+    #[must_use]
+    pub fn entry_schemas(&self) -> &[Schema] {
+        &self.schemas
+    }
+
+    /// The embedding matrix (one row per entry).
+    #[must_use]
+    pub fn matrix(&self) -> &F32Matrix {
+        &self.rows
     }
 
     /// Number of indexed tables.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.ids.len()
     }
 
     /// Whether the index is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.ids.is_empty()
     }
 
     /// Top-`k` tables for a natural-language `query`.
@@ -76,23 +140,17 @@ impl DataSearch {
     #[must_use]
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
         let qe = self.encoder.embed(query);
-        let mut scored: Vec<(usize, f64)> = self
-            .entries
-            .iter()
-            .enumerate()
-            .map(|(n, (_, _, e))| (n, f64::from(cosine(&qe, e))))
+        let mut scored: Vec<(usize, f64)> = (0..self.ids.len())
+            .map(|n| (n, f64::from(cosine(&qe, self.rows.row(n)))))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(k);
         scored
             .into_iter()
-            .map(|(n, score)| {
-                let (id, schema, _) = &self.entries[n];
-                SearchHit {
-                    table_index: *id,
-                    schema: schema.clone(),
-                    score,
-                }
+            .map(|(n, score)| SearchHit {
+                table_index: self.ids[n],
+                schema: self.schemas[n].clone(),
+                score,
             })
             .collect()
     }

@@ -126,6 +126,24 @@ pub trait ShardCodec: Send + Sync {
             .collect();
         Ok((tables, fingerprints))
     }
+
+    /// The `(offset, len)` byte span of every table in an already-loaded
+    /// shard arena, in write order, **without decoding any table** — the
+    /// cheap structural read behind lazy single-table access
+    /// ([`crate::sidecar::LazyCorpus`]) and sidecar directory builds.
+    ///
+    /// # Errors
+    /// Typed [`StoreError::Corrupt`] on structurally invalid bytes, never
+    /// a panic or a partial list.
+    fn block_spans(&self, bytes: &[u8], file: &str) -> Result<Vec<(u64, u64)>, StoreError>;
+
+    /// Decodes exactly one table from a span produced by
+    /// [`Self::block_spans`]. The block must be consumed exactly:
+    /// trailing garbage is a typed error, never silently ignored.
+    ///
+    /// # Errors
+    /// Typed decode errors, as [`Self::read`].
+    fn read_block(&self, block: &[u8], file: &str) -> Result<AnnotatedTable, StoreError>;
 }
 
 /// The codec for `format` (codecs are stateless, so one static each).
@@ -190,6 +208,33 @@ impl ShardCodec for JsonlCodec {
         }
         Ok(tables)
     }
+
+    fn block_spans(&self, bytes: &[u8], _file: &str) -> Result<Vec<(u64, u64)>, StoreError> {
+        // One table per non-empty line; a span covers the line's content
+        // without its terminator, mirroring `read`'s line iteration.
+        let mut spans = Vec::new();
+        let mut start = 0usize;
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                let line = &bytes[start..i];
+                if !line.iter().all(|c| c.is_ascii_whitespace()) {
+                    spans.push((start as u64, (i - start) as u64));
+                }
+                start = i + 1;
+            }
+        }
+        if start < bytes.len() {
+            let line = &bytes[start..];
+            if !line.iter().all(|c| c.is_ascii_whitespace()) {
+                spans.push((start as u64, (bytes.len() - start) as u64));
+            }
+        }
+        Ok(spans)
+    }
+
+    fn read_block(&self, block: &[u8], _file: &str) -> Result<AnnotatedTable, StoreError> {
+        Ok(serde_json::from_slice(block)?)
+    }
 }
 
 // -------------------------------------------------------------------- colv1
@@ -238,6 +283,14 @@ impl ShardCodec for ColV1Codec {
     ) -> Result<(Vec<AnnotatedTable>, Vec<u64>), StoreError> {
         let arena = colv1::Arena::load(path)?;
         colv1::decode_segment_fingerprinted(arena.bytes(), file)
+    }
+
+    fn block_spans(&self, bytes: &[u8], file: &str) -> Result<Vec<(u64, u64)>, StoreError> {
+        colv1::block_spans(bytes, file)
+    }
+
+    fn read_block(&self, block: &[u8], file: &str) -> Result<AnnotatedTable, StoreError> {
+        colv1::decode_block(block, file)
     }
 }
 

@@ -355,15 +355,17 @@ pub(crate) fn encode_table(
 
 // ----------------------------------------------------------------- decoding
 
-/// Bounds-checked cursor over the segment arena.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    file: &'a str,
+/// Bounds-checked cursor over the segment arena. Also reused by the
+/// sidecar decoder ([`crate::sidecar`]), which shares the same
+/// never-panic-on-untrusted-bytes obligations.
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
+    pub(crate) file: &'a str,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
         // `checked_add`: a crafted length near usize::MAX must error, not
         // overflow (dev/test builds run with overflow checks = panic).
         let end = self
@@ -378,30 +380,30 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, StoreError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, StoreError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, StoreError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, StoreError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
-    fn u64(&mut self) -> Result<u64, StoreError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, StoreError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
-    fn len_of(&self, v: u64, what: &str) -> Result<usize, StoreError> {
+    pub(crate) fn len_of(&self, v: u64, what: &str) -> Result<usize, StoreError> {
         usize::try_from(v).map_err(|_| corrupt(self.file, format!("{what} {v} overflows usize")))
     }
 
     /// Capacity hint bounded by the bytes actually left in the segment, so
     /// a corrupt count can never trigger a huge allocation before the
     /// bounds-checked reads reject it.
-    fn cap(&self, n: usize) -> usize {
+    pub(crate) fn cap(&self, n: usize) -> usize {
         n.min(self.bytes.len().saturating_sub(self.pos))
     }
 
-    fn str(&mut self) -> Result<String, StoreError> {
+    pub(crate) fn str(&mut self) -> Result<String, StoreError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
@@ -602,6 +604,90 @@ fn decode_all(
     Ok((tables, fingerprints))
 }
 
+/// Parses only the segment trailer and returns each table block's
+/// `(offset, len)` span, without decoding any block — the footer-only
+/// read behind lazy single-table access ([`crate::sidecar::LazyCorpus`]).
+/// Applies the same structural checks as [`decode_segment`] up to the
+/// point where blocks would be decoded.
+pub(crate) fn block_spans(bytes: &[u8], file: &str) -> Result<Vec<(u64, u64)>, StoreError> {
+    let min = FILE_MAGIC.len() + 8 + 8 + FOOTER_MAGIC.len();
+    if bytes.len() < min {
+        return Err(corrupt(
+            file,
+            format!("segment of {} bytes is truncated", bytes.len()),
+        ));
+    }
+    if &bytes[..FILE_MAGIC.len()] != FILE_MAGIC {
+        return Err(corrupt(file, "bad file magic (not a colv1 segment)"));
+    }
+    if &bytes[bytes.len() - FOOTER_MAGIC.len()..] != FOOTER_MAGIC {
+        return Err(corrupt(
+            file,
+            "bad footer magic (segment not fully written)",
+        ));
+    }
+    let fixed = bytes.len() - FOOTER_MAGIC.len() - 16;
+    let count = u64::from_le_bytes(bytes[fixed..fixed + 8].try_into().expect("8"));
+    let footer_start = u64::from_le_bytes(bytes[fixed + 8..fixed + 16].try_into().expect("8"));
+    let count = usize::try_from(count).map_err(|_| corrupt(file, "table count overflows usize"))?;
+    let footer_start = usize::try_from(footer_start)
+        .map_err(|_| corrupt(file, "footer offset overflows usize"))?;
+    if count
+        .checked_mul(8)
+        .and_then(|n| footer_start.checked_add(n))
+        != Some(fixed)
+    {
+        return Err(corrupt(file, "footer index does not match table count"));
+    }
+    if footer_start < FILE_MAGIC.len() {
+        return Err(corrupt(file, "footer overlaps file magic"));
+    }
+    let mut offsets = Vec::with_capacity(count);
+    let mut prev = 0usize;
+    for i in 0..count {
+        let at = footer_start + i * 8;
+        let offset = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8"));
+        let offset =
+            usize::try_from(offset).map_err(|_| corrupt(file, "block offset overflows usize"))?;
+        if offset < FILE_MAGIC.len() || offset >= footer_start || (i > 0 && offset <= prev) {
+            return Err(corrupt(file, format!("block offset {offset} out of range")));
+        }
+        offsets.push(offset);
+        prev = offset;
+    }
+    Ok(offsets
+        .iter()
+        .enumerate()
+        .map(|(i, &off)| {
+            let end = offsets.get(i + 1).copied().unwrap_or(footer_start);
+            (off as u64, (end - off) as u64)
+        })
+        .collect())
+}
+
+/// Decodes exactly one table block (a `(offset, len)` span produced by
+/// [`block_spans`]), requiring the block to consume its bytes exactly.
+/// Same typed-error discipline as [`decode_segment`].
+pub(crate) fn decode_block(block: &[u8], file: &str) -> Result<AnnotatedTable, StoreError> {
+    let mut cur = Cursor {
+        bytes: block,
+        pos: 0,
+        file,
+    };
+    let at = decode_table(&mut cur)?;
+    if cur.pos != block.len() {
+        return Err(corrupt(
+            file,
+            format!(
+                "table block of {} bytes decoded only {}",
+                block.len(),
+                cur.pos
+            ),
+        ));
+    }
+    Ok(at)
+}
+
 /// Streaming segment writer: tables are encoded and appended one at a
 /// time (one encode buffer of scratch memory), the footer index last.
 pub(crate) struct SegmentWriter {
@@ -730,6 +816,47 @@ mod tests {
                 matches!(err, StoreError::Corrupt { .. }),
                 "cut={cut}: {err}"
             );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn block_spans_tile_the_segment_and_decode_alone() {
+        let dir = std::env::temp_dir().join(format!("gt_colv1_spans_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg.colv1");
+        let mut w = SegmentWriter::create(&path, "seg.colv1".into()).unwrap();
+        for _ in 0..3 {
+            w.push(&sample()).unwrap();
+        }
+        w.finish().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let spans = block_spans(&bytes, "seg.colv1").unwrap();
+        assert_eq!(spans.len(), 3);
+        // Spans tile [magic, footer) with no gaps.
+        assert_eq!(spans[0].0 as usize, FILE_MAGIC.len());
+        for w in spans.windows(2) {
+            assert_eq!(w[0].0 + w[0].1, w[1].0);
+        }
+        let whole = decode_segment(&bytes, "seg.colv1").unwrap();
+        for (span, at) in spans.iter().zip(&whole) {
+            let block = &bytes[span.0 as usize..(span.0 + span.1) as usize];
+            assert_eq!(&decode_block(block, "seg.colv1").unwrap(), at);
+        }
+        // A block with trailing garbage must be rejected, not silently
+        // decoded short.
+        let (off, len) = spans[0];
+        let padded = &bytes[off as usize..(off + len) as usize + 1];
+        assert!(matches!(
+            decode_block(padded, "seg.colv1").unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        // Truncation of the trailer is typed for the span parse too.
+        for cut in [0, 1, 8, bytes.len() - 1] {
+            assert!(matches!(
+                block_spans(&bytes[..cut], "seg.colv1").unwrap_err(),
+                StoreError::Corrupt { .. }
+            ));
         }
         std::fs::remove_dir_all(&dir).ok();
     }

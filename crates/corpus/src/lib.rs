@@ -34,6 +34,7 @@ pub mod dedup;
 pub mod export;
 pub mod join;
 pub mod persist;
+pub mod sidecar;
 pub mod stats;
 pub mod store;
 pub mod typeindex;
@@ -49,6 +50,12 @@ pub use dedup::{
 };
 pub use export::{export_csv, export_csv_store};
 pub use join::{join_candidates, join_tables, JoinCandidate};
+pub use sidecar::{
+    binding_of, load_indexes, remove_sidecars, write_complete, write_directory,
+    write_directory_for_store, write_search, write_types, CompleteParts, DirEntry, F32Matrix,
+    LazyCorpus, SearchParts, SidecarBinding, SidecarIndexes, SidecarIssue, SidecarKind,
+    SIDECAR_FILES,
+};
 pub use stats::CorpusStats;
 pub use store::{
     load_store, migrate_store, save_store, save_store_as, shard_id_for, CorpusStore, MigrateReport,

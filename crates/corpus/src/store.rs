@@ -780,6 +780,10 @@ pub fn migrate_store(
     for entry in &entries {
         std::fs::remove_file(dir.join(&entry.file)).ok();
     }
+    // Index sidecars recorded the old format and shard file names, so
+    // they are stale now; drop them rather than leave unreadable files
+    // around (a leftover would be *detected* as stale, never served).
+    crate::sidecar::remove_sidecars(&dir);
     Ok(MigrateReport {
         from,
         to,

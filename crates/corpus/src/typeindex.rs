@@ -104,6 +104,26 @@ impl TypeIndex {
         TypeIndex { labels, postings }
     }
 
+    /// Reassembles an index from its raw parts — the deserialization
+    /// path of the sidecar format (`crate::sidecar`), which persists
+    /// labels and posting lists verbatim.
+    ///
+    /// # Panics
+    /// When `labels` and `postings` are not parallel. Callers (the
+    /// sidecar decoder) validate label ordering before constructing.
+    #[must_use]
+    pub fn from_raw_parts(labels: Vec<String>, postings: Vec<Vec<TypePosting>>) -> Self {
+        assert_eq!(labels.len(), postings.len(), "posting list per label");
+        TypeIndex { labels, postings }
+    }
+
+    /// Every posting list, parallel to [`Self::labels`] — the
+    /// serialization path of the sidecar format.
+    #[must_use]
+    pub fn posting_lists(&self) -> &[Vec<TypePosting>] {
+        &self.postings
+    }
+
     /// Number of distinct labels.
     #[must_use]
     pub fn len(&self) -> usize {

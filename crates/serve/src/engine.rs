@@ -1,10 +1,30 @@
-//! The [`QueryEngine`]: a loaded corpus plus its read-only query indexes.
+//! The [`QueryEngine`]: a corpus plus its read-only query indexes.
+//!
+//! Two boot paths produce observably identical engines:
+//!
+//! * **materialized** — load every table into memory and build the three
+//!   indexes from scratch ([`QueryEngine::from_corpus`] /
+//!   [`QueryEngine::load_materialized`]); cold start and RSS scale with
+//!   corpus size.
+//! * **sidecar** — map the persisted index sidecars
+//!   ([`gittables_corpus::sidecar`]) and serve tables lazily off the
+//!   mapped shard segments ([`gittables_corpus::LazyCorpus`]); cold
+//!   start is O(index size) and `/tables/{id}` touches only that
+//!   table's pages.
+//!
+//! [`QueryEngine::load`] prefers the sidecar path and falls back to a
+//! materialized rebuild when the sidecars are missing, stale, or
+//! corrupt — recording which path ran (and why a fallback happened) in
+//! [`EngineBuildStats`], served under `/metrics`.
 
 use std::path::Path;
 
 use gittables_annotate::{Annotation, Method};
 use gittables_core::apps::{DataSearch, NearestCompletion, SchemaCompletion, SearchHit};
-use gittables_corpus::{Corpus, CorpusStore, StoreError, TableId, TypeCount, TypeIndex};
+use gittables_corpus::{
+    load_indexes, AnnotatedTable, Corpus, CorpusStore, LazyCorpus, SidecarIssue, StoreError,
+    TableId, TypeCount, TypeIndex,
+};
 use gittables_ontology::OntologyKind;
 use serde::{Deserialize, Serialize};
 
@@ -73,25 +93,61 @@ pub struct TableSummary {
 }
 
 /// How an engine's cold start was spent: the store→memory load versus
-/// the in-memory index builds. Served under `/metrics` (`engine`) so a
-/// cold-start regression — a slow store format, a bloated index build —
-/// is observable in production, per component.
+/// the in-memory index builds — plus which boot path ran. Served under
+/// `/metrics` (`engine`) so a cold-start regression — a slow store
+/// format, a bloated index build, a silently-skipped sidecar — is
+/// observable in production, per component.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct EngineBuildStats {
-    /// Wall time spent opening the store and materializing the corpus
-    /// (0 when the engine was built from an in-memory corpus).
+    /// Wall time spent opening the store and getting tables servable:
+    /// materializing the corpus on the rebuild path, or mapping and
+    /// verifying the sidecar set on the sidecar path (0 when the engine
+    /// was built from an in-memory corpus).
     pub store_load_ms: f64,
-    /// Wall time spent building the search/completion/type indexes.
+    /// Wall time spent building the search/completion/type indexes
+    /// (≈ 0 on the sidecar path: the indexes are reassembled from
+    /// already-decoded parts, not rebuilt).
     pub index_build_ms: f64,
     /// Shard format of the store the corpus came from (`None` for
     /// in-memory engines).
     pub store_format: Option<String>,
+    /// Which boot path produced the engine: `"memory"` (built over an
+    /// in-process corpus), `"sidecar"` (mapped persisted indexes +
+    /// lazy tables), or `"rebuild"` (store load + index build).
+    pub boot_path: String,
+    /// When [`Self::boot_path`] is `"rebuild"` because the sidecar path
+    /// was tried and refused: the machine-readable reason —
+    /// `"no_sidecar"`, `"stale"`, or `"corrupt"`.
+    pub fallback_reason: Option<String>,
 }
 
-/// A loaded corpus plus the shared read-only indexes every query runs
+/// Where the engine's tables live: fully materialized in memory, or
+/// decoded on demand from mapped shard segments.
+enum TableSource {
+    Materialized(Corpus),
+    Lazy(LazyCorpus),
+}
+
+impl TableSource {
+    fn name(&self) -> &str {
+        match self {
+            TableSource::Materialized(c) => &c.name,
+            TableSource::Lazy(l) => l.name(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            TableSource::Materialized(c) => c.len(),
+            TableSource::Lazy(l) => l.len(),
+        }
+    }
+}
+
+/// A corpus plus the shared read-only indexes every query runs
 /// against. Build once, share behind an `Arc` across server workers.
 pub struct QueryEngine {
-    corpus: Corpus,
+    tables: TableSource,
     search: DataSearch,
     completion: NearestCompletion,
     types: TypeIndex,
@@ -121,36 +177,123 @@ impl QueryEngine {
             )
         });
         QueryEngine {
-            corpus,
+            tables: TableSource::Materialized(corpus),
             search,
             completion,
             types,
             build: EngineBuildStats {
                 index_build_ms: started.elapsed().as_secs_f64() * 1e3,
+                boot_path: "memory".to_string(),
                 ..EngineBuildStats::default()
             },
         }
     }
 
-    /// Loads the corpus persisted at `dir` (a [`CorpusStore`] directory)
-    /// and builds the indexes, recording the cold-start breakdown in
-    /// [`Self::build_stats`]. Extraction is never re-run: this reads the
-    /// shards exactly as [`CorpusStore::load_corpus`] does, integrity
-    /// checks included, through whatever [`gittables_corpus::StoreFormat`]
-    /// the manifest records.
+    /// Boots the engine for the store at `dir`, preferring the sidecar
+    /// path: map the persisted indexes ([`gittables_corpus::sidecar`])
+    /// and serve tables lazily off the mapped shard segments — cold
+    /// start is O(index size), not O(corpus). When the sidecar set is
+    /// missing, stale, or corrupt, falls back to the materialized
+    /// rebuild ([`Self::load_materialized`]) and records why in
+    /// [`EngineBuildStats::fallback_reason`]; a bad sidecar can cost a
+    /// rebuild, never a wrong answer.
     ///
     /// # Errors
-    /// Propagates store open/load failures.
+    /// Propagates store open/load failures. A sidecar problem alone is
+    /// never an error — it downgrades to the rebuild path.
     pub fn load(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         let started = std::time::Instant::now();
         let store = CorpusStore::open(dir.as_ref())?;
-        let format = store.format();
+        match Self::try_from_sidecars(&store, started) {
+            Ok(engine) => Ok(engine),
+            Err(issue) => {
+                eprintln!(
+                    "sidecar boot unavailable for {}: {issue}; rebuilding indexes from the corpus",
+                    dir.as_ref().display()
+                );
+                let reason = issue.reason().to_string();
+                let mut engine = Self::rebuild_from_store(&store, started)?;
+                engine.build.fallback_reason = Some(reason);
+                Ok(engine)
+            }
+        }
+    }
+
+    /// Loads the corpus persisted at `dir` (a [`CorpusStore`] directory)
+    /// and builds the indexes from scratch, never consulting sidecars —
+    /// the pre-sidecar boot path, kept as the reference the lazy path is
+    /// pinned against. Extraction is never re-run: this reads the shards
+    /// exactly as [`CorpusStore::load_corpus`] does, integrity checks
+    /// included, through whatever [`gittables_corpus::StoreFormat`] the
+    /// manifest records.
+    ///
+    /// # Errors
+    /// Propagates store open/load failures.
+    pub fn load_materialized(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let started = std::time::Instant::now();
+        let store = CorpusStore::open(dir.as_ref())?;
+        Self::rebuild_from_store(&store, started)
+    }
+
+    /// The build-from-corpus path over an already-open store.
+    fn rebuild_from_store(
+        store: &CorpusStore,
+        started: std::time::Instant,
+    ) -> Result<Self, StoreError> {
         let corpus = store.load_corpus()?;
         let store_load_ms = started.elapsed().as_secs_f64() * 1e3;
         let mut engine = Self::from_corpus(corpus);
         engine.build.store_load_ms = store_load_ms;
-        engine.build.store_format = Some(format.name().to_string());
+        engine.build.store_format = Some(store.format().name().to_string());
+        engine.build.boot_path = "rebuild".to_string();
         Ok(engine)
+    }
+
+    /// The sidecar boot path: O(index mmap), no table materialized.
+    fn try_from_sidecars(
+        store: &CorpusStore,
+        started: std::time::Instant,
+    ) -> Result<Self, SidecarIssue> {
+        let indexes = load_indexes(store)?;
+        // A sidecar whose matrices were produced by a different encoder
+        // build cannot be scored against this build's query embeddings.
+        let dim = DataSearch::encoder_dim();
+        if indexes.search.rows.dim() != dim {
+            return Err(SidecarIssue::Stale {
+                file: gittables_corpus::SidecarKind::Search
+                    .file_name()
+                    .to_string(),
+                detail: format!(
+                    "embedding dim {} != this build's {dim}",
+                    indexes.search.rows.dim()
+                ),
+            });
+        }
+        let store_load_ms = started.elapsed().as_secs_f64() * 1e3;
+        let assemble = std::time::Instant::now();
+        let search = DataSearch::from_raw_parts(
+            indexes.search.ids,
+            indexes.search.schemas,
+            indexes.search.rows,
+        );
+        let completion = NearestCompletion::from_raw_parts(
+            indexes.complete.schemas,
+            indexes.complete.starts,
+            indexes.complete.rows,
+        );
+        Ok(QueryEngine {
+            tables: TableSource::Lazy(indexes.corpus),
+            search,
+            completion,
+            types: indexes.types,
+            build: EngineBuildStats {
+                store_load_ms,
+                index_build_ms: assemble.elapsed().as_secs_f64() * 1e3,
+                store_format: Some(store.format().name().to_string()),
+                boot_path: "sidecar".to_string(),
+                fallback_reason: None,
+            },
+        })
     }
 
     /// The cold-start breakdown recorded when this engine was built.
@@ -159,10 +302,15 @@ impl QueryEngine {
         &self.build
     }
 
-    /// The corpus being served.
+    /// The materialized corpus being served, or `None` for a
+    /// sidecar-booted engine (tables are decoded on demand and never all
+    /// held in memory).
     #[must_use]
-    pub fn corpus(&self) -> &Corpus {
-        &self.corpus
+    pub fn corpus(&self) -> Option<&Corpus> {
+        match &self.tables {
+            TableSource::Materialized(c) => Some(c),
+            TableSource::Lazy(_) => None,
+        }
     }
 
     /// The schema-embedding search index.
@@ -186,7 +334,7 @@ impl QueryEngine {
     /// Number of tables served.
     #[must_use]
     pub fn num_tables(&self) -> usize {
-        self.corpus.len()
+        self.tables.len()
     }
 
     /// `/search`: top-`k` tables for a natural-language query.
@@ -219,37 +367,29 @@ impl QueryEngine {
         })
     }
 
-    /// `/tables/{id}`: schema + annotations + sample rows, or `None` when
-    /// `id` is out of range.
+    /// `/tables/{id}`: schema + annotations + sample rows. `Ok(None)`
+    /// when `id` is out of range. On the lazy path only that table's
+    /// block is decoded (and its pages touched); a corrupt block or a
+    /// fingerprint mismatch is a typed error — never a wrong summary,
+    /// never a false 404.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] from [`LazyCorpus::get`] on the lazy
+    /// path; the materialized path never errors.
+    pub fn try_table_summary(&self, id: TableId) -> Result<Option<TableSummary>, StoreError> {
+        match &self.tables {
+            TableSource::Materialized(c) => Ok(c.table_by_id(id).map(|at| summarize(id, at))),
+            TableSource::Lazy(l) => Ok(l.get(id)?.map(|at| summarize(id, &at))),
+        }
+    }
+
+    /// [`Self::try_table_summary`] flattened for callers that hold a
+    /// known-good store (`None` covers both out-of-range and, on the
+    /// lazy path, a corrupt block — prefer the `try_` form where the
+    /// distinction matters, as the HTTP layer does).
     #[must_use]
     pub fn table_summary(&self, id: TableId) -> Option<TableSummary> {
-        let at = self.corpus.table_by_id(id)?;
-        let t = &at.table;
-        let p = t.provenance();
-        let annotations = Corpus::annotation_configs()
-            .into_iter()
-            .map(|(method, ontology)| AnnotationSet {
-                method,
-                ontology,
-                annotations: at.annotations(method, ontology).annotations.clone(),
-            })
-            .collect();
-        let sample_rows = (0..t.num_rows().min(SAMPLE_ROWS))
-            .filter_map(|r| t.row(r))
-            .map(|row| row.into_iter().map(str::to_string).collect())
-            .collect();
-        Some(TableSummary {
-            id,
-            name: t.name().to_string(),
-            url: p.url(),
-            topic: p.topic.clone(),
-            license: p.license.clone(),
-            num_rows: t.num_rows(),
-            num_columns: t.num_columns(),
-            schema: t.schema().attributes().to_vec(),
-            annotations,
-            sample_rows,
-        })
+        self.try_table_summary(id).ok().flatten()
     }
 
     /// `/health`: liveness plus corpus size.
@@ -257,10 +397,40 @@ impl QueryEngine {
     pub fn health(&self) -> HealthResponse {
         HealthResponse {
             status: "ok".to_string(),
-            corpus: self.corpus.name.clone(),
-            tables: self.corpus.len(),
+            corpus: self.tables.name().to_string(),
+            tables: self.tables.len(),
             types: self.types.len(),
         }
+    }
+}
+
+/// Flattens one table into the `/tables/{id}` response shape.
+fn summarize(id: TableId, at: &AnnotatedTable) -> TableSummary {
+    let t = &at.table;
+    let p = t.provenance();
+    let annotations = Corpus::annotation_configs()
+        .into_iter()
+        .map(|(method, ontology)| AnnotationSet {
+            method,
+            ontology,
+            annotations: at.annotations(method, ontology).annotations.clone(),
+        })
+        .collect();
+    let sample_rows = (0..t.num_rows().min(SAMPLE_ROWS))
+        .filter_map(|r| t.row(r))
+        .map(|row| row.into_iter().map(str::to_string).collect())
+        .collect();
+    TableSummary {
+        id,
+        name: t.name().to_string(),
+        url: p.url(),
+        topic: p.topic.clone(),
+        license: p.license.clone(),
+        num_rows: t.num_rows(),
+        num_columns: t.num_columns(),
+        schema: t.schema().attributes().to_vec(),
+        annotations,
+        sample_rows,
     }
 }
 
@@ -355,6 +525,84 @@ mod tests {
         assert_eq!(loaded.corpus(), direct.corpus());
         assert_eq!(loaded.search("order", 2), direct.search("order", 2));
         assert_eq!(loaded.type_counts(), direct.type_counts());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A store dir salted per test so parallel tests never collide.
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gt_engine_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// Booting and rebuilding must serve identical answers regardless of
+    /// which path ran; asserts that plus the recorded reason.
+    fn assert_fallback(dir: &std::path::Path, reason: &str) {
+        let engine = QueryEngine::load(dir).unwrap();
+        assert_eq!(engine.build_stats().boot_path, "rebuild");
+        assert_eq!(
+            engine.build_stats().fallback_reason.as_deref(),
+            Some(reason)
+        );
+        let reference = QueryEngine::load_materialized(dir).unwrap();
+        assert_eq!(reference.build_stats().fallback_reason, None);
+        assert_eq!(
+            engine.search("order status", 2),
+            reference.search("order status", 2)
+        );
+        assert_eq!(engine.type_counts(), reference.type_counts());
+        assert_eq!(engine.table_summary(0), reference.table_summary(0));
+    }
+
+    #[test]
+    fn fallback_reason_no_sidecar() {
+        let dir = store_dir("nosc");
+        gittables_corpus::save_store(&corpus(), &dir, 1).unwrap();
+        assert_fallback(&dir, "no_sidecar");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fallback_reason_stale() {
+        // Sidecars built against one store, copied next to a different
+        // one: the binding fingerprint refuses them as stale.
+        let old = store_dir("stale_src");
+        gittables_corpus::save_store(&corpus(), &old, 1).unwrap();
+        crate::indexer::build_sidecars(&old).unwrap();
+
+        let dir = store_dir("stale");
+        let mut other = corpus();
+        other.push(AnnotatedTable::new(
+            Table::from_rows("extra", &["alpha", "beta"], &[["1", "2"]]).unwrap(),
+        ));
+        gittables_corpus::save_store(&other, &dir, 1).unwrap();
+        for f in gittables_corpus::SIDECAR_FILES {
+            std::fs::copy(old.join(f), dir.join(f)).unwrap();
+        }
+        assert_fallback(&dir, "stale");
+        std::fs::remove_dir_all(&old).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fallback_reason_corrupt() {
+        let dir = store_dir("corrupt");
+        gittables_corpus::save_store(&corpus(), &dir, 1).unwrap();
+        crate::indexer::build_sidecars(&dir).unwrap();
+        // Healthy sidecars boot the sidecar path...
+        let healthy = QueryEngine::load(&dir).unwrap();
+        assert_eq!(healthy.build_stats().boot_path, "sidecar");
+        // ...then one flipped payload byte downgrades to a rebuild.
+        let path = dir.join("index-types.gtsc");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, bytes).unwrap();
+        assert_fallback(&dir, "corrupt");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -511,9 +511,13 @@ fn route(shared: &Shared, req: &Request, endpoint: Endpoint) -> Routed {
                     endpoint,
                     format!("table id must be a number, got `{id}`"),
                 ),
-                Ok(id) => match engine.table_summary(id) {
-                    Some(t) => ok_body(endpoint, &t),
-                    None => error_body(404, endpoint, format!("no table with id {id}")),
+                // The `try_` form keeps a lazy-path corrupt block (typed
+                // decode/fingerprint failure) distinct from "no such
+                // table": corruption is a 500, never a silent 404.
+                Ok(id) => match engine.try_table_summary(id) {
+                    Ok(Some(t)) => ok_body(endpoint, &t),
+                    Ok(None) => error_body(404, endpoint, format!("no table with id {id}")),
+                    Err(e) => error_body(500, endpoint, format!("table {id} unreadable: {e}")),
                 },
             }
         }

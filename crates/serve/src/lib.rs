@@ -40,6 +40,7 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod http;
+pub mod indexer;
 pub mod metrics;
 
 pub use cache::{CacheStats, ResponseCache};
@@ -48,4 +49,5 @@ pub use engine::{
     AnnotationSet, EngineBuildStats, HealthResponse, QueryEngine, TableSummary, TypeTablesResponse,
 };
 pub use http::{ErrorResponse, Server, ServerConfig, ServerHandle, ShutdownResponse};
+pub use indexer::{build_sidecars, write_sidecars, IndexReport};
 pub use metrics::{EndpointCount, Metrics, MetricsSnapshot};

@@ -30,7 +30,8 @@ fn main() {
     for q in queries {
         println!("query: {q:?}");
         for hit in engine.search(q, 3) {
-            let table = &engine.corpus().tables[hit.table_index].table;
+            let corpus = engine.corpus().expect("in-memory engine");
+            let table = &corpus.tables[hit.table_index].table;
             println!(
                 "  {:.2}  {:<28} {}",
                 hit.score,
@@ -43,7 +44,8 @@ fn main() {
 
     // Show the top table's contents for the paper's query, Fig. 6b style.
     if let Some(hit) = engine.search(queries[0], 1).first() {
-        let table = &engine.corpus().tables[hit.table_index].table;
+        let corpus = engine.corpus().expect("in-memory engine");
+        let table = &corpus.tables[hit.table_index].table;
         println!("top table for {:?}:", queries[0]);
         let header = table.schema();
         println!("  {}", header.attributes().join(" | "));

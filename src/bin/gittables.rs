@@ -14,6 +14,7 @@
 //! gittables load    --store store_dir/ --out corpus.json
 //! gittables resume  --store store_dir/ [--seed 42] [--topics 10] [--repos 40] [--max-shards N] [--format colv1|jsonl]
 //! gittables migrate store_dir/ --to <colv1|jsonl>
+//! gittables index   store_dir/
 //! gittables serve   store_dir/ [--addr 127.0.0.1:7878] [--threads 4] [--cache 1024]
 //! ```
 //!
@@ -22,8 +23,11 @@
 //! reads auto-detect from the manifest); `migrate` rewrites a store
 //! between shard formats in place, atomically; `resume` runs the pipeline
 //! incrementally against a store, skipping repositories whose shards are
-//! already committed; `serve` loads a store once and answers HTTP queries
-//! against it until `/shutdown`.
+//! already committed; `index` builds the persisted index sidecars that
+//! let `serve` boot straight off the mapped files; `serve` boots a query
+//! engine over a store (sidecar path when a fresh sidecar set exists,
+//! materialized rebuild otherwise) and answers HTTP queries against it
+//! until `/shutdown`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -305,6 +309,22 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .or_else(|| opt(args, "--store"))
+        .ok_or("missing store directory (index <store-dir>)")?;
+    let report =
+        gittables_serve::build_sidecars(&dir).map_err(|e| format!("indexing {dir}: {e}"))?;
+    eprintln!(
+        "indexed {dir}: {} tables, {} semantic types, {} search entries, {} distinct schemas; {} sidecar bytes",
+        report.tables, report.types, report.search_entries, report.schemas, report.bytes
+    );
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     // The store directory is the positional argument (`serve dir/`) with
     // `--store dir/` accepted as an alias.
@@ -319,11 +339,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let cache = num(args, "--cache", 1024usize);
     eprintln!("loading corpus from {dir} ...");
     let engine = QueryEngine::load(&dir).map_err(|e| format!("loading store {dir}: {e}"))?;
+    let stats = engine.build_stats();
     eprintln!(
-        "loaded {} tables, {} semantic types, {} distinct schemas",
+        "loaded {} tables, {} semantic types, {} distinct schemas (boot path: {}{}; store {:.1} ms, indexes {:.1} ms)",
         engine.num_tables(),
         engine.type_index().len(),
-        engine.completion().len()
+        engine.completion().len(),
+        stats.boot_path,
+        stats
+            .fallback_reason
+            .as_deref()
+            .map(|r| format!(", fallback: {r}"))
+            .unwrap_or_default(),
+        stats.store_load_ms,
+        stats.index_build_ms
     );
     let config = ServerConfig {
         threads,
@@ -355,9 +384,10 @@ fn main() -> ExitCode {
         Some("load") => cmd_load(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("migrate") => cmd_migrate(&args[1..]),
+        Some("index") => cmd_index(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: gittables <build|stats|search|complete|annotate|export|union|dedup|save|load|resume|migrate|serve> [options]");
+            eprintln!("usage: gittables <build|stats|search|complete|annotate|export|union|dedup|save|load|resume|migrate|index|serve> [options]");
             eprintln!("  build    --out corpus.json [--seed N] [--topics N] [--repos N]");
             eprintln!("  stats    --corpus corpus.json");
             eprintln!("  search   --corpus corpus.json --query \"...\" [--k N]");
@@ -370,6 +400,7 @@ fn main() -> ExitCode {
             eprintln!("  load     --store store_dir/ --out corpus.json");
             eprintln!("  resume   --store store_dir/ [--seed N] [--topics N] [--repos N] [--max-shards N] [--format colv1|jsonl]");
             eprintln!("  migrate  store_dir/ --to <colv1|jsonl>");
+            eprintln!("  index    store_dir/   (build index sidecars for fast `serve` boots)");
             eprintln!("  serve    store_dir/ [--addr HOST:PORT] [--threads N] [--cache N]");
             return ExitCode::from(2);
         }

@@ -8,11 +8,12 @@
 use std::path::PathBuf;
 
 use gittables_annotate::Annotation;
+use gittables_corpus::SIDECAR_FILES;
 use gittables_corpus::{
     export_csv_store, load_store, migrate_store, save_store_as, AnnotatedTable, Corpus,
     CorpusStore, StoreError, StoreFormat,
 };
-use gittables_serve::QueryEngine;
+use gittables_serve::{build_sidecars, QueryEngine};
 use gittables_table::{Provenance, Table};
 use proptest::prelude::*;
 
@@ -339,6 +340,143 @@ fn cli_load_path_identical_across_formats() {
     }
     assert_eq!(outputs[0], outputs[1], "load output differs across formats");
     std::fs::remove_dir_all(&base).ok();
+}
+
+/// A compact sample of every endpoint family's bytes — what any boot of
+/// the engine over this store must serve, bit for bit.
+fn endpoint_sample(engine: &QueryEngine) -> Vec<String> {
+    let mut out = vec![
+        serde_json::to_string(&engine.health()).unwrap(),
+        serde_json::to_string(&engine.search("col0 status", 3)).unwrap(),
+        serde_json::to_string(&engine.complete(&["col0_0"], 3)).unwrap(),
+        serde_json::to_string(&engine.type_counts()).unwrap(),
+    ];
+    for id in 0..engine.num_tables() + 1 {
+        out.push(serde_json::to_string(&engine.table_summary(id)).unwrap());
+    }
+    out
+}
+
+/// Loads the engine expecting a fallback rebuild for `reason`, and
+/// asserts its answers equal the reference bytes.
+fn assert_falls_back_identically(dir: &PathBuf, want: &[String], reasons: &[&str], what: &str) {
+    let engine = QueryEngine::load(dir).unwrap();
+    let stats = engine.build_stats();
+    assert_eq!(stats.boot_path, "rebuild", "{what}");
+    let reason = stats.fallback_reason.as_deref().unwrap_or("none");
+    assert!(reasons.contains(&reason), "{what}: got reason `{reason}`");
+    assert_eq!(endpoint_sample(&engine), want, "{what}");
+}
+
+#[test]
+fn sidecar_byte_flips_never_serve_wrong_bytes() {
+    // Flipping any sidecar byte must yield a typed refusal and a correct
+    // fallback rebuild — byte-identical answers, never a wrong one. The
+    // checksum covers everything before it, so a flip lands as `corrupt`
+    // (or `stale` when it hits the binding fields read first).
+    let corpus = sample_corpus();
+    let dir = tmp("sidecar_flip");
+    save_store_as(&corpus, &dir, 2, StoreFormat::ColV1).unwrap();
+    build_sidecars(&dir).unwrap();
+    let want = endpoint_sample(&QueryEngine::load_materialized(&dir).unwrap());
+    assert_eq!(
+        endpoint_sample(&QueryEngine::load(&dir).unwrap()),
+        want,
+        "healthy sidecars must serve the reference bytes"
+    );
+    for file in SIDECAR_FILES {
+        let path = dir.join(file);
+        let original = std::fs::read(&path).unwrap();
+        for pos in (0..original.len()).step_by(31) {
+            let mut bytes = original.clone();
+            bytes[pos] ^= 0x20;
+            std::fs::write(&path, &bytes).unwrap();
+            assert_falls_back_identically(
+                &dir,
+                &want,
+                &["corrupt", "stale"],
+                &format!("{file} byte {pos}"),
+            );
+        }
+        std::fs::write(&path, &original).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_or_missing_sidecar_falls_back_identically() {
+    let corpus = sample_corpus();
+    let dir = tmp("sidecar_trunc");
+    save_store_as(&corpus, &dir, 2, StoreFormat::ColV1).unwrap();
+    build_sidecars(&dir).unwrap();
+    let want = endpoint_sample(&QueryEngine::load_materialized(&dir).unwrap());
+    for file in SIDECAR_FILES {
+        let path = dir.join(file);
+        let original = std::fs::read(&path).unwrap();
+        // Torn writes: footer gone, half a file, header fragment, empty.
+        for cut in [original.len() - 1, original.len() / 2, 4, 0] {
+            std::fs::write(&path, &original[..cut]).unwrap();
+            assert_falls_back_identically(&dir, &want, &["corrupt"], &format!("{file} cut {cut}"));
+        }
+        // Bad header magic and bad footer magic.
+        for at in [0, original.len() - 1] {
+            let mut bytes = original.clone();
+            bytes[at] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+            assert_falls_back_identically(&dir, &want, &["corrupt"], &format!("{file} magic {at}"));
+        }
+        // A deleted sidecar downgrades the whole set to `no_sidecar`.
+        std::fs::remove_file(&path).unwrap();
+        assert_falls_back_identically(&dir, &want, &["no_sidecar"], &format!("{file} missing"));
+        std::fs::write(&path, &original).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sidecars_from_an_older_corpus_are_stale_never_served() {
+    // Sidecars indexed over yesterday's store contents must be refused
+    // by fingerprint, not served against today's tables.
+    let old_dir = tmp("sidecar_stale_old");
+    save_store_as(&sample_corpus(), &old_dir, 2, StoreFormat::ColV1).unwrap();
+    build_sidecars(&old_dir).unwrap();
+
+    let mut newer = sample_corpus();
+    newer.push(AnnotatedTable::new(
+        Table::from_string_rows("added_later", &["fresh_col"], vec![vec!["v".to_string()]])
+            .unwrap(),
+    ));
+    let dir = tmp("sidecar_stale_new");
+    save_store_as(&newer, &dir, 2, StoreFormat::ColV1).unwrap();
+    for file in SIDECAR_FILES {
+        std::fs::copy(old_dir.join(file), dir.join(file)).unwrap();
+    }
+    let want = endpoint_sample(&QueryEngine::load_materialized(&dir).unwrap());
+    assert_falls_back_identically(&dir, &want, &["stale"], "older-corpus sidecars");
+    std::fs::remove_dir_all(&old_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn migrate_invalidates_sidecars() {
+    // `migrate` rewrites every shard; sidecars indexed over the old
+    // bytes are removed with them, so the next boot rebuilds.
+    let dir = tmp("sidecar_migrate");
+    save_store_as(&sample_corpus(), &dir, 2, StoreFormat::ColV1).unwrap();
+    build_sidecars(&dir).unwrap();
+    assert_eq!(
+        QueryEngine::load(&dir).unwrap().build_stats().boot_path,
+        "sidecar"
+    );
+    migrate_store(&dir, StoreFormat::Jsonl).unwrap();
+    let want = endpoint_sample(&QueryEngine::load_materialized(&dir).unwrap());
+    assert_falls_back_identically(&dir, &want, &["no_sidecar"], "post-migration boot");
+    // Re-indexing restores the fast path over the new format.
+    build_sidecars(&dir).unwrap();
+    let engine = QueryEngine::load(&dir).unwrap();
+    assert_eq!(engine.build_stats().boot_path, "sidecar");
+    assert_eq!(endpoint_sample(&engine), want);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
