@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use gittables_bench::report::write_bench_file;
 use gittables_bench::ExptArgs;
-use gittables_serve::{HttpClient, QueryEngine, Server, ServerConfig};
+use gittables_serve::{HttpClient, QueryEngine, ReloadSpec, Server, ServerConfig, ShardSet};
 
 /// Percent-encodes the characters that matter for our query strings.
 fn encode(s: &str) -> String {
@@ -124,6 +124,17 @@ fn measure(
         },
     )
     .expect("bind bench server");
+    measure_handle(handle, targets, client_threads, requests)
+}
+
+/// Hammers an already-started server, then drains it and reads its
+/// latency histogram.
+fn measure_handle(
+    handle: gittables_serve::ServerHandle,
+    targets: &[String],
+    client_threads: usize,
+    requests: usize,
+) -> Measured {
     let addr = handle.addr();
 
     // Warm up (connection setup, allocator, branch predictors).
@@ -302,7 +313,6 @@ fn main() {
         assert!(!body.is_empty());
         cold_start_ms = cold_start_ms.min(start.elapsed().as_secs_f64() * 1e3);
     }
-    std::fs::remove_dir_all(&store_dir).ok();
     eprintln!("sidecar cold start to first query: {cold_start_ms:.2} ms");
 
     eprintln!("search: serial (1 worker, 1 client)...");
@@ -314,14 +324,90 @@ fn main() {
     eprintln!("types: concurrent...");
     let types_conc = measure(&engine, &types, threads, threads, requests);
 
+    // Sharded serving: the same store split into shard-local engines
+    // behind the scatter-gather router (the `serve --shards N` path).
+    let shards: usize = args.get_num("shards", 2);
+    let set = ShardSet::load(&store_dir, shards).expect("sharded load");
+    let shards = set.num_shards(); // the store may cap the split
+    eprintln!("search: sharded ({shards} shard engines, {threads} workers/clients)...");
+    let sharded_handle = Server::start_set(
+        set,
+        "127.0.0.1:0",
+        ServerConfig {
+            threads,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind sharded server");
+    let search_sharded = measure_handle(sharded_handle, &search, threads, requests);
+
+    // Reload under load: hammer /search from `threads` clients while the
+    // main thread fires POST /reload; every request must succeed, and
+    // each reload's wall time (load + swap + drain) is recorded.
+    eprintln!("reload under load ({shards} shards)...");
+    const RELOADS: usize = 5;
+    let reload_handle = Server::start_set(
+        ShardSet::load(&store_dir, shards).expect("reload server load"),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads,
+            cache_capacity: 0,
+            reload: Some(ReloadSpec {
+                dir: store_dir.clone(),
+                shards,
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind reload server");
+    let reload_addr = reload_handle.addr();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let served = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let (mut reload_mean_ms, mut reload_max_ms) = (0.0f64, 0.0f64);
+    std::thread::scope(|scope| {
+        for c in 0..threads {
+            let (stop, served, search) = (stop.clone(), served.clone(), &search);
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(reload_addr).expect("hammer connect");
+                let mut i = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    let t = &search[(c + i * 7) % search.len()];
+                    let (status, body) = client.get(t).expect("request during reload");
+                    assert_eq!(status, 200, "{t} -> {body}");
+                    served.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    i += 1;
+                }
+            });
+        }
+        let mut admin = HttpClient::connect(reload_addr).expect("admin connect");
+        for _ in 0..RELOADS {
+            let start = Instant::now();
+            let (status, body) = admin.post("/reload").expect("reload");
+            assert_eq!(status, 200, "{body}");
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            reload_mean_ms += ms / RELOADS as f64;
+            reload_max_ms = reload_max_ms.max(ms);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    });
+    let served_during_reloads = served.load(std::sync::atomic::Ordering::SeqCst);
+    reload_handle.shutdown();
+    std::fs::remove_dir_all(&store_dir).ok();
+    eprintln!(
+        "reload under load: mean {reload_mean_ms:.1} ms, max {reload_max_ms:.1} ms, {served_during_reloads} concurrent requests all served"
+    );
+
     let body = format!(
-        "{{\n  \"bench\": \"query_serving\",\n  \"config\": {{ \"seed\": {}, \"topics\": {}, \"repos\": {}, \"requests\": {requests}, \"threads\": {threads} }},\n  \"hardware\": {{ \"cores\": {cores} }},\n  \"corpus_tables\": {},\n  \"sidecar_cold_start_to_first_query_ms\": {cold_start_ms:.3},\n  \"search\": {{\n    \"serial\": {},\n    \"concurrent\": {},\n    \"speedup_concurrent_vs_serial\": {:.2}\n  }},\n  \"types\": {{\n    \"serial\": {},\n    \"concurrent\": {},\n    \"speedup_concurrent_vs_serial\": {:.2}\n  }},\n  \"note\": \"cache disabled; every response pre-verified byte-identical to the in-process engine answer (and to the sidecar-booted engine's, before its cold start was timed); thread speedup is bounded by available cores\"\n}}\n",
+        "{{\n  \"bench\": \"query_serving\",\n  \"config\": {{ \"seed\": {}, \"topics\": {}, \"repos\": {}, \"requests\": {requests}, \"threads\": {threads}, \"shards\": {shards} }},\n  \"hardware\": {{ \"cores\": {cores} }},\n  \"corpus_tables\": {},\n  \"sidecar_cold_start_to_first_query_ms\": {cold_start_ms:.3},\n  \"search\": {{\n    \"serial\": {},\n    \"concurrent\": {},\n    \"sharded\": {},\n    \"speedup_concurrent_vs_serial\": {:.2}\n  }},\n  \"types\": {{\n    \"serial\": {},\n    \"concurrent\": {},\n    \"speedup_concurrent_vs_serial\": {:.2}\n  }},\n  \"reload_under_load\": {{ \"shards\": {shards}, \"reloads\": {RELOADS}, \"mean_ms\": {reload_mean_ms:.1}, \"max_ms\": {reload_max_ms:.1}, \"concurrent_requests_served\": {served_during_reloads}, \"failed\": 0 }},\n  \"note\": \"cache disabled; every response pre-verified byte-identical to the in-process engine answer (and to the sidecar-booted engine's, before its cold start was timed); sharded mode serves the same store via shard-local engines behind the scatter-gather router; reload_under_load times POST /reload (load + atomic swap + drain) while {threads} clients hammer /search with zero tolerated failures; thread speedup is bounded by available cores\"\n}}\n",
         args.seed,
         args.topics,
         args.repos,
         engine.num_tables(),
         measured_json(&search_serial, "    "),
         measured_json(&search_conc, "    "),
+        measured_json(&search_sharded, "    "),
         search_conc.rps / search_serial.rps,
         measured_json(&types_serial, "    "),
         measured_json(&types_conc, "    "),

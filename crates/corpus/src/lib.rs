@@ -58,8 +58,8 @@ pub use sidecar::{
 };
 pub use stats::CorpusStats;
 pub use store::{
-    load_store, migrate_store, save_store, save_store_as, shard_id_for, CorpusStore, MigrateReport,
-    ShardEntry, ShardWriter, StoreError, StoreManifest,
+    load_store, migrate_store, save_store, save_store_as, shard_id_for, CorpusStore,
+    GroupDirectory, MigrateReport, ShardEntry, ShardGroup, ShardWriter, StoreError, StoreManifest,
 };
 pub use typeindex::{TypeCount, TypeIndex, TypePosting};
 pub use union::{union_groups, union_tables, UnionGroup};

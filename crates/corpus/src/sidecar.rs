@@ -666,6 +666,34 @@ impl F32Matrix {
     pub fn row(&self, i: usize) -> &[f32] {
         &self.as_slice()[i * self.dim..(i + 1) * self.dim]
     }
+
+    /// A matrix over rows `start..end`. On the mapped path this is a
+    /// zero-copy view into the same arena (a whole-row offset keeps the
+    /// 4-byte alignment); on the owned path the rows are copied. Row `i`
+    /// of the slice is row `start + i` of `self`, bit for bit — how a
+    /// scale-out server carves one mapped search sidecar into
+    /// shard-local indexes without re-embedding anything.
+    ///
+    /// # Panics
+    /// When `start > end` or `end > self.rows()`.
+    #[must_use]
+    pub fn slice_rows(&self, start: usize, end: usize) -> F32Matrix {
+        assert!(start <= end && end <= self.rows, "row slice in bounds");
+        let rows = end - start;
+        match &self.data {
+            MatrixData::Owned(v) => {
+                F32Matrix::from_vec(v[start * self.dim..end * self.dim].to_vec(), rows, self.dim)
+            }
+            MatrixData::Mapped { arena, offset } => F32Matrix {
+                data: MatrixData::Mapped {
+                    arena: Arc::clone(arena),
+                    offset: offset + start * self.dim * 4,
+                },
+                rows,
+                dim: self.dim,
+            },
+        }
+    }
 }
 
 // ------------------------------------------------------------- lazy corpus
@@ -683,6 +711,21 @@ pub struct LazyCorpus {
     shards: Vec<(String, Arc<Arena>)>,
     /// Per global table id.
     entries: Vec<DirEntry>,
+}
+
+impl Clone for LazyCorpus {
+    /// Cheap: the mapped shard arenas are shared (`Arc`), only the
+    /// directory entries are copied. Every clone serves the exact same
+    /// bytes — the basis for shard-local engines sharing one mapped
+    /// store.
+    fn clone(&self) -> Self {
+        LazyCorpus {
+            name: self.name.clone(),
+            format: self.format,
+            shards: self.shards.clone(),
+            entries: self.entries.clone(),
+        }
+    }
 }
 
 impl std::fmt::Debug for LazyCorpus {

@@ -227,6 +227,92 @@ pub struct ShardEntry {
     pub meta: Option<String>,
 }
 
+/// One contiguous group of committed shards plus the stable-id range it
+/// owns — the unit a scale-out server assigns to one shard-local query
+/// engine. Produced by [`CorpusStore::shard_groups`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardGroup {
+    /// Shard ids of the group, in manifest commit order.
+    pub shard_ids: Vec<String>,
+    /// The half-open global table-id range `[start, end)` the group owns.
+    pub range: std::ops::Range<usize>,
+}
+
+/// The stable-id → shard-group directory: which group owns which global
+/// table id. Ranges are contiguous, ascending, and cover `0..len`, so
+/// ownership is a binary search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupDirectory {
+    groups: Vec<ShardGroup>,
+}
+
+impl GroupDirectory {
+    /// Builds a directory straight from id ranges (no backing store) —
+    /// the in-memory sharding path used by tests and benches. Ranges
+    /// must be contiguous, ascending, and start at 0.
+    ///
+    /// # Panics
+    /// When the ranges leave a gap or overlap.
+    #[must_use]
+    pub fn from_ranges(ranges: impl IntoIterator<Item = std::ops::Range<usize>>) -> Self {
+        let mut next = 0usize;
+        let groups = ranges
+            .into_iter()
+            .map(|range| {
+                assert_eq!(range.start, next, "ranges contiguous from 0");
+                assert!(range.end >= range.start, "range well-formed");
+                next = range.end;
+                ShardGroup {
+                    shard_ids: Vec::new(),
+                    range,
+                }
+            })
+            .collect();
+        GroupDirectory { groups }
+    }
+
+    /// Splits `0..total` into `n` near-even contiguous ranges (clamped
+    /// to at most one group per table, at least one group) — the
+    /// store-less counterpart of [`CorpusStore::shard_groups`].
+    #[must_use]
+    pub fn split_even(total: usize, n: usize) -> Self {
+        let n = n.clamp(1, total.max(1));
+        let mut start = 0usize;
+        Self::from_ranges((0..n).map(|g| {
+            let end = (total * (g + 1)).div_ceil(n);
+            let r = start..end;
+            start = end;
+            r
+        }))
+    }
+
+    /// The groups, in ascending id order.
+    #[must_use]
+    pub fn groups(&self) -> &[ShardGroup] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the directory holds no groups.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Index of the group owning global table id `id`, or `None` when
+    /// the id is beyond every group's range.
+    #[must_use]
+    pub fn owner_of(&self, id: usize) -> Option<usize> {
+        let g = self.groups.partition_point(|g| g.range.end <= id);
+        (g < self.groups.len() && self.groups[g].range.contains(&id)).then_some(g)
+    }
+}
+
 /// The manifest: corpus identity plus the shard index.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoreManifest {
@@ -500,6 +586,81 @@ impl CorpusStore {
     #[must_use]
     pub fn shard_entries(&self) -> Vec<ShardEntry> {
         self.manifest.lock().shards.clone()
+    }
+
+    /// Splits the committed shards into at most `n` contiguous groups of
+    /// near-equal table count and returns the stable-id → group
+    /// directory. Fewer than `n` groups come back when the store has
+    /// fewer shards (a group owns at least one whole shard); an empty
+    /// store yields one empty group so callers always have a group 0.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] when the manifest's global indices are not
+    /// the contiguous ascending sequence `0..len` in commit order — such
+    /// a store cannot be partitioned into id ranges.
+    pub fn shard_groups(&self, n: usize) -> Result<GroupDirectory, StoreError> {
+        let entries = self.shard_entries();
+        // Validate contiguity: shard s must own indices
+        // `[next, next + tables)` in commit order, which every writer in
+        // this workspace produces. Anything else cannot be range-routed.
+        let mut next = 0usize;
+        for e in &entries {
+            let contiguous = e.indices.len() == e.tables
+                && e.indices.iter().enumerate().all(|(i, &g)| g == next + i);
+            if !contiguous {
+                return Err(StoreError::Corrupt {
+                    file: e.file.clone(),
+                    detail: format!(
+                        "shard `{}` does not own a contiguous id range at {next}; \
+                         cannot build a shard-group directory",
+                        e.id
+                    ),
+                });
+            }
+            next += e.tables;
+        }
+        let n = n.clamp(1, entries.len().max(1));
+        if entries.is_empty() {
+            return Ok(GroupDirectory {
+                groups: vec![ShardGroup {
+                    shard_ids: Vec::new(),
+                    range: 0..0,
+                }],
+            });
+        }
+        // Greedy near-equal split by table count: group g takes shards
+        // until it reaches the g-th cumulative target, always at least
+        // one shard, always leaving one shard per remaining group.
+        let total = next;
+        let mut groups = Vec::with_capacity(n);
+        let mut shard = 0usize;
+        let mut start = 0usize;
+        for g in 0..n {
+            let target = (total * (g + 1)).div_ceil(n);
+            let mut end = start;
+            let mut ids = Vec::new();
+            while shard < entries.len() {
+                let remaining_groups = n - g - 1;
+                let remaining_shards = entries.len() - shard;
+                // Leave at least one shard for each later group.
+                if !ids.is_empty() && remaining_shards <= remaining_groups {
+                    break;
+                }
+                if !ids.is_empty() && end >= target {
+                    break;
+                }
+                ids.push(entries[shard].id.clone());
+                end += entries[shard].tables;
+                shard += 1;
+            }
+            groups.push(ShardGroup {
+                shard_ids: ids,
+                range: start..end,
+            });
+            start = end;
+        }
+        debug_assert_eq!(start, total, "groups cover every table");
+        Ok(GroupDirectory { groups })
     }
 
     /// Starts a new shard. The shard stays invisible until its entry is
@@ -994,6 +1155,61 @@ mod tests {
         store.commit_shard(w.finish().unwrap()).unwrap();
         let loaded = load_store(&dir).unwrap();
         assert!(loaded.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_groups_cover_contiguously() {
+        let dir = tmp("groups");
+        // 7 tables, shard size 2 -> shards of 2,2,2,1 tables.
+        save_store(&corpus(7), &dir, 2).unwrap();
+        let store = CorpusStore::open(&dir).unwrap();
+        for n in 1..=6 {
+            let groups = store.shard_groups(n).unwrap();
+            assert!(groups.len() <= 4, "at least one shard per group");
+            assert_eq!(groups.groups()[0].range.start, 0);
+            assert_eq!(groups.groups().last().unwrap().range.end, 7);
+            for w in groups.groups().windows(2) {
+                assert_eq!(w[0].range.end, w[1].range.start, "contiguous");
+                assert!(!w[0].shard_ids.is_empty());
+            }
+            for id in 0..7 {
+                let owner = groups.owner_of(id).unwrap();
+                assert!(groups.groups()[owner].range.contains(&id));
+            }
+            assert_eq!(groups.owner_of(7), None);
+        }
+        // n beyond the shard count clamps to one group per shard.
+        assert_eq!(store.shard_groups(99).unwrap().len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_groups_empty_store_single_group() {
+        let dir = tmp("groups_empty");
+        let store = CorpusStore::create(&dir, "c").unwrap();
+        let groups = store.shard_groups(3).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups.groups()[0].range, 0..0);
+        assert_eq!(groups.owner_of(0), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_groups_reject_non_contiguous_indices() {
+        let dir = tmp("groups_bad");
+        save_store(&corpus(4), &dir, 2).unwrap();
+        // Swap the two shards' global indices in the manifest: content is
+        // loadable (load_corpus reorders by index) but not range-routable.
+        let manifest = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        let swapped = manifest
+            .replace("\"indices\":[0,1]", "\"indices\":[9,9]")
+            .replacen("\"indices\":[9,9]", "\"indices\":[2,3]", 0);
+        assert_ne!(manifest, swapped);
+        std::fs::write(dir.join(MANIFEST_FILE), swapped).unwrap();
+        let store = CorpusStore::open(&dir).unwrap();
+        let err = store.shard_groups(2).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

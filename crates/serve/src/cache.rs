@@ -98,6 +98,15 @@ impl ResponseCache {
         state.order.push_back(target.to_string());
     }
 
+    /// Drops every cached entry (hit/miss counters are kept — they
+    /// describe traffic, not contents). Called on corpus reload: the
+    /// cached bodies were computed against the outgoing snapshot.
+    pub fn clear(&self) {
+        let mut state = self.state.lock();
+        state.map.clear();
+        state.order.clear();
+    }
+
     /// Current statistics.
     #[must_use]
     pub fn stats(&self) -> CacheStats {

@@ -46,12 +46,24 @@ impl HttpClient {
     /// # Errors
     /// Propagates I/O failures and malformed responses.
     pub fn get(&mut self, target: &str) -> io::Result<(u16, String)> {
+        self.send("GET", target)
+    }
+
+    /// Issues `POST {target}` (empty body) and returns `(status, body)`.
+    ///
+    /// # Errors
+    /// Propagates I/O failures and malformed responses.
+    pub fn post(&mut self, target: &str) -> io::Result<(u16, String)> {
+        self.send("POST", target)
+    }
+
+    fn send(&mut self, method: &str, target: &str) -> io::Result<(u16, String)> {
         let reused = self.stream.is_some();
         if self.stream.is_none() {
             self.stream = Some(Self::dial(self.addr)?);
         }
         let mut received_any = false;
-        match self.request(target, &mut received_any) {
+        match self.request(method, target, &mut received_any) {
             Ok(out) => Ok(out),
             Err(_) if reused && !received_any => {
                 // The server may have closed the idle connection between
@@ -63,7 +75,7 @@ impl HttpClient {
                 // current state, not the stale connection's.
                 self.stream = Some(Self::dial(self.addr)?);
                 let mut retry_received = false;
-                let out = self.request(target, &mut retry_received);
+                let out = self.request(method, target, &mut retry_received);
                 if out.is_err() {
                     self.stream = None;
                 }
@@ -76,13 +88,18 @@ impl HttpClient {
         }
     }
 
-    fn request(&mut self, target: &str, received_any: &mut bool) -> io::Result<(u16, String)> {
+    fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        received_any: &mut bool,
+    ) -> io::Result<(u16, String)> {
         let stream = self
             .stream
             .as_mut()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "no connection"))?;
         let req = format!(
-            "GET {target} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n",
             self.addr
         );
         stream.write_all(req.as_bytes())?;

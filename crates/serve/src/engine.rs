@@ -135,23 +135,25 @@ impl TableSource {
             TableSource::Lazy(l) => l.name(),
         }
     }
-
-    fn len(&self) -> usize {
-        match self {
-            TableSource::Materialized(c) => c.len(),
-            TableSource::Lazy(l) => l.len(),
-        }
-    }
 }
 
 /// A corpus plus the shared read-only indexes every query runs
 /// against. Build once, share behind an `Arc` across server workers.
+///
+/// An engine either covers the whole corpus (`id_range == 0..len`, the
+/// classic single-engine deployment) or one contiguous slice of global
+/// table ids — a *shard-local* engine, N of which sit behind a
+/// [`crate::router::Router`] that scatter-gathers queries and merges
+/// answers bit-identically to the whole-corpus engine.
 pub struct QueryEngine {
     tables: TableSource,
     search: DataSearch,
     completion: NearestCompletion,
     types: TypeIndex,
     build: EngineBuildStats,
+    /// The half-open global table-id range this engine owns. Queries for
+    /// ids outside it answer `None` (the router never sends them here).
+    id_range: std::ops::Range<usize>,
 }
 
 impl QueryEngine {
@@ -176,6 +178,7 @@ impl QueryEngine {
                 types,
             )
         });
+        let id_range = 0..corpus.len();
         QueryEngine {
             tables: TableSource::Materialized(corpus),
             search,
@@ -186,6 +189,74 @@ impl QueryEngine {
                 boot_path: "memory".to_string(),
                 ..EngineBuildStats::default()
             },
+            id_range,
+        }
+    }
+
+    /// Builds a shard-local engine over the contiguous global id range
+    /// `range` of `corpus` — the materialized sharded boot path. The
+    /// indexes hold exactly the range's tables, keyed by their *global*
+    /// ids, so a scatter-gather merge across all shard engines
+    /// reproduces the whole-corpus engine's answers bit for bit.
+    ///
+    /// # Panics
+    /// When `range` reaches past the corpus.
+    #[must_use]
+    pub fn from_corpus_slice(corpus: &Corpus, range: std::ops::Range<usize>) -> Self {
+        assert!(range.end <= corpus.len(), "slice within corpus");
+        let started = std::time::Instant::now();
+        let ids: Vec<TableId> = range.clone().collect();
+        let (search, completion, types) = std::thread::scope(|s| {
+            let (c, ids) = (corpus, &ids);
+            let search = s.spawn(move || DataSearch::build_with_ids(c, ids));
+            let completion = s.spawn(move || NearestCompletion::build_with_ids(c, ids));
+            let types = TypeIndex::build_with_ids(c, ids);
+            (
+                search.join().expect("search index build"),
+                completion.join().expect("completion index build"),
+                types,
+            )
+        });
+        // Only the slice's tables are kept resident; `try_table_summary`
+        // re-bases global ids onto the slice positions.
+        let mut slice = Corpus::new(corpus.name.clone());
+        for id in range.clone() {
+            slice.push(corpus.table_by_id(id).expect("id in range").clone());
+        }
+        QueryEngine {
+            tables: TableSource::Materialized(slice),
+            search,
+            completion,
+            types,
+            build: EngineBuildStats {
+                index_build_ms: started.elapsed().as_secs_f64() * 1e3,
+                boot_path: "memory".to_string(),
+                ..EngineBuildStats::default()
+            },
+            id_range: range,
+        }
+    }
+
+    /// Assembles a shard-local engine from pre-partitioned sidecar parts
+    /// (the sharded sidecar boot path — see `crate::shardset`). The
+    /// indexes must contain exactly the tables of `range`, keyed by
+    /// global ids; `tables` stays the whole mapped store (arenas are
+    /// shared across shard engines), with lookups gated on `range`.
+    pub(crate) fn from_lazy_parts(
+        tables: LazyCorpus,
+        search: DataSearch,
+        completion: NearestCompletion,
+        types: TypeIndex,
+        range: std::ops::Range<usize>,
+        build: EngineBuildStats,
+    ) -> Self {
+        QueryEngine {
+            tables: TableSource::Lazy(tables),
+            search,
+            completion,
+            types,
+            build,
+            id_range: range,
         }
     }
 
@@ -281,6 +352,7 @@ impl QueryEngine {
             indexes.complete.starts,
             indexes.complete.rows,
         );
+        let id_range = 0..indexes.corpus.len();
         Ok(QueryEngine {
             tables: TableSource::Lazy(indexes.corpus),
             search,
@@ -293,6 +365,7 @@ impl QueryEngine {
                 boot_path: "sidecar".to_string(),
                 fallback_reason: None,
             },
+            id_range,
         })
     }
 
@@ -331,10 +404,18 @@ impl QueryEngine {
         &self.types
     }
 
-    /// Number of tables served.
+    /// Number of tables served: the owned id range's length (equals the
+    /// corpus size for a whole-corpus engine).
     #[must_use]
     pub fn num_tables(&self) -> usize {
-        self.tables.len()
+        self.id_range.len()
+    }
+
+    /// The half-open global table-id range this engine owns
+    /// (`0..num_tables()` for a whole-corpus engine).
+    #[must_use]
+    pub fn id_range(&self) -> std::ops::Range<usize> {
+        self.id_range.clone()
     }
 
     /// `/search`: top-`k` tables for a natural-language query.
@@ -377,8 +458,17 @@ impl QueryEngine {
     /// [`StoreError::Corrupt`] from [`LazyCorpus::get`] on the lazy
     /// path; the materialized path never errors.
     pub fn try_table_summary(&self, id: TableId) -> Result<Option<TableSummary>, StoreError> {
+        if !self.id_range.contains(&id) {
+            return Ok(None);
+        }
         match &self.tables {
-            TableSource::Materialized(c) => Ok(c.table_by_id(id).map(|at| summarize(id, at))),
+            // A materialized slice holds only its range's tables, so the
+            // global id re-bases onto the slice position.
+            TableSource::Materialized(c) => Ok(c
+                .table_by_id(id - self.id_range.start)
+                .map(|at| summarize(id, at))),
+            // The lazy source is the whole mapped store; `id` is already
+            // its global position.
             TableSource::Lazy(l) => Ok(l.get(id)?.map(|at| summarize(id, &at))),
         }
     }
@@ -398,7 +488,7 @@ impl QueryEngine {
         HealthResponse {
             status: "ok".to_string(),
             corpus: self.tables.name().to_string(),
-            tables: self.tables.len(),
+            tables: self.id_range.len(),
             types: self.types.len(),
         }
     }

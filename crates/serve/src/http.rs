@@ -1,30 +1,55 @@
 //! Hand-rolled HTTP/1.1 server on [`std::net::TcpListener`].
 //!
 //! No external dependencies: a fixed pool of worker threads pulls
-//! accepted connections off an [`mpsc`] channel and speaks just enough
-//! HTTP/1.1 (GET + keep-alive + `Content-Length`) to serve the JSON API.
+//! connections off an [`mpsc`] channel and speaks just enough HTTP/1.1
+//! (GET + keep-alive + `Content-Length`) to serve the JSON API.
+//! Requests with `Transfer-Encoding` are rejected with `501` and
+//! `Connection: close` — never silently misframed.
 //!
 //! ## Concurrency model
 //!
-//! One acceptor thread owns the listener; `threads` workers own the
-//! connections. The [`QueryEngine`] is shared read-only behind an `Arc`,
-//! so request handling never takes a lock on the corpus or its indexes —
-//! the only shared mutable state is the response cache (one short-lived
-//! mutex) and the metrics (plain atomics).
+//! One acceptor thread owns the listener; `threads` workers drive
+//! connections that have work to do. On Linux, connections with no
+//! bytes in flight — fresh ones and idle keep-alive ones — park in an
+//! epoll event loop ([`crate::event`]) and occupy **no** worker thread;
+//! the event loop hands a connection to the pool only when it turns
+//! readable, and the worker parks it again after the response. Off
+//! Linux the classic model applies: a worker owns its connection for
+//! the connection's lifetime, polling at `poll_interval`.
+//!
+//! Queries run against an immutable snapshot ([`crate::router::Router`]
+//! over a [`ShardSet`]) shared behind an `Arc` — request handling never
+//! locks the corpus or its indexes; the only shared mutable state is
+//! the snapshot pointer (one short-lived mutex per request), the
+//! response cache, and the metrics (plain atomics).
+//!
+//! ## Live reload
+//!
+//! `POST /reload` (or `SIGHUP`, when the server was started from a
+//! store directory) loads a fresh [`ShardSet`] from the store — same
+//! validation as a cold boot, reading whatever manifest the last
+//! atomic `migrate`/save rename committed — and swaps it in under the
+//! snapshot lock. In-flight requests keep the old snapshot alive via
+//! their `Arc` clones; the handler waits for them to drain (bounded)
+//! before letting the old mappings drop. The response cache is cleared
+//! in the same swap. Zero requests are dropped or answered from a
+//! half-swapped state: every request runs entirely against one
+//! snapshot.
 //!
 //! ## Graceful shutdown
 //!
 //! [`ServerHandle::request_shutdown`] (or the `/shutdown` endpoint)
-//! flips an atomic flag and wakes the acceptor with a loopback
-//! connection. The acceptor stops handing out connections and drops the
-//! channel sender; each worker drains the connections it already
-//! received — finishing any request in flight and answering it with
-//! `Connection: close` — then exits. No request accepted into the pool
-//! is abandoned mid-flight.
+//! flips an atomic flag and wakes the blocked acceptor. The acceptor
+//! stops handing out connections and drops the channel sender; the
+//! event loop closes parked (idle) connections; each worker finishes
+//! any request in flight — answering it with `Connection: close` —
+//! then exits. No request accepted into the pool is abandoned
+//! mid-flight.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -34,7 +59,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::{CachedResponse, ResponseCache};
 use crate::engine::QueryEngine;
+use crate::event;
 use crate::metrics::{Endpoint, Metrics, MetricsSnapshot};
+use crate::router::Router;
+use crate::shardset::ShardSet;
 
 /// Maximum accepted request head (request line + headers) in bytes.
 const MAX_HEAD: usize = 16 * 1024;
@@ -43,7 +71,7 @@ const MAX_HEAD: usize = 16 * 1024;
 const MAX_BODY: usize = 64 * 1024;
 
 /// How long a partially-received request may dribble in before the
-/// connection is dropped.
+/// connection is dropped. Doubles as the bound on the reload drain wait.
 const REQUEST_DEADLINE: Duration = Duration::from_secs(5);
 
 /// JSON body used for every non-2xx response.
@@ -58,6 +86,33 @@ pub struct ErrorResponse {
 pub struct ShutdownResponse {
     /// Always `"draining"`.
     pub status: String,
+}
+
+/// `POST /reload` acknowledgement body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReloadResponse {
+    /// Always `"reloaded"` on success.
+    pub status: String,
+    /// Snapshot generation now serving (starts at 0, +1 per reload).
+    pub generation: u64,
+    /// Shard-local engines in the new snapshot.
+    pub shards: usize,
+    /// Tables in the new snapshot.
+    pub tables: usize,
+    /// Whether every in-flight request on the old snapshot finished
+    /// before this response (the old mappings are gone); `false` means
+    /// a straggler still held the old snapshot when the bounded drain
+    /// wait expired — it drops the mappings when it completes.
+    pub drained: bool,
+}
+
+/// Where `/reload` and `SIGHUP` re-load the corpus from.
+#[derive(Debug, Clone)]
+pub struct ReloadSpec {
+    /// The store directory to re-open.
+    pub dir: PathBuf,
+    /// Shard-local engines to split the snapshot into.
+    pub shards: usize,
 }
 
 /// Server tunables.
@@ -80,6 +135,10 @@ pub struct ServerConfig {
     /// from another client in particular — always get picked up even
     /// when every worker is busy with keep-alive traffic.
     pub max_requests_per_connection: usize,
+    /// When set, `POST /reload` and `SIGHUP` re-load the corpus from
+    /// this store and swap it in atomically. `None` (e.g. a server over
+    /// an in-memory corpus) answers `/reload` with `409`.
+    pub reload: Option<ReloadSpec>,
 }
 
 impl Default for ServerConfig {
@@ -91,18 +150,34 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(50),
             keep_alive_timeout: Duration::from_secs(5),
             max_requests_per_connection: 256,
+            reload: None,
         }
     }
 }
 
-/// Everything the acceptor, workers, and handle share.
+/// Everything the acceptor, workers, event loop, and handle share.
 struct Shared {
-    engine: Arc<QueryEngine>,
+    /// The serving snapshot. Each request clones the `Arc` once (one
+    /// short mutex hold) and runs entirely against that snapshot;
+    /// `/reload` swaps the pointer.
+    snapshot: Mutex<Arc<Router>>,
+    /// Snapshot generation: 0 at boot, +1 per successful reload.
+    generation: AtomicU64,
+    /// Serializes reloads (concurrent `/reload` + `SIGHUP` must not
+    /// interleave their load/swap/drain sequences).
+    reload_mutex: Mutex<()>,
     metrics: Metrics,
     cache: ResponseCache,
     shutdown: AtomicBool,
     addr: SocketAddr,
     config: ServerConfig,
+}
+
+impl Shared {
+    /// The current snapshot (one short lock hold, then lock-free).
+    fn snapshot(&self) -> Arc<Router> {
+        self.snapshot.lock().clone()
+    }
 }
 
 /// The address a wake-up connection should dial: the bound port, but on
@@ -128,12 +203,133 @@ fn trigger_shutdown(shared: &Shared) {
     }
 }
 
-/// The server: bind with [`Server::start`], control via [`ServerHandle`].
+// ------------------------------------------------------------------ parking
+
+/// A connection plus its cross-request state, movable between the event
+/// loop and the worker pool.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed (possibly a partial or pipelined
+    /// request).
+    buf: Vec<u8>,
+    /// Requests served on this connection so far.
+    served: usize,
+    /// Start of the current idle period / request (drives the
+    /// keep-alive timeout and the dribble deadline).
+    idle_since: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            served: 0,
+            idle_since: Instant::now(),
+        }
+    }
+}
+
+/// State shared with the event-loop thread: the inbox of connections to
+/// park and the waker that interrupts its epoll wait.
+struct ParkerShared {
+    inbox: Mutex<Vec<Conn>>,
+    poller: event::Poller,
+    waker: event::Waker,
+    /// Set when the event loop exited: connections handed to `park`
+    /// from then on are dropped (closed) instead of leaking.
+    stopped: AtomicBool,
+}
+
+impl ParkerShared {
+    /// Hands a connection to the event loop (or closes it when the loop
+    /// already exited).
+    fn park(&self, conn: Conn) {
+        if self.stopped.load(Ordering::SeqCst) {
+            return; // drop => close
+        }
+        self.inbox.lock().push(conn);
+        self.waker.wake();
+    }
+}
+
+/// The epoll event loop: owns every parked connection, hands one to the
+/// worker channel the moment it turns readable, sweeps keep-alive
+/// timeouts, and closes everything on shutdown.
+fn run_event_loop(shared: &Shared, parker: &ParkerShared, tx: &mpsc::Sender<Conn>) {
+    use std::collections::HashMap;
+    use std::os::fd::AsRawFd;
+
+    let mut parked: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut ready: Vec<u64> = Vec::new();
+    loop {
+        // Ingest newly-parked connections. Level-triggered registration
+        // means one that already has bytes pending fires on the very
+        // next wait — no arrival/registration race.
+        for conn in parker.inbox.lock().drain(..) {
+            let token = next_token;
+            next_token = next_token.wrapping_add(1);
+            match parker.poller.add(conn.stream.as_raw_fd(), token) {
+                Ok(()) => {
+                    parked.insert(token, conn);
+                }
+                // Registration failed (fd pressure): fall back to a
+                // worker-owned connection rather than dropping it.
+                Err(_) => {
+                    let _ = tx.send(conn);
+                }
+            }
+        }
+        ready.clear();
+        if parker
+            .poller
+            .wait(shared.config.poll_interval, &mut ready)
+            .is_err()
+        {
+            break;
+        }
+        for &token in &ready {
+            if token == event::WAKE_TOKEN {
+                parker.waker.drain();
+                continue;
+            }
+            if let Some(conn) = parked.remove(&token) {
+                parker.poller.del(conn.stream.as_raw_fd());
+                if tx.send(conn).is_err() {
+                    break;
+                }
+            }
+        }
+        // Sweep keep-alive timeouts; parked connections have no request
+        // in flight, so closing them never abandons work.
+        let timeout = shared.config.keep_alive_timeout;
+        parked.retain(|_, c| {
+            let keep = c.idle_since.elapsed() <= timeout;
+            if !keep {
+                parker.poller.del(c.stream.as_raw_fd());
+            }
+            keep
+        });
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    // Mark stopped BEFORE draining: a worker that races `park` from
+    // here on sees the flag and closes its connection itself.
+    parker.stopped.store(true, Ordering::SeqCst);
+    parked.clear();
+    parker.inbox.lock().clear();
+}
+
+/// The server: bind with [`Server::start`] /
+/// [`Server::start_set`], control via [`ServerHandle`].
 pub struct Server;
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor plus worker pool over a shared [`QueryEngine`].
+    /// server over a single whole-corpus engine — the classic
+    /// single-shard deployment.
     ///
     /// # Errors
     /// Propagates bind failures.
@@ -142,10 +338,25 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
+        Self::start_set(ShardSet::from_engine(engine), addr, config)
+    }
+
+    /// Binds `addr` and starts the acceptor, worker pool, and (on
+    /// Linux) the parking event loop over a sharded snapshot.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start_set(
+        set: ShardSet,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            engine,
+            snapshot: Mutex::new(Arc::new(Router::new(set))),
+            generation: AtomicU64::new(0),
+            reload_mutex: Mutex::new(()),
             metrics: Metrics::new(),
             cache: ResponseCache::new(config.cache_capacity),
             shutdown: AtomicBool::new(false),
@@ -153,22 +364,75 @@ impl Server {
             config: config.clone(),
         });
 
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let (tx, rx) = mpsc::channel::<Conn>();
         let rx = Arc::new(Mutex::new(rx));
+
+        // The parking event loop (Linux). Off Linux — or should epoll
+        // setup fail — workers own their connections for life, exactly
+        // the pre-event-loop behaviour.
+        let parker = event::Poller::new()
+            .and_then(|poller| {
+                let waker = event::Waker::new(&poller)?;
+                Ok(Arc::new(ParkerShared {
+                    inbox: Mutex::new(Vec::new()),
+                    poller,
+                    waker,
+                    stopped: AtomicBool::new(false),
+                }))
+            })
+            .ok();
+        let event_loop = parker.as_ref().map(|parker| {
+            let shared = shared.clone();
+            let parker = parker.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || run_event_loop(&shared, &parker, &tx))
+        });
+
         let mut workers = Vec::with_capacity(config.threads.max(1));
         for _ in 0..config.threads.max(1) {
             let shared = shared.clone();
             let rx = rx.clone();
+            let parker = parker.clone();
             workers.push(std::thread::spawn(move || loop {
                 // Take the next connection, releasing the receiver lock
                 // before handling so other workers keep draining.
                 let next = { rx.lock().recv() };
                 match next {
-                    Ok(stream) => handle_connection(&shared, stream),
-                    Err(_) => break, // acceptor gone and queue drained
+                    Ok(mut conn) => match drive_connection(&shared, &mut conn, parker.is_some()) {
+                        ConnFate::Close => {}
+                        ConnFate::Park => {
+                            if let Some(p) = &parker {
+                                p.park(conn);
+                            }
+                        }
+                    },
+                    Err(_) => break, // acceptor + event loop gone, queue drained
                 }
             }));
         }
+
+        // SIGHUP → reload watcher (only when there is a store to reload
+        // from).
+        let watcher = if shared.config.reload.is_some() {
+            event::install_sighup_handler();
+            let shared = shared.clone();
+            Some(std::thread::spawn(move || {
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    if event::take_sighup() {
+                        match perform_reload(&shared) {
+                            Ok(r) => eprintln!(
+                                "SIGHUP reload: generation {} ({} shards, {} tables, drained: {})",
+                                r.generation, r.shards, r.tables, r.drained
+                            ),
+                            Err(e) => eprintln!("SIGHUP reload failed: {e}"),
+                        }
+                    }
+                    std::thread::sleep(shared.config.poll_interval);
+                }
+            }))
+        } else {
+            None
+        };
 
         let acceptor = {
             let shared = shared.clone();
@@ -179,8 +443,16 @@ impl Server {
                     }
                     match stream {
                         Ok(s) => {
-                            if tx.send(s).is_err() {
-                                break;
+                            let conn = Conn::new(s);
+                            // Fresh connections park too: one that
+                            // connects and says nothing costs no worker.
+                            match &parker {
+                                Some(p) => p.park(conn),
+                                None => {
+                                    if tx.send(conn).is_err() {
+                                        break;
+                                    }
+                                }
                             }
                         }
                         Err(_) => {
@@ -192,13 +464,16 @@ impl Server {
                         }
                     }
                 }
-                // Dropping `tx` here lets workers drain and exit.
+                // Dropping `tx` here lets workers drain and exit (the
+                // event loop drops its own clone when it exits).
             })
         };
 
         Ok(ServerHandle {
             shared,
             acceptor: Some(acceptor),
+            event_loop,
+            watcher,
             workers,
         })
     }
@@ -208,6 +483,8 @@ impl Server {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -221,10 +498,22 @@ impl ServerHandle {
     /// Live metrics snapshot (same data `/metrics` serves).
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(
-            self.shared.cache.stats(),
-            self.shared.engine.build_stats().clone(),
-        )
+        let router = self.shared.snapshot();
+        self.shared
+            .metrics
+            .snapshot(self.shared.cache.stats(), router.build_stats().clone())
+    }
+
+    /// Snapshot generation now serving (0 at boot, +1 per reload).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::SeqCst)
+    }
+
+    /// Number of shard-local engines in the serving snapshot.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shared.snapshot().num_shards()
     }
 
     /// Whether a shutdown has been requested.
@@ -238,12 +527,19 @@ impl ServerHandle {
         trigger_shutdown(&self.shared);
     }
 
-    /// Waits until the acceptor and every worker have exited. Without a
-    /// prior shutdown request this blocks until one arrives (e.g. the
-    /// `/shutdown` endpoint) — the serve-forever mode of the CLI.
+    /// Waits until the acceptor, event loop, and every worker have
+    /// exited. Without a prior shutdown request this blocks until one
+    /// arrives (e.g. the `/shutdown` endpoint) — the serve-forever mode
+    /// of the CLI.
     pub fn join(mut self) {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
+        }
+        if let Some(e) = self.event_loop.take() {
+            let _ = e.join();
+        }
+        if let Some(w) = self.watcher.take() {
+            let _ = w.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -274,6 +570,11 @@ struct Request {
     query: Vec<(String, String)>,
     keep_alive: bool,
     content_length: usize,
+    /// The request carried a `Transfer-Encoding` header. This server
+    /// frames bodies by `Content-Length` only, so such a request cannot
+    /// be consumed without desyncing the keep-alive stream — it is
+    /// answered `501` with `Connection: close`.
+    transfer_encoded: bool,
 }
 
 impl Request {
@@ -340,6 +641,15 @@ fn parse_query(raw: &str) -> Vec<(String, String)> {
         .collect()
 }
 
+/// Whether a comma-separated header value contains `token`
+/// (case-insensitive, per-element trimmed) — the RFC 9110 list syntax
+/// `Connection: keep-alive, TE` uses.
+fn header_has_token(value: &str, token: &str) -> bool {
+    value
+        .split(',')
+        .any(|t| t.trim().eq_ignore_ascii_case(token))
+}
+
 /// Parses the request head (everything before the blank line).
 fn parse_request(head: &[u8]) -> Result<Request, String> {
     let text = std::str::from_utf8(head).map_err(|_| "request head is not UTF-8".to_string())?;
@@ -354,21 +664,28 @@ fn parse_request(head: &[u8]) -> Result<Request, String> {
     }
     let mut keep_alive = version == "HTTP/1.1";
     let mut content_length = 0usize;
+    let mut transfer_encoded = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("connection") {
-            if value.eq_ignore_ascii_case("close") {
+            // `Connection` is a comma-separated token list (`keep-alive,
+            // TE`); exact-matching the whole value would miss the token.
+            if header_has_token(value, "close") {
                 keep_alive = false;
-            } else if value.eq_ignore_ascii_case("keep-alive") {
+            } else if header_has_token(value, "keep-alive") {
                 keep_alive = true;
             }
         } else if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .parse()
                 .map_err(|_| format!("bad Content-Length `{value}`"))?;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Any transfer coding (even `identity`) means the body is
+            // not framed by Content-Length alone; flag it for a 501.
+            transfer_encoded = true;
         }
     }
     let (path_raw, query_raw) = raw_target
@@ -390,6 +707,7 @@ fn parse_request(head: &[u8]) -> Result<Request, String> {
         raw_target: raw_target.clone(),
         keep_alive,
         content_length,
+        transfer_encoded,
     })
 }
 
@@ -440,7 +758,8 @@ fn num_param(req: &Request, key: &str, default: usize) -> Result<usize, String> 
 }
 
 /// Whether responses for this endpoint are pure functions of the target
-/// (and therefore cacheable for the lifetime of the immutable corpus).
+/// (and therefore cacheable for the lifetime of the serving snapshot —
+/// a reload clears the cache along with the snapshot swap).
 fn cacheable(endpoint: Endpoint) -> bool {
     matches!(
         endpoint,
@@ -452,12 +771,12 @@ fn cacheable(endpoint: Endpoint) -> bool {
     )
 }
 
-/// Routes one request to its handler. `endpoint` is the single
-/// classification of the request path (from [`endpoint_of_path`]) —
-/// dispatch, metrics attribution, and cacheability all derive from it,
-/// so they cannot drift apart.
-fn route(shared: &Shared, req: &Request, endpoint: Endpoint) -> Routed {
-    let engine = &shared.engine;
+/// Routes one request to its handler, running entirely against the
+/// given snapshot. `endpoint` is the single classification of the
+/// request path (from [`endpoint_of_segments`]) — dispatch, metrics
+/// attribution, and cacheability all derive from it, so they cannot
+/// drift apart.
+fn route(shared: &Shared, router: &Router, req: &Request, endpoint: Endpoint) -> Routed {
     if req.method != "GET" && !(req.method == "POST" && endpoint == Endpoint::Shutdown) {
         // Attributed to the classified endpoint so a spike of 405s shows
         // which endpoint clients are misusing. Never cached: the cache is
@@ -465,19 +784,19 @@ fn route(shared: &Shared, req: &Request, endpoint: Endpoint) -> Routed {
         return error_body(405, endpoint, format!("method {} not allowed", req.method));
     }
     match endpoint {
-        Endpoint::Health => ok_body(endpoint, &engine.health()),
+        Endpoint::Health => ok_body(endpoint, &router.health()),
         Endpoint::Metrics => ok_body(
             endpoint,
             &shared
                 .metrics
-                .snapshot(shared.cache.stats(), engine.build_stats().clone()),
+                .snapshot(shared.cache.stats(), router.build_stats().clone()),
         ),
         Endpoint::Search => {
             let Some(q) = req.param("q") else {
                 return error_body(400, endpoint, "missing query parameter `q`");
             };
             match num_param(req, "k", 10) {
-                Ok(k) => ok_body(endpoint, &engine.search(q, k)),
+                Ok(k) => ok_body(endpoint, &router.search(q, k)),
                 Err(e) => error_body(400, endpoint, e),
             }
         }
@@ -487,14 +806,14 @@ fn route(shared: &Shared, req: &Request, endpoint: Endpoint) -> Routed {
             };
             let attrs: Vec<&str> = prefix.split(',').map(str::trim).collect();
             match num_param(req, "k", 5) {
-                Ok(k) => ok_body(endpoint, &engine.complete(&attrs, k)),
+                Ok(k) => ok_body(endpoint, &router.complete(&attrs, k)),
                 Err(e) => error_body(400, endpoint, e),
             }
         }
-        Endpoint::Types => ok_body(endpoint, &engine.type_counts()),
+        Endpoint::Types => ok_body(endpoint, &router.type_counts()),
         Endpoint::TypeTables => {
             let label = req.segments.get(1).map_or("", String::as_str);
-            match engine.type_tables(label) {
+            match router.type_tables(label) {
                 Some(t) => ok_body(endpoint, &t),
                 None => error_body(
                     404,
@@ -514,7 +833,7 @@ fn route(shared: &Shared, req: &Request, endpoint: Endpoint) -> Routed {
                 // The `try_` form keeps a lazy-path corrupt block (typed
                 // decode/fingerprint failure) distinct from "no such
                 // table": corruption is a 500, never a silent 404.
-                Ok(id) => match engine.try_table_summary(id) {
+                Ok(id) => match router.try_table_summary(id) {
                     Ok(Some(t)) => ok_body(endpoint, &t),
                     Ok(None) => error_body(404, endpoint, format!("no table with id {id}")),
                     Err(e) => error_body(500, endpoint, format!("table {id} unreadable: {e}")),
@@ -529,18 +848,91 @@ fn route(shared: &Shared, req: &Request, endpoint: Endpoint) -> Routed {
             endpoint,
             shutdown: true,
         },
-        Endpoint::Shutdown | Endpoint::Other => {
+        // `Reload` is intercepted by `respond` before a snapshot is
+        // pinned; reaching here means it raced nothing and 404s safely.
+        Endpoint::Shutdown | Endpoint::Reload | Endpoint::Other => {
             error_body(404, Endpoint::Other, format!("no route for {}", req.path))
         }
     }
 }
 
+/// Loads a fresh snapshot from the configured store, swaps it in, and
+/// waits (bounded) for requests on the old snapshot to drain.
+fn perform_reload(shared: &Shared) -> Result<ReloadResponse, String> {
+    let spec = shared.config.reload.as_ref().ok_or_else(|| {
+        "reload is not available: server was not started from a store".to_string()
+    })?;
+    // Serialize concurrent reloads: each load/swap/drain runs alone.
+    let _guard = shared.reload_mutex.lock();
+    // Load BEFORE swapping: a failed load leaves the old snapshot
+    // serving untouched. The load performs full cold-boot validation
+    // against whatever manifest the last atomic rename committed.
+    let set = ShardSet::load(&spec.dir, spec.shards)
+        .map_err(|e| format!("reload failed, keeping current snapshot: {e}"))?;
+    let router = Arc::new(Router::new(set));
+    let (shards, tables) = (router.num_shards(), router.num_tables());
+    let old = {
+        let mut snapshot = shared.snapshot.lock();
+        std::mem::replace(&mut *snapshot, router)
+    };
+    // The cache was computed against the old snapshot; clear it inside
+    // the reload critical section so no stale body survives the swap.
+    shared.cache.clear();
+    let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
+    // Drain: in-flight requests hold `Arc` clones of the old snapshot.
+    // Wait (bounded) until ours is the last reference, so the store
+    // mappings drop before this response reports success. The handler
+    // running *this* reload pinned no snapshot (see `respond`).
+    let drain_started = Instant::now();
+    while Arc::strong_count(&old) > 1 && drain_started.elapsed() < REQUEST_DEADLINE {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let drained = Arc::strong_count(&old) == 1;
+    drop(old);
+    Ok(ReloadResponse {
+        status: "reloaded".to_string(),
+        generation,
+        shards,
+        tables,
+        drained,
+    })
+}
+
+/// `POST /reload`: validates the method, then delegates to
+/// [`perform_reload`]. Called before the request pins a snapshot.
+fn handle_reload(shared: &Shared, req: &Request) -> Routed {
+    let endpoint = Endpoint::Reload;
+    if req.method != "POST" {
+        return error_body(
+            405,
+            endpoint,
+            format!("method {} not allowed on /reload (use POST)", req.method),
+        );
+    }
+    match perform_reload(shared) {
+        Ok(r) => ok_body(endpoint, &r),
+        Err(e) if e.starts_with("reload is not available") => error_body(409, endpoint, e),
+        Err(e) => error_body(500, endpoint, e),
+    }
+}
+
 /// Routes with the response cache wrapped around pure endpoints.
+///
+/// `/reload` is dispatched FIRST, before a snapshot `Arc` is cloned:
+/// the reload handler waits for the old snapshot's reference count to
+/// drain, and a clone held by its own request would deadlock that wait
+/// into the timeout.
 fn respond(shared: &Shared, req: &Request) -> Routed {
+    let endpoint = endpoint_of_segments(&req.segments);
+    if endpoint == Endpoint::Reload {
+        return handle_reload(shared, req);
+    }
+    // Pin the serving snapshot: this request runs entirely against it,
+    // even if a reload swaps the pointer mid-request.
+    let router = shared.snapshot();
     // Probe the cache only for GETs on pure endpoints — probing (and
     // counting misses for) /health, /metrics, or unrouted paths would
     // skew the hit rate with traffic that can never be cached.
-    let endpoint = endpoint_of_segments(&req.segments);
     if req.method == "GET" && cacheable(endpoint) {
         if let Some(hit) = shared.cache.get(&req.raw_target) {
             return Routed {
@@ -552,10 +944,10 @@ fn respond(shared: &Shared, req: &Request) -> Routed {
         }
     }
     // Cache GET responses on pure endpoints regardless of status: over
-    // an immutable corpus a 400 (bad parameters) or 404 (unknown label /
-    // id) is as permanent as a 200, and caching it keeps repeated
+    // an immutable snapshot a 400 (bad parameters) or 404 (unknown label
+    // / id) is as permanent as a 200, and caching it keeps repeated
     // misconfigured pollers from reading as an ever-falling hit rate.
-    let routed = route(shared, req, endpoint);
+    let routed = route(shared, &router, req, endpoint);
     if req.method == "GET" && cacheable(routed.endpoint) {
         shared.cache.insert(
             &req.raw_target,
@@ -580,6 +972,7 @@ fn endpoint_of_segments(segments: &[String]) -> Endpoint {
         ["types"] => Endpoint::Types,
         ["types", _, "tables"] => Endpoint::TypeTables,
         ["tables", _] => Endpoint::Table,
+        ["reload"] => Endpoint::Reload,
         ["shutdown"] => Endpoint::Shutdown,
         _ => Endpoint::Other,
     }
@@ -591,8 +984,10 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
         _ => "Internal Server Error",
     }
 }
@@ -617,41 +1012,62 @@ fn write_response(
     stream.flush()
 }
 
-/// Serves one connection until close, keep-alive timeout, or shutdown.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+/// What a worker should do with a connection after driving it.
+enum ConnFate {
+    /// Drop the stream (close the connection).
+    Close,
+    /// Hand it to the event loop to wait for the next request.
+    Park,
+}
+
+/// Drives one connection until it closes or (when `can_park`) goes idle
+/// between keep-alive requests. With `can_park` false this loops until
+/// close — the classic worker-owns-connection model.
+fn drive_connection(shared: &Shared, conn: &mut Conn, can_park: bool) -> ConnFate {
+    let _ = conn.stream.set_nodelay(true);
+    let _ = conn
+        .stream
+        .set_read_timeout(Some(shared.config.poll_interval));
     // A client that never reads its response must not pin this worker
     // forever once the socket send buffer fills: bound every write.
-    let _ = stream.set_write_timeout(Some(REQUEST_DEADLINE));
-    let mut buf: Vec<u8> = Vec::new();
+    let _ = conn.stream.set_write_timeout(Some(REQUEST_DEADLINE));
     let mut chunk = [0u8; 4096];
-    let mut idle_since = Instant::now();
-    let mut served = 0usize;
     loop {
-        if let Some(end) = head_end(&buf) {
-            let req = match parse_request(&buf[..end - 4]) {
+        if let Some(end) = head_end(&conn.buf) {
+            let req = match parse_request(&conn.buf[..end - 4]) {
                 Ok(r) => r,
                 Err(e) => {
                     shared.metrics.record(Endpoint::Other, 400, 0);
                     let body = json_body(&ErrorResponse { error: e });
-                    let _ = write_response(&mut stream, 400, &body, false);
-                    return;
+                    let _ = write_response(&mut conn.stream, 400, &body, false);
+                    return ConnFate::Close;
                 }
             };
+            if req.transfer_encoded {
+                // This server frames bodies by Content-Length only; a
+                // chunked body it cannot parse would desync the
+                // keep-alive stream, turning body bytes into phantom
+                // requests. Refuse loudly and close.
+                shared.metrics.record(Endpoint::Other, 501, 0);
+                let body = json_body(&ErrorResponse {
+                    error: "Transfer-Encoding is not supported; send Content-Length".to_string(),
+                });
+                let _ = write_response(&mut conn.stream, 501, &body, false);
+                return ConnFate::Close;
+            }
             if req.content_length > MAX_BODY {
                 shared.metrics.record(Endpoint::Other, 413, 0);
                 let body = json_body(&ErrorResponse {
                     error: "request body too large".to_string(),
                 });
-                let _ = write_response(&mut stream, 413, &body, false);
-                return;
+                let _ = write_response(&mut conn.stream, 413, &body, false);
+                return ConnFate::Close;
             }
             let consumed = end + req.content_length;
-            if buf.len() < consumed {
+            if conn.buf.len() < consumed {
                 // Body not fully received yet; keep reading below.
-                if read_more(shared, &mut stream, &mut buf, &mut chunk, &mut idle_since).is_err() {
-                    return;
+                if read_more(shared, conn, &mut chunk).is_err() {
+                    return ConnFate::Close;
                 }
                 continue;
             }
@@ -661,10 +1077,10 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             // long a persistent client can pin this worker, so queued
             // connections (e.g. /shutdown from another client while all
             // workers are busy) always get picked up.
-            served += 1;
+            conn.served += 1;
             let keep_alive = req.keep_alive
                 && !shared.shutdown.load(Ordering::SeqCst)
-                && served < shared.config.max_requests_per_connection.max(1);
+                && conn.served < shared.config.max_requests_per_connection.max(1);
             let started = Instant::now();
             let routed = respond(shared, &req);
             let latency_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -672,67 +1088,67 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 .metrics
                 .record(routed.endpoint, routed.status, latency_us);
             let keep_alive = keep_alive && !routed.shutdown;
-            let ok = write_response(&mut stream, routed.status, &routed.body, keep_alive);
+            let ok = write_response(&mut conn.stream, routed.status, &routed.body, keep_alive);
             if routed.shutdown {
                 trigger_shutdown(shared);
             }
             if ok.is_err() || !keep_alive {
-                return;
+                return ConnFate::Close;
             }
-            buf.drain(..consumed);
-            idle_since = Instant::now();
+            conn.buf.drain(..consumed);
+            conn.idle_since = Instant::now();
+            // Idle between requests with nothing buffered: park in the
+            // event loop instead of pinning this worker. Pipelined bytes
+            // already in the buffer keep the loop going instead.
+            if can_park && conn.buf.is_empty() {
+                return ConnFate::Park;
+            }
             continue;
         }
-        if buf.len() > MAX_HEAD {
+        if conn.buf.len() > MAX_HEAD {
             shared.metrics.record(Endpoint::Other, 431, 0);
             let body = json_body(&ErrorResponse {
                 error: "request head too large".to_string(),
             });
-            let _ = write_response(&mut stream, 431, &body, false);
-            return;
+            let _ = write_response(&mut conn.stream, 431, &body, false);
+            return ConnFate::Close;
         }
-        if read_more(shared, &mut stream, &mut buf, &mut chunk, &mut idle_since).is_err() {
-            return;
+        if read_more(shared, conn, &mut chunk).is_err() {
+            return ConnFate::Close;
         }
     }
 }
 
-/// One poll-tick read into `buf`. `Err(())` means the connection should
-/// be dropped (EOF, hard error, idle timeout, or idle shutdown).
-/// `idle_since` is restarted when the first bytes of a new request
-/// arrive, so the dribble deadline is measured from the start of the
-/// request — not from the end of the previous response.
-fn read_more(
-    shared: &Shared,
-    stream: &mut TcpStream,
-    buf: &mut Vec<u8>,
-    chunk: &mut [u8; 4096],
-    idle_since: &mut Instant,
-) -> Result<(), ()> {
-    match stream.read(chunk) {
+/// One poll-tick read into the connection buffer. `Err(())` means the
+/// connection should be dropped (EOF, hard error, idle timeout, or
+/// idle shutdown). `idle_since` is restarted when the first bytes of a
+/// new request arrive, so the dribble deadline is measured from the
+/// start of the request — not from the end of the previous response.
+fn read_more(shared: &Shared, conn: &mut Conn, chunk: &mut [u8; 4096]) -> Result<(), ()> {
+    match conn.stream.read(chunk) {
         Ok(0) => Err(()), // EOF
         Ok(n) => {
-            if buf.is_empty() {
-                *idle_since = Instant::now();
+            if conn.buf.is_empty() {
+                conn.idle_since = Instant::now();
             }
-            buf.extend_from_slice(&chunk[..n]);
+            conn.buf.extend_from_slice(&chunk[..n]);
             // The dribble deadline must also bind clients that keep the
             // reads *succeeding* — one byte per poll tick would never
             // hit the timeout branch below.
-            if idle_since.elapsed() > REQUEST_DEADLINE {
+            if conn.idle_since.elapsed() > REQUEST_DEADLINE {
                 return Err(());
             }
             Ok(())
         }
         Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
-            if buf.is_empty() {
+            if conn.buf.is_empty() {
                 // Idle between requests: close on shutdown or timeout.
                 if shared.shutdown.load(Ordering::SeqCst)
-                    || idle_since.elapsed() > shared.config.keep_alive_timeout
+                    || conn.idle_since.elapsed() > shared.config.keep_alive_timeout
                 {
                     return Err(());
                 }
-            } else if idle_since.elapsed() > REQUEST_DEADLINE {
+            } else if conn.idle_since.elapsed() > REQUEST_DEADLINE {
                 // A dribbling request: answer nothing once it's too slow;
                 // even under shutdown we wait until the deadline so a
                 // request already partially received still gets served.
@@ -740,8 +1156,24 @@ fn read_more(
             }
             Ok(())
         }
+        // A signal interrupting the read says nothing about the
+        // connection's health — retry. (SIGHUP-triggered reloads made
+        // EINTR a steady-state occurrence, and the old catch-all here
+        // silently dropped healthy connections on it.)
+        Err(e) if !read_error_is_fatal(e.kind()) => Ok(()),
         Err(_) => Err(()),
     }
+}
+
+/// Whether a read error of this kind must close the connection. EINTR
+/// (a signal interrupted the syscall) and the poll-tick timeouts are
+/// retried; everything else — reset, broken pipe, unexpected EOF —
+/// closes.
+fn read_error_is_fatal(kind: io::ErrorKind) -> bool {
+    !matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 #[cfg(test)]
@@ -788,6 +1220,34 @@ mod tests {
     }
 
     #[test]
+    fn connection_header_is_a_token_list() {
+        // `Connection: keep-alive, TE` must read as keep-alive — the
+        // old exact-match comparison missed the token and silently
+        // downgraded such clients to close-per-request.
+        let req = parse_request(b"GET / HTTP/1.0\r\nConnection: keep-alive, TE\r\n").unwrap();
+        assert!(req.keep_alive);
+        let req = parse_request(b"GET / HTTP/1.1\r\nConnection: TE, close\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse_request(b"GET / HTTP/1.1\r\nConnection: Keep-Alive\r\n").unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn transfer_encoding_is_flagged() {
+        // Chunked bodies cannot be framed by Content-Length; the parser
+        // must surface the header so the connection loop can 501+close
+        // instead of treating body bytes as the next request.
+        let req =
+            parse_request(b"POST /shutdown HTTP/1.1\r\nTransfer-Encoding: chunked\r\n").unwrap();
+        assert!(req.transfer_encoded);
+        let req = parse_request(b"POST /shutdown HTTP/1.1\r\nTransfer-Encoding: gzip, chunked\r\n")
+            .unwrap();
+        assert!(req.transfer_encoded);
+        let req = parse_request(b"POST /shutdown HTTP/1.1\r\nContent-Length: 2\r\n").unwrap();
+        assert!(!req.transfer_encoded);
+    }
+
+    #[test]
     fn head_end_detection() {
         assert_eq!(head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
         assert_eq!(head_end(b"GET / HTTP/1.1\r\n"), None);
@@ -817,6 +1277,7 @@ mod tests {
         );
         assert_eq!(endpoint_of_segments(&segs("/types")), Endpoint::Types);
         assert_eq!(endpoint_of_segments(&segs("/tables/7")), Endpoint::Table);
+        assert_eq!(endpoint_of_segments(&segs("/reload")), Endpoint::Reload);
         assert_eq!(endpoint_of_segments(&segs("/nope")), Endpoint::Other);
     }
 
@@ -827,5 +1288,99 @@ mod tests {
         let s = segs("/types/km%2Fh/tables");
         assert_eq!(s, vec!["types", "km/h", "tables"]);
         assert_eq!(endpoint_of_segments(&s), Endpoint::TypeTables);
+    }
+
+    /// The error-kind classification the EINTR fix pins down: a
+    /// loopback socket pair driven through `read_more` directly.
+    #[test]
+    fn read_more_error_kind_classification() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let shared = test_shared();
+        let mut conn = Conn::new(server_side);
+        let _ = conn
+            .stream
+            .set_read_timeout(Some(Duration::from_millis(10)));
+        let mut chunk = [0u8; 4096];
+
+        // Timeout with an empty buffer inside the keep-alive window:
+        // keep waiting.
+        assert!(read_more(&shared, &mut conn, &mut chunk).is_ok());
+
+        // Bytes arrive: buffered, deadline restarted.
+        {
+            let mut c = &client;
+            c.write_all(b"GET /health HTTP/1.1\r\n").unwrap();
+        }
+        // The kernel may need a beat to deliver loopback bytes.
+        let mut got = false;
+        for _ in 0..100 {
+            if read_more(&shared, &mut conn, &mut chunk).is_err() {
+                panic!("healthy read classified as fatal");
+            }
+            if !conn.buf.is_empty() {
+                got = true;
+                break;
+            }
+        }
+        assert!(got, "bytes never surfaced");
+
+        // EOF is fatal.
+        drop(client);
+        let mut fatal = false;
+        for _ in 0..100 {
+            if read_more(&shared, &mut conn, &mut chunk).is_err() {
+                fatal = true;
+                break;
+            }
+        }
+        assert!(fatal, "EOF must close the connection");
+    }
+
+    /// EINTR must be retried, not treated as a dead connection: a real
+    /// interrupted `read` is hard to stage portably, so this pins the
+    /// match-arm classification by construction — the kinds the loop
+    /// must survive versus the kinds that must close.
+    #[test]
+    fn interrupted_is_not_fatal() {
+        let survivable = [
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::TimedOut,
+        ];
+        let fatal = [
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::UnexpectedEof,
+        ];
+        // Mirror of read_more's error-arm logic, kept trivially in sync
+        // by the shared helper below.
+        for kind in survivable {
+            assert!(!read_error_is_fatal(kind), "{kind:?} must be retried");
+        }
+        for kind in fatal {
+            assert!(read_error_is_fatal(kind), "{kind:?} must close");
+        }
+    }
+
+    /// A `Shared` over a tiny in-memory corpus, for connection-loop
+    /// tests.
+    fn test_shared() -> Shared {
+        let corpus = gittables_corpus::Corpus::new("http-test");
+        let set = ShardSet::from_corpus(&corpus, 1);
+        Shared {
+            snapshot: Mutex::new(Arc::new(Router::new(set))),
+            generation: AtomicU64::new(0),
+            reload_mutex: Mutex::new(()),
+            metrics: Metrics::new(),
+            cache: ResponseCache::new(0),
+            shutdown: AtomicBool::new(false),
+            addr: "127.0.0.1:0".parse().unwrap(),
+            config: ServerConfig::default(),
+        }
     }
 }

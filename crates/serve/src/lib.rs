@@ -24,11 +24,28 @@
 //!   | `/tables/{id}`           | schema + annotations + sample rows            |
 //!   | `/health`                | liveness + corpus size                        |
 //!   | `/metrics`               | request counts, p50/p99 latency, cache stats  |
+//!   | `/reload`                | POST: atomic corpus snapshot swap (also SIGHUP) |
 //!   | `/shutdown`              | graceful drain (when enabled)                 |
 //!
 //! Every query endpoint's JSON body is byte-identical to serializing the
 //! corresponding in-process [`QueryEngine`] call on the same corpus: the
 //! handlers *are* those calls plus `serde_json::to_string`.
+//!
+//! ## Scale-out
+//!
+//! The corpus can be served by N *shard-local* engines instead of one:
+//! [`ShardSet`] splits the store's committed shards into contiguous
+//! groups (one engine per group, each booting sidecar-first) and
+//! [`Router`] scatter-gathers `/search`, `/complete`, and `/types`
+//! across them — merging bounded top-k answers bit-identically to the
+//! single-engine stable sort — while `/tables/{id}` and
+//! `/types/{label}/tables` route by the stable-id directory.
+//!
+//! On Linux idle keep-alive connections park in an epoll event loop
+//! ([`event`]) instead of pinning worker threads, and a `/reload` POST
+//! (or `SIGHUP`) atomically swaps in a freshly-loaded corpus snapshot
+//! with zero downtime: in-flight requests drain on the old snapshot
+//! before its mappings drop.
 //!
 //! Graceful shutdown drains in-flight work: the acceptor stops handing
 //! out connections, and every connection already handed to a worker
@@ -39,15 +56,22 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod event;
 pub mod http;
 pub mod indexer;
 pub mod metrics;
+pub mod router;
+pub mod shardset;
 
 pub use cache::{CacheStats, ResponseCache};
 pub use client::{get, HttpClient};
 pub use engine::{
     AnnotationSet, EngineBuildStats, HealthResponse, QueryEngine, TableSummary, TypeTablesResponse,
 };
-pub use http::{ErrorResponse, Server, ServerConfig, ServerHandle, ShutdownResponse};
+pub use http::{
+    ErrorResponse, ReloadResponse, ReloadSpec, Server, ServerConfig, ServerHandle, ShutdownResponse,
+};
 pub use indexer::{build_sidecars, write_sidecars, IndexReport};
 pub use metrics::{EndpointCount, Metrics, MetricsSnapshot};
+pub use router::Router;
+pub use shardset::ShardSet;

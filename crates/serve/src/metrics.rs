@@ -1,4 +1,4 @@
-//! Lock-free request metrics: per-endpoint counters plus a log-bucketed
+//! Lock-free request metrics: per-endpoint counters plus a sub-log2
 //! latency histogram, all plain atomics so recording never contends.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,12 +27,17 @@ pub enum Endpoint {
     Table,
     /// `/shutdown`
     Shutdown,
+    /// `/reload`
+    Reload,
     /// Anything unrouted (404s).
     Other,
 }
 
+/// Number of distinct endpoints (the counter array length).
+pub const NUM_ENDPOINTS: usize = 10;
+
 /// All endpoints, aligned with the counter array.
-pub const ENDPOINTS: [Endpoint; 9] = [
+pub const ENDPOINTS: [Endpoint; NUM_ENDPOINTS] = [
     Endpoint::Health,
     Endpoint::Metrics,
     Endpoint::Search,
@@ -41,6 +46,7 @@ pub const ENDPOINTS: [Endpoint; 9] = [
     Endpoint::TypeTables,
     Endpoint::Table,
     Endpoint::Shutdown,
+    Endpoint::Reload,
     Endpoint::Other,
 ];
 
@@ -57,6 +63,7 @@ impl Endpoint {
             Endpoint::TypeTables => "type_tables",
             Endpoint::Table => "table",
             Endpoint::Shutdown => "shutdown",
+            Endpoint::Reload => "reload",
             Endpoint::Other => "other",
         }
     }
@@ -66,14 +73,28 @@ impl Endpoint {
     }
 }
 
-/// Number of latency buckets: bucket `i` holds latencies in
-/// `[2^i, 2^{i+1})` microseconds, the last bucket is open-ended.
-const BUCKETS: usize = 40;
+/// Latencies below this many microseconds get one bucket per value —
+/// exact at the bottom of the scale, where sub-log2 quarters would be
+/// fractions of a microsecond wide.
+const LINEAR_BUCKETS: u64 = 16;
+
+/// First octave covered by the sub-log2 region (`2^4 == LINEAR_BUCKETS`).
+const FIRST_OCTAVE: u32 = 4;
+
+/// Sub-buckets per octave: each power-of-two range `[2^o, 2^{o+1})` is
+/// split into 4 equal linear quarters, bounding the quantile estimate's
+/// relative error at ~25% instead of ~100% for a plain log2 histogram —
+/// the difference between p50 == p99 == 255µs and a readable tail.
+const SUB_BUCKETS: usize = 4;
+
+/// Total bucket count: 16 exact single-µs buckets, then 4 quarters for
+/// each octave 4..=63. The last bucket is open-ended.
+const BUCKETS: usize = LINEAR_BUCKETS as usize + (64 - FIRST_OCTAVE as usize) * SUB_BUCKETS;
 
 /// Request counters + latency histogram. Cheap to share (`&self` only).
 #[derive(Debug)]
 pub struct Metrics {
-    counts: [AtomicU64; 9],
+    counts: [AtomicU64; NUM_ENDPOINTS],
     ok: AtomicU64,
     client_errors: AtomicU64,
     histogram: [AtomicU64; BUCKETS],
@@ -90,10 +111,31 @@ impl Default for Metrics {
     }
 }
 
-/// Bucket index for a latency in microseconds (log2 scale).
+/// Bucket index for a latency in microseconds: exact below
+/// [`LINEAR_BUCKETS`], then octave quarters (log2 with 4 linear
+/// sub-buckets — the two bits after the leading one pick the quarter).
 fn bucket(us: u64) -> usize {
-    let b = 63 - (us | 1).leading_zeros() as usize;
+    if us < LINEAR_BUCKETS {
+        return us as usize;
+    }
+    let octave = 63 - us.leading_zeros();
+    let quarter = ((us >> (octave - 2)) & 0b11) as usize;
+    let b = LINEAR_BUCKETS as usize + (octave - FIRST_OCTAVE) as usize * SUB_BUCKETS + quarter;
     b.min(BUCKETS - 1)
+}
+
+/// Largest latency falling into bucket `i` (the quantile estimate).
+fn bucket_upper(i: usize) -> u64 {
+    if i < LINEAR_BUCKETS as usize {
+        return i as u64;
+    }
+    let rel = i - LINEAR_BUCKETS as usize;
+    let octave = FIRST_OCTAVE + (rel / SUB_BUCKETS) as u32;
+    let quarter = (rel % SUB_BUCKETS) as u64;
+    let step = 1u64 << (octave - 2);
+    (1u64 << octave)
+        .saturating_add((quarter + 1).saturating_mul(step))
+        .saturating_sub(1)
 }
 
 impl Metrics {
@@ -140,10 +182,10 @@ impl Metrics {
         for (i, c) in counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return (1u64 << (i + 1)).saturating_sub(1);
+                return bucket_upper(i);
             }
         }
-        (1u64 << BUCKETS).saturating_sub(1)
+        u64::MAX
     }
 
     /// Snapshot for `/metrics`, folding in the response-cache stats and
@@ -207,13 +249,52 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_is_log2() {
+    fn buckets_exact_then_quartered() {
+        // Exact single-µs buckets at the bottom.
         assert_eq!(bucket(0), 0);
-        assert_eq!(bucket(1), 0);
-        assert_eq!(bucket(2), 1);
-        assert_eq!(bucket(3), 1);
-        assert_eq!(bucket(1024), 10);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(15), 15);
+        // Octave 4 ([16, 32)) splits into quarters of 4µs.
+        assert_eq!(bucket(16), 16);
+        assert_eq!(bucket(19), 16);
+        assert_eq!(bucket(20), 17);
+        assert_eq!(bucket(31), 19);
+        assert_eq!(bucket(32), 20);
         assert_eq!(bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_upper_is_tight_and_monotonic() {
+        // Every value maps into a bucket whose upper bound is >= the
+        // value and within 25% of it (exact below 16µs).
+        for us in [0, 1, 7, 15, 16, 17, 100, 200, 255, 999, 12_345, 1_000_000] {
+            let upper = bucket_upper(bucket(us));
+            assert!(upper >= us, "{us} -> {upper}");
+            assert!(upper <= us + us / 4 + 1, "{us} -> {upper} too coarse");
+        }
+        for i in 1..BUCKETS {
+            assert!(bucket_upper(i) > bucket_upper(i - 1), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn sub_millisecond_tails_distinguishable() {
+        // The regression the sub-log2 buckets fix: 100µs vs 200µs landed
+        // in the same [128, 256) log2 bucket, so BENCH_query.json showed
+        // p50 == p99 == 255. Quarters keep them apart.
+        assert_ne!(bucket(100), bucket(200));
+        let m = Metrics::new();
+        // 98 fast + 2 slow out of 100: the p99 rank (99th smallest)
+        // falls on the slow tail.
+        for _ in 0..98 {
+            m.record(Endpoint::Search, 200, 100);
+        }
+        m.record(Endpoint::Search, 200, 200);
+        m.record(Endpoint::Search, 200, 200);
+        let (p50, p99) = (m.quantile_us(0.50), m.quantile_us(0.99));
+        assert!(p50 < p99, "p50 {p50} must stay below p99 {p99}");
+        assert!((100..=125).contains(&p50), "{p50}");
+        assert!((200..=250).contains(&p99), "{p99}");
     }
 
     #[test]
@@ -228,7 +309,7 @@ mod tests {
         assert_eq!(m.total(), 100);
         assert!(m.quantile_us(0.5) <= 1, "{}", m.quantile_us(0.5));
         assert!(m.quantile_us(0.99) <= 1);
-        assert!(m.quantile_us(1.0) >= 1_000_000 / 2);
+        assert!(m.quantile_us(1.0) >= 1_000_000);
     }
 
     #[test]
@@ -242,5 +323,6 @@ mod tests {
         assert_eq!(s.client_errors, 1);
         let search = s.requests.iter().find(|r| r.endpoint == "search").unwrap();
         assert_eq!(search.count, 1);
+        assert!(s.requests.iter().any(|r| r.endpoint == "reload"));
     }
 }

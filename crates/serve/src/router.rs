@@ -1,0 +1,381 @@
+//! The scatter-gather [`Router`]: one query surface over a
+//! [`ShardSet`], answer-for-answer identical to a whole-corpus
+//! [`QueryEngine`].
+//!
+//! Fan-out queries (`/search`, `/complete`, `/types`) run on every
+//! shard engine — shard 0 on the calling thread, the rest on scoped
+//! threads — and the per-shard answers are k-way-merged. Point queries
+//! (`/tables/{id}`, `/types/{label}/tables` postings) route by the
+//! stable-id directory. The merges reproduce the single-engine stable
+//! sorts exactly:
+//!
+//! * **search** — per-shard lists are sorted by (score desc, entry
+//!   order); entry order across shards is (shard, local order) because
+//!   ids ascend within and across shards. Taking the head with the
+//!   strictly greatest score (ties and NaN fall to the lowest shard)
+//!   replays the stable whole-corpus sort. A shard-local top-k suffices
+//!   globally: any entry ahead of a survivor locally is ahead of it
+//!   globally too.
+//! * **complete** — same merge on (distance asc, lowest shard), plus a
+//!   keep-first schema dedup: the completion index dedups schemas
+//!   globally, shard-local indexes dedup only locally, and duplicate
+//!   schemas embed identically (deterministic encoder), so the
+//!   first-taken copy at equal distance is exactly the global survivor.
+//! * **types** — counts sum per label (shard ranges are disjoint, so
+//!   distinct-table counts add); posting lists concatenate in shard
+//!   order, which is global scan order.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use gittables_core::apps::{SchemaCompletion, SearchHit};
+use gittables_corpus::{StoreError, TableId, TypeCount};
+
+use crate::engine::{
+    EngineBuildStats, HealthResponse, QueryEngine, TableSummary, TypeTablesResponse,
+};
+use crate::shardset::ShardSet;
+
+/// A [`ShardSet`] plus the precomputed whole-corpus facts (`/health`)
+/// that would otherwise cost a fan-out per liveness probe. One router is
+/// one immutable corpus snapshot; reload swaps the whole router.
+pub struct Router {
+    set: ShardSet,
+    health: HealthResponse,
+}
+
+impl Router {
+    /// Wraps a shard set, precomputing the merged `/health` answer.
+    #[must_use]
+    pub fn new(set: ShardSet) -> Self {
+        let corpus = set
+            .engines()
+            .first()
+            .map(|e| e.health().corpus)
+            .unwrap_or_default();
+        // Distinct labels across shards; a label's postings may span
+        // several shard ranges, so this dedups rather than sums.
+        let types = set
+            .engines()
+            .iter()
+            .flat_map(|e| e.type_index().labels())
+            .collect::<HashSet<_>>()
+            .len();
+        let health = HealthResponse {
+            status: "ok".to_string(),
+            corpus,
+            tables: set.num_tables(),
+            types,
+        };
+        Router { set, health }
+    }
+
+    /// The underlying shard set.
+    #[must_use]
+    pub fn shard_set(&self) -> &ShardSet {
+        &self.set
+    }
+
+    /// Number of shard-local engines behind this router.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.set.num_shards()
+    }
+
+    /// Total tables served.
+    #[must_use]
+    pub fn num_tables(&self) -> usize {
+        self.set.num_tables()
+    }
+
+    /// The set-level cold-start breakdown (served under `/metrics`).
+    #[must_use]
+    pub fn build_stats(&self) -> &EngineBuildStats {
+        self.set.build_stats()
+    }
+
+    /// Runs `f` on every shard engine: shard 0 on the calling thread,
+    /// the rest on scoped threads. Results come back in shard order.
+    fn fan_out<T: Send>(&self, f: impl Fn(&QueryEngine) -> T + Sync) -> Vec<T> {
+        let engines = self.set.engines();
+        if engines.len() == 1 {
+            return vec![f(&engines[0])];
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = engines[1..]
+                .iter()
+                .map(|e| {
+                    let e: &QueryEngine = e;
+                    s.spawn(move || f(e))
+                })
+                .collect();
+            let mut out = Vec::with_capacity(engines.len());
+            out.push(f(&engines[0]));
+            out.extend(handles.into_iter().map(|h| h.join().expect("shard query")));
+            out
+        })
+    }
+
+    /// `/search`: scatter to all shards, merge by (score desc, lowest
+    /// shard) — bit-identical to the whole-corpus stable sort.
+    #[must_use]
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        if self.set.num_shards() == 1 {
+            return self.set.engines()[0].search(query, k);
+        }
+        let per = self.fan_out(|e| e.search(query, k));
+        merge_by(per, k, |a, b| {
+            a.score.partial_cmp(&b.score) == Some(std::cmp::Ordering::Greater)
+        })
+    }
+
+    /// `/complete`: scatter, merge by (distance asc, lowest shard),
+    /// dedup schemas keeping the first-taken (= globally surviving)
+    /// copy.
+    #[must_use]
+    pub fn complete(&self, prefix: &[&str], k: usize) -> Vec<SchemaCompletion> {
+        if self.set.num_shards() == 1 {
+            return self.set.engines()[0].complete(prefix, k);
+        }
+        let per = self.fan_out(|e| e.complete(prefix, k));
+        let mut seen = HashSet::new();
+        let merged = merge_filtered(
+            per,
+            k,
+            |a, b| {
+                a.prefix_distance.partial_cmp(&b.prefix_distance) == Some(std::cmp::Ordering::Less)
+            },
+            |c| seen.insert(c.schema.attributes().to_vec()),
+        );
+        merged
+    }
+
+    /// `/types`: per-label counts summed across shards, in label order.
+    #[must_use]
+    pub fn type_counts(&self) -> Vec<TypeCount> {
+        if self.set.num_shards() == 1 {
+            return self.set.engines()[0].type_counts();
+        }
+        let mut acc: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for counts in self.fan_out(QueryEngine::type_counts) {
+            for c in counts {
+                let e = acc.entry(c.label).or_insert((0, 0));
+                e.0 += c.postings;
+                e.1 += c.tables;
+            }
+        }
+        acc.into_iter()
+            .map(|(label, (postings, tables))| TypeCount {
+                label,
+                postings,
+                tables,
+            })
+            .collect()
+    }
+
+    /// `/types/{label}/tables`: concatenates the shards' posting lists
+    /// and table lists in shard order (= ascending id order). `None`
+    /// when no shard indexes the label.
+    #[must_use]
+    pub fn type_tables(&self, label: &str) -> Option<TypeTablesResponse> {
+        if self.set.num_shards() == 1 {
+            return self.set.engines()[0].type_tables(label);
+        }
+        let per = self.fan_out(|e| e.type_tables(label));
+        let mut found = false;
+        let mut tables = Vec::new();
+        let mut postings = Vec::new();
+        for r in per.into_iter().flatten() {
+            found = true;
+            tables.extend(r.tables);
+            postings.extend(r.postings);
+        }
+        found.then(|| TypeTablesResponse {
+            label: label.to_string(),
+            tables,
+            postings,
+        })
+    }
+
+    /// `/tables/{id}`: routes to the owning shard via the stable-id
+    /// directory; `Ok(None)` when no shard owns the id.
+    ///
+    /// # Errors
+    /// Propagates the owning engine's store errors (corrupt lazy block).
+    pub fn try_table_summary(&self, id: TableId) -> Result<Option<TableSummary>, StoreError> {
+        match self.set.directory().owner_of(id) {
+            None => Ok(None),
+            Some(g) => self.set.engines()[g].try_table_summary(id),
+        }
+    }
+
+    /// `/health`: precomputed at construction (corpus-level facts never
+    /// change within a snapshot).
+    #[must_use]
+    pub fn health(&self) -> HealthResponse {
+        self.health.clone()
+    }
+
+    /// The single engine of a 1-shard router (tests and the bench use
+    /// this to compare against the unsharded path).
+    #[must_use]
+    pub fn engines(&self) -> &[Arc<QueryEngine>] {
+        self.set.engines()
+    }
+}
+
+/// K-way merge of per-shard lists, each already sorted by the same
+/// order `better` induces: repeatedly take the head that is strictly
+/// `better` than every lower-shard head (ties fall to the lowest
+/// shard, replaying the whole-corpus stable sort's entry order).
+fn merge_by<T>(per: Vec<Vec<T>>, k: usize, better: impl Fn(&T, &T) -> bool) -> Vec<T> {
+    merge_filtered(per, k, better, |_| true)
+}
+
+/// [`merge_by`] with a post-take filter: `keep` sees items in merged
+/// order and decides whether each one counts toward `k` (the completion
+/// dedup) — rejected items are consumed but not emitted.
+fn merge_filtered<T>(
+    per: Vec<Vec<T>>,
+    k: usize,
+    better: impl Fn(&T, &T) -> bool,
+    mut keep: impl FnMut(&T) -> bool,
+) -> Vec<T> {
+    let mut queues: Vec<VecDeque<T>> = per.into_iter().map(Into::into).collect();
+    let mut out = Vec::with_capacity(k.min(64));
+    while out.len() < k {
+        let mut best: Option<usize> = None;
+        for g in 0..queues.len() {
+            let Some(head) = queues[g].front() else {
+                continue;
+            };
+            best = Some(match best {
+                None => g,
+                Some(b) => {
+                    let b_head = queues[b].front().expect("best queue non-empty");
+                    if better(head, b_head) {
+                        g
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let Some(g) = best else { break };
+        let item = queues[g].pop_front().expect("picked head exists");
+        if keep(&item) {
+            out.push(item);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gittables_corpus::{AnnotatedTable, Corpus};
+    use gittables_table::Table;
+
+    /// A corpus with duplicate schemas placed so shard splits separate
+    /// them — the completion-dedup edge the merge must get right.
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new("router-test");
+        let schemas: Vec<Vec<&str>> = vec![
+            vec!["order_id", "status", "total_price"],
+            vec!["species", "habitat", "diet"],
+            vec!["order_id", "status", "total_price"], // dup of 0
+            vec!["city", "country", "population"],
+            vec!["species", "habitat", "diet"], // dup of 1
+            vec!["player", "team", "score"],
+            vec!["city", "country", "population"], // dup of 3
+        ];
+        for (i, attrs) in schemas.iter().enumerate() {
+            let row: Vec<&str> = attrs.iter().map(|_| "v").collect();
+            let t = Table::from_rows(format!("t{i}"), attrs, &[row]).unwrap();
+            let mut at = AnnotatedTable::new(t);
+            at.syntactic_dbpedia.annotations = vec![gittables_annotate::Annotation {
+                column: 0,
+                type_id: 0,
+                label: if i % 2 == 0 { "identifier" } else { "name" }.into(),
+                ontology: gittables_ontology::OntologyKind::DBpedia,
+                method: gittables_annotate::Method::Syntactic,
+                similarity: 1.0,
+            }];
+            c.push(at);
+        }
+        c
+    }
+
+    /// Every endpoint answer must match the whole-corpus engine exactly,
+    /// for every shard count.
+    #[test]
+    fn sharded_answers_match_single_engine() {
+        let c = corpus();
+        let reference = QueryEngine::from_corpus(c.clone());
+        for n in 1..=7 {
+            let router = Router::new(ShardSet::from_corpus(&c, n));
+            for k in [0, 1, 3, 7, 20] {
+                for q in ["order status", "species", "population of cities", ""] {
+                    assert_eq!(
+                        router.search(q, k),
+                        reference.search(q, k),
+                        "search n={n} k={k} q={q:?}"
+                    );
+                }
+                for prefix in [
+                    &["order_id"][..],
+                    &["species", "habitat"][..],
+                    &["city"][..],
+                ] {
+                    assert_eq!(
+                        router.complete(prefix, k),
+                        reference.complete(prefix, k),
+                        "complete n={n} k={k} prefix={prefix:?}"
+                    );
+                }
+            }
+            assert_eq!(router.type_counts(), reference.type_counts(), "types n={n}");
+            for label in ["identifier", "name", "nope"] {
+                assert_eq!(
+                    router.type_tables(label),
+                    reference.type_tables(label),
+                    "type_tables n={n} {label}"
+                );
+            }
+            for id in 0..8 {
+                assert_eq!(
+                    router.try_table_summary(id).unwrap(),
+                    reference.try_table_summary(id).unwrap(),
+                    "table n={n} id={id}"
+                );
+            }
+            assert_eq!(router.health(), reference.health(), "health n={n}");
+        }
+    }
+
+    #[test]
+    fn merge_prefers_lowest_shard_on_ties() {
+        let merged = merge_by(
+            vec![vec![(0, 1.0)], vec![(1, 1.0)], vec![(2, 2.0)]],
+            3,
+            |a, b| a.1 > b.1,
+        );
+        assert_eq!(merged, vec![(2, 2.0), (0, 1.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn merge_handles_nan_like_the_stable_sort() {
+        // NaN never compares Greater, so it stays in shard order — the
+        // same place the single engine's `unwrap_or(Equal)` leaves it.
+        let merged = merge_by(
+            vec![vec![(0, f64::NAN)], vec![(1, 5.0)]],
+            2,
+            |a: &(i32, f64), b: &(i32, f64)| {
+                a.1.partial_cmp(&b.1) == Some(std::cmp::Ordering::Greater)
+            },
+        );
+        assert_eq!(merged[0].0, 0);
+        assert_eq!(merged[1].0, 1);
+    }
+}

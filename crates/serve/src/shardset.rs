@@ -1,0 +1,353 @@
+//! [`ShardSet`]: one corpus snapshot split across N shard-local
+//! [`QueryEngine`]s, each owning a contiguous global table-id range.
+//!
+//! The split follows the store's own shard boundaries
+//! ([`CorpusStore::shard_groups`]): each engine gets a contiguous group
+//! of committed store shards, so the sidecar boot path can hand every
+//! engine a zero-copy view of the persisted index matrices
+//! ([`gittables_corpus::F32Matrix::slice_rows`]) and all engines share
+//! the same mapped shard arenas ([`LazyCorpus`] clones are `Arc`-backed).
+//! A [`crate::router::Router`] scatter-gathers queries across the set
+//! and merges answers bit-identically to a whole-corpus engine.
+//!
+//! `shards == 1` delegates to [`QueryEngine::load`] wholesale — the
+//! single-shard deployment is exactly yesterday's server.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use gittables_core::apps::{DataSearch, NearestCompletion};
+use gittables_corpus::{
+    load_indexes, Corpus, CorpusStore, GroupDirectory, LazyCorpus, SearchParts, SidecarIssue,
+    StoreError, TypeIndex,
+};
+
+use crate::engine::{EngineBuildStats, QueryEngine};
+
+/// N shard-local engines plus the id → shard directory. Immutable after
+/// construction; the server swaps whole sets atomically on reload.
+pub struct ShardSet {
+    engines: Vec<Arc<QueryEngine>>,
+    directory: GroupDirectory,
+    build: EngineBuildStats,
+}
+
+impl ShardSet {
+    /// Wraps an already-built whole-corpus engine as a 1-shard set —
+    /// behaviour is exactly the engine's, with zero routing overhead.
+    #[must_use]
+    pub fn from_engine(engine: Arc<QueryEngine>) -> Self {
+        let build = engine.build_stats().clone();
+        let directory = GroupDirectory::from_ranges([engine.id_range()]);
+        ShardSet {
+            engines: vec![engine],
+            directory,
+            build,
+        }
+    }
+
+    /// Splits an in-memory corpus into `n` near-even contiguous shards
+    /// (clamped to the corpus size) — the store-less path used by tests
+    /// and benches.
+    #[must_use]
+    pub fn from_corpus(corpus: &Corpus, n: usize) -> Self {
+        let started = std::time::Instant::now();
+        let directory = GroupDirectory::split_even(corpus.len(), n);
+        let engines = directory
+            .groups()
+            .iter()
+            .map(|g| Arc::new(QueryEngine::from_corpus_slice(corpus, g.range.clone())))
+            .collect();
+        ShardSet {
+            engines,
+            directory,
+            build: EngineBuildStats {
+                index_build_ms: started.elapsed().as_secs_f64() * 1e3,
+                boot_path: "memory".to_string(),
+                ..EngineBuildStats::default()
+            },
+        }
+    }
+
+    /// Boots a sharded set for the store at `dir`: the store's committed
+    /// shards are split into `shards` contiguous groups and each group
+    /// gets its own engine. Prefers the sidecar path (per-group zero-copy
+    /// views of the mapped index matrices); a missing/stale/corrupt
+    /// sidecar set downgrades every group to a materialized rebuild,
+    /// recorded in [`EngineBuildStats::fallback_reason`] — same contract
+    /// as [`QueryEngine::load`], which `shards <= 1` delegates to.
+    ///
+    /// # Errors
+    /// Propagates store open/load failures and a non-contiguous shard
+    /// index ([`CorpusStore::shard_groups`]).
+    pub fn load(dir: impl AsRef<Path>, shards: usize) -> Result<Self, StoreError> {
+        if shards <= 1 {
+            return Ok(Self::from_engine(Arc::new(QueryEngine::load(dir)?)));
+        }
+        let started = std::time::Instant::now();
+        let store = CorpusStore::open(dir.as_ref())?;
+        let directory = store.shard_groups(shards)?;
+        match Self::try_from_sidecars(&store, &directory, started) {
+            Ok(set) => Ok(set),
+            Err(issue) => {
+                eprintln!(
+                    "sidecar boot unavailable for {}: {issue}; rebuilding shard indexes from the corpus",
+                    dir.as_ref().display()
+                );
+                let reason = issue.reason().to_string();
+                let mut set = Self::rebuild_from_store(&store, directory, started)?;
+                set.build.fallback_reason = Some(reason);
+                Ok(set)
+            }
+        }
+    }
+
+    /// The materialized fallback: load the whole corpus once, then build
+    /// each group's indexes over its slice.
+    fn rebuild_from_store(
+        store: &CorpusStore,
+        directory: GroupDirectory,
+        started: std::time::Instant,
+    ) -> Result<Self, StoreError> {
+        let corpus = store.load_corpus()?;
+        let store_load_ms = started.elapsed().as_secs_f64() * 1e3;
+        let build_started = std::time::Instant::now();
+        let engines = directory
+            .groups()
+            .iter()
+            .map(|g| Arc::new(QueryEngine::from_corpus_slice(&corpus, g.range.clone())))
+            .collect();
+        Ok(ShardSet {
+            engines,
+            directory,
+            build: EngineBuildStats {
+                store_load_ms,
+                index_build_ms: build_started.elapsed().as_secs_f64() * 1e3,
+                store_format: Some(store.format().name().to_string()),
+                boot_path: "rebuild".to_string(),
+                fallback_reason: None,
+            },
+        })
+    }
+
+    /// The sharded sidecar boot path: map the persisted indexes once,
+    /// then hand each group a zero-copy slice of the search matrix, its
+    /// restriction of the type index, and a per-group completion index
+    /// rebuilt from the group's schemas (the deterministic encoder makes
+    /// its rows bit-identical to the persisted global ones).
+    fn try_from_sidecars(
+        store: &CorpusStore,
+        directory: &GroupDirectory,
+        started: std::time::Instant,
+    ) -> Result<Self, SidecarIssue> {
+        let indexes = load_indexes(store)?;
+        let dim = DataSearch::encoder_dim();
+        if indexes.search.rows.dim() != dim {
+            return Err(SidecarIssue::Stale {
+                file: gittables_corpus::SidecarKind::Search
+                    .file_name()
+                    .to_string(),
+                detail: format!(
+                    "embedding dim {} != this build's {dim}",
+                    indexes.search.rows.dim()
+                ),
+            });
+        }
+        let store_load_ms = started.elapsed().as_secs_f64() * 1e3;
+        let assemble = std::time::Instant::now();
+        let build = EngineBuildStats {
+            store_load_ms,
+            index_build_ms: 0.0,
+            store_format: Some(store.format().name().to_string()),
+            boot_path: "sidecar".to_string(),
+            fallback_reason: None,
+        };
+        let engines = directory
+            .groups()
+            .iter()
+            .map(|g| {
+                Arc::new(group_engine(
+                    &indexes.corpus,
+                    &indexes.search,
+                    &indexes.types,
+                    g.range.clone(),
+                    build.clone(),
+                ))
+            })
+            .collect();
+        let mut build = build;
+        build.index_build_ms = assemble.elapsed().as_secs_f64() * 1e3;
+        Ok(ShardSet {
+            engines,
+            directory: directory.clone(),
+            build,
+        })
+    }
+
+    /// The shard-local engines, in ascending id-range order.
+    #[must_use]
+    pub fn engines(&self) -> &[Arc<QueryEngine>] {
+        &self.engines
+    }
+
+    /// The stable-id → shard directory.
+    #[must_use]
+    pub fn directory(&self) -> &GroupDirectory {
+        &self.directory
+    }
+
+    /// Number of shard-local engines.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Total tables across all shards.
+    #[must_use]
+    pub fn num_tables(&self) -> usize {
+        self.directory.groups().last().map_or(0, |g| g.range.end)
+    }
+
+    /// The set-level cold-start breakdown (whole-set wall times).
+    #[must_use]
+    pub fn build_stats(&self) -> &EngineBuildStats {
+        &self.build
+    }
+}
+
+/// Builds one group's engine from zero-copy views of the global sidecar
+/// parts.
+fn group_engine(
+    corpus: &LazyCorpus,
+    search: &SearchParts,
+    types: &TypeIndex,
+    range: std::ops::Range<usize>,
+    build: EngineBuildStats,
+) -> QueryEngine {
+    // The search sidecar has one entry per table, ids ascending, so the
+    // group's entries are one contiguous run.
+    let lo = search.ids.partition_point(|&id| id < range.start);
+    let hi = search.ids.partition_point(|&id| id < range.end);
+    let group_search = DataSearch::from_raw_parts(
+        search.ids[lo..hi].to_vec(),
+        search.schemas[lo..hi].to_vec(),
+        search.rows.slice_rows(lo, hi),
+    );
+    // The persisted completion sidecar dedups schemas *globally* and
+    // keeps no table ids, so it cannot be partitioned; rebuild the
+    // group's completion index from the group's schemas instead. The
+    // encoder is deterministic, so the rows match the persisted ones bit
+    // for bit and the router's merge stays exact.
+    let completion = NearestCompletion::build_from_schemas(&search.schemas[lo..hi]);
+    QueryEngine::from_lazy_parts(
+        corpus.clone(),
+        group_search,
+        completion,
+        restrict_types(types, &range),
+        range,
+        build,
+    )
+}
+
+/// Restricts a type index to the postings of one id range, dropping
+/// labels left empty. Postings within a label ascend by table id, so
+/// each restriction is a contiguous run.
+fn restrict_types(types: &TypeIndex, range: &std::ops::Range<usize>) -> TypeIndex {
+    let mut labels = Vec::new();
+    let mut postings = Vec::new();
+    for (label, list) in types.labels().iter().zip(types.posting_lists()) {
+        let lo = list.partition_point(|p| p.table < range.start);
+        let hi = list.partition_point(|p| p.table < range.end);
+        if lo < hi {
+            labels.push(label.clone());
+            postings.push(list[lo..hi].to_vec());
+        }
+    }
+    TypeIndex::from_raw_parts(labels, postings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gittables_corpus::AnnotatedTable;
+    use gittables_table::Table;
+
+    fn corpus(n: usize) -> Corpus {
+        let mut c = Corpus::new("shardset-test");
+        for i in 0..n {
+            let attrs = [
+                format!("col_{}", i % 3),
+                "value".to_string(),
+                "note".to_string(),
+            ];
+            let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            let row: Vec<&str> = refs.iter().map(|_| "v").collect();
+            let t = Table::from_rows(format!("t{i}"), &refs, &[row]).unwrap();
+            c.push(AnnotatedTable::new(t));
+        }
+        c
+    }
+
+    #[test]
+    fn from_corpus_splits_evenly_and_covers() {
+        let c = corpus(7);
+        for n in 1..=8 {
+            let set = ShardSet::from_corpus(&c, n);
+            assert_eq!(set.num_shards(), n.min(7));
+            assert_eq!(set.num_tables(), 7);
+            let mut next = 0;
+            for (g, e) in set.directory().groups().iter().zip(set.engines()) {
+                assert_eq!(g.range, e.id_range());
+                assert_eq!(g.range.start, next);
+                assert!(!g.range.is_empty());
+                next = g.range.end;
+            }
+            assert_eq!(next, 7);
+            for id in 0..7 {
+                let owner = set.directory().owner_of(id).unwrap();
+                let summary = set.engines()[owner].try_table_summary(id).unwrap().unwrap();
+                assert_eq!(summary.id, id);
+                assert_eq!(summary.name, format!("t{id}"));
+            }
+            assert_eq!(set.directory().owner_of(7), None);
+        }
+    }
+
+    #[test]
+    fn shard_engines_answer_only_their_range() {
+        let c = corpus(6);
+        let set = ShardSet::from_corpus(&c, 3);
+        let e1 = &set.engines()[1];
+        assert_eq!(e1.id_range(), 2..4);
+        assert!(e1.try_table_summary(1).unwrap().is_none());
+        assert!(e1.try_table_summary(2).unwrap().is_some());
+        assert!(e1.try_table_summary(4).unwrap().is_none());
+        let hits = e1.search("col", 10);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| (2..4).contains(&h.table_index)));
+    }
+
+    #[test]
+    fn single_shard_load_equals_query_engine_load() {
+        let c = corpus(5);
+        let dir = std::env::temp_dir().join(format!(
+            "gt_shardset_one_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        gittables_corpus::save_store(&c, &dir, 2).unwrap();
+        let set = ShardSet::load(&dir, 1).unwrap();
+        let reference = QueryEngine::load(&dir).unwrap();
+        assert_eq!(set.num_shards(), 1);
+        assert_eq!(
+            set.build_stats().boot_path,
+            reference.build_stats().boot_path
+        );
+        assert_eq!(
+            set.engines()[0].search("col", 5),
+            reference.search("col", 5)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -31,13 +31,12 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::Arc;
 
 use gittables_core::apps::{DataSearch, NearestCompletion};
 use gittables_core::{Pipeline, PipelineConfig};
 use gittables_corpus::{persist, AnnotationStats, Corpus, CorpusStats};
 use gittables_githost::GitHost;
-use gittables_serve::{QueryEngine, Server, ServerConfig};
+use gittables_serve::{Server, ServerConfig};
 
 fn opt(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -337,14 +336,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let addr = opt(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
     let threads = num(args, "--threads", 4usize);
     let cache = num(args, "--cache", 1024usize);
+    let shards = num(args, "--shards", 1usize);
     eprintln!("loading corpus from {dir} ...");
-    let engine = QueryEngine::load(&dir).map_err(|e| format!("loading store {dir}: {e}"))?;
-    let stats = engine.build_stats();
+    let set = gittables_serve::ShardSet::load(&dir, shards)
+        .map_err(|e| format!("loading store {dir}: {e}"))?;
+    let stats = set.build_stats().clone();
     eprintln!(
-        "loaded {} tables, {} semantic types, {} distinct schemas (boot path: {}{}; store {:.1} ms, indexes {:.1} ms)",
-        engine.num_tables(),
-        engine.type_index().len(),
-        engine.completion().len(),
+        "loaded {} tables across {} shard engine(s) (boot path: {}{}; store {:.1} ms, indexes {:.1} ms)",
+        set.num_tables(),
+        set.num_shards(),
         stats.boot_path,
         stats
             .fallback_reason
@@ -357,13 +357,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let config = ServerConfig {
         threads,
         cache_capacity: cache,
+        reload: Some(gittables_serve::ReloadSpec {
+            dir: std::path::PathBuf::from(&dir),
+            shards,
+        }),
         ..ServerConfig::default()
     };
-    let handle = Server::start(Arc::new(engine), addr.as_str(), config)
+    let handle = Server::start_set(set, addr.as_str(), config)
         .map_err(|e| format!("binding {addr}: {e}"))?;
     // Printed on stdout so scripts can discover an ephemeral port.
     println!("serving on http://{}", handle.addr());
-    eprintln!("{threads} worker threads; GET /shutdown for a graceful drain");
+    eprintln!(
+        "{threads} worker threads; POST /reload or SIGHUP to swap in a fresh snapshot; GET /shutdown for a graceful drain"
+    );
     handle.join();
     eprintln!("server drained");
     Ok(())
@@ -401,7 +407,9 @@ fn main() -> ExitCode {
             eprintln!("  resume   --store store_dir/ [--seed N] [--topics N] [--repos N] [--max-shards N] [--format colv1|jsonl]");
             eprintln!("  migrate  store_dir/ --to <colv1|jsonl>");
             eprintln!("  index    store_dir/   (build index sidecars for fast `serve` boots)");
-            eprintln!("  serve    store_dir/ [--addr HOST:PORT] [--threads N] [--cache N]");
+            eprintln!(
+                "  serve    store_dir/ [--addr HOST:PORT] [--threads N] [--cache N] [--shards N]"
+            );
             return ExitCode::from(2);
         }
     };

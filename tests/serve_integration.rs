@@ -398,6 +398,85 @@ fn shutdown_endpoint_drains_the_server() {
 }
 
 #[test]
+fn chunked_requests_rejected_with_501_and_close() {
+    // Regression: the server frames bodies by Content-Length only. A
+    // chunked request used to be parsed as if it had no body, leaving
+    // the chunk bytes in the connection buffer to be misread as the
+    // next request (framing desync). It must now be refused loudly and
+    // the connection closed.
+    let (_engine, handle, dir) = served_engine(79, "chunked", ServerConfig::default());
+    let addr = handle.addr();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(
+        b"POST /search HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n\
+          5\r\nhello\r\n0\r\n\r\n",
+    )
+    .unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap(); // EOF: server closed
+    assert!(resp.starts_with("HTTP/1.1 501"), "{resp}");
+    assert!(resp.contains("Connection: close"), "{resp}");
+    // Exactly one response: the chunk body bytes were NOT interpreted
+    // as a second (phantom) request.
+    assert_eq!(resp.matches("HTTP/1.1").count(), 1, "{resp}");
+
+    // The server remains healthy for the next, fresh connection.
+    let (status, _) = client::get(addr, "/health").expect("fresh connection after 501");
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pipelined_requests_in_one_segment_answered_in_order() {
+    // Two complete requests written in a single TCP segment: both must
+    // be answered, in order, each byte-identical to the in-process
+    // engine's answer — the buffered second request must survive the
+    // first response (and must not be lost to event-loop parking).
+    let (engine, handle, dir) = served_engine(80, "pipeline", ServerConfig::default());
+    let addr = handle.addr();
+
+    let expected_health = serde_json::to_string(&engine.health()).unwrap();
+    let expected_search = serde_json::to_string(&engine.search("total price", 3)).unwrap();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(
+        b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n\
+          GET /search?q=total+price&k=3 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    )
+    .unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    assert_eq!(resp.matches("HTTP/1.1 200").count(), 2, "{resp}");
+
+    // Walk the byte stream response by response, framing each body by
+    // its Content-Length — exactly what a pipelining client would do.
+    let mut rest = resp.as_str();
+    let mut bodies = Vec::new();
+    while let Some(head_end) = rest.find("\r\n\r\n") {
+        let head = &rest[..head_end];
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header")
+            .trim()
+            .parse()
+            .unwrap();
+        let body_start = head_end + 4;
+        bodies.push(&rest[body_start..body_start + len]);
+        rest = &rest[body_start + len..];
+    }
+    assert_eq!(bodies.len(), 2, "{resp}");
+    assert_eq!(bodies[0], expected_health, "first pipelined response");
+    assert_eq!(bodies[1], expected_search, "second pipelined response");
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn smoke_health_and_search_roundtrip() {
     // The CI smoke test in miniature: ephemeral port, /health, one
     // /search, valid JSON, drain.
