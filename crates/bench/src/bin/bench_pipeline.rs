@@ -18,8 +18,8 @@ use std::time::Instant;
 
 use gittables_bench::report::{extract_block, number_field, peak_rss_kb, write_bench_file};
 use gittables_bench::ExptArgs;
-use gittables_core::Pipeline;
-use gittables_githost::GitHost;
+use gittables_core::{FaultPolicy, Pipeline, PipelineConfig};
+use gittables_githost::{FaultSpec, FlakyHost, GitHost};
 
 /// One measured pipeline run.
 struct Metrics {
@@ -85,6 +85,77 @@ fn measure(args: &ExptArgs) -> Metrics {
     }
 }
 
+/// One pipeline run through a [`FlakyHost`] injecting transient faults.
+struct FaultyMetrics {
+    transient_rate: f64,
+    wall_secs: f64,
+    tables_per_sec: f64,
+    /// Faulty throughput over clean throughput (1.0 = no overhead).
+    throughput_ratio: f64,
+    retries: usize,
+    /// Backoff *scheduled* (accounted, not slept: the policy runs with
+    /// `sleep: false` so the ratio isolates retry work from timer waits).
+    backoff_ms: u64,
+    corpus_identical: bool,
+}
+
+/// Runs the pipeline at a 5% transient fault rate (plus half-rate
+/// truncated downloads) and checks the headline robustness oracle: with
+/// only-transient faults, the retrying pipeline's corpus is bit-identical
+/// to the fault-free run.
+fn measure_faulty(args: &ExptArgs, clean_tps: f64) -> FaultyMetrics {
+    const RATE: f64 = 0.05;
+    let base = gittables_bench::build_pipeline(args);
+    let pipeline = Pipeline::new(PipelineConfig {
+        fault: FaultPolicy {
+            sleep: false,
+            // The equivalence assertion needs bounds the schedule cannot
+            // exhaust: streaks cap below `max_attempts`, and the per-repo
+            // budget is lifted out of the way.
+            repo_retry_budget: u32::MAX,
+            ..FaultPolicy::default()
+        },
+        ..base.config
+    });
+    let host = GitHost::new();
+    pipeline.populate_host(&host);
+    let (clean_corpus, _) = pipeline.run_parallel(&host);
+
+    let flaky = FlakyHost::new(host, FaultSpec::transient(args.seed, RATE));
+    let start = Instant::now();
+    let (corpus, report) = pipeline.run_parallel(&flaky);
+    let wall = start.elapsed().as_secs_f64();
+
+    let tps = report.kept as f64 / wall;
+    FaultyMetrics {
+        transient_rate: RATE,
+        wall_secs: wall,
+        tables_per_sec: tps,
+        throughput_ratio: if clean_tps > 0.0 {
+            tps / clean_tps
+        } else {
+            0.0
+        },
+        retries: report.retries,
+        backoff_ms: report.backoff_ms,
+        corpus_identical: corpus == clean_corpus,
+    }
+}
+
+fn faulty_json(m: &FaultyMetrics, indent: &str) -> String {
+    format!(
+        "{{\n{i}  \"transient_rate\": {:.2},\n{i}  \"wall_secs\": {:.4},\n{i}  \"tables_per_sec\": {:.2},\n{i}  \"throughput_ratio_vs_clean\": {:.3},\n{i}  \"retries\": {},\n{i}  \"backoff_ms_scheduled\": {},\n{i}  \"corpus_identical\": {}\n{i}}}",
+        m.transient_rate,
+        m.wall_secs,
+        m.tables_per_sec,
+        m.throughput_ratio,
+        m.retries,
+        m.backoff_ms,
+        m.corpus_identical,
+        i = indent,
+    )
+}
+
 fn metrics_json(m: &Metrics, indent: &str) -> String {
     format!(
         "{{\n{i}  \"wall_secs\": {:.4},\n{i}  \"tables_per_sec\": {:.2},\n{i}  \"mb_per_sec\": {:.3},\n{i}  \"annotations_per_sec\": {:.2},\n{i}  \"fetched\": {},\n{i}  \"kept\": {},\n{i}  \"annotations\": {},\n{i}  \"bytes_parsed\": {},\n{i}  \"peak_rss_kb\": {},\n{i}  \"serial_parallel_identical\": {}\n{i}}}",
@@ -120,6 +191,11 @@ fn main() {
         m.serial_parallel_identical,
         "serial and parallel pipeline outputs diverged — refusing to record"
     );
+    let f = measure_faulty(&args, m.tables_per_sec);
+    assert!(
+        f.corpus_identical,
+        "transient-only faults changed the corpus — retry path is broken"
+    );
 
     let config = format!(
         "{{ \"seed\": {}, \"topics\": {}, \"repos\": {} }}",
@@ -129,13 +205,15 @@ fn main() {
         Some((baseline_block, baseline_tps)) if baseline_tps > 0.0 => {
             let speedup = m.tables_per_sec / baseline_tps;
             format!(
-                "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {baseline_block},\n  \"after\": {},\n  \"speedup_tables_per_sec\": {speedup:.2}\n}}\n",
+                "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {baseline_block},\n  \"after\": {},\n  \"speedup_tables_per_sec\": {speedup:.2},\n  \"faulty_run\": {}\n}}\n",
                 metrics_json(&m, "  "),
+                faulty_json(&f, "  "),
             )
         }
         _ => format!(
-            "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {}\n}}\n",
+            "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {},\n  \"faulty_run\": {}\n}}\n",
             metrics_json(&m, "  "),
+            faulty_json(&f, "  "),
         ),
     };
     write_bench_file(&out, &body);

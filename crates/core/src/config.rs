@@ -34,6 +34,47 @@ pub struct PipelineConfig {
     /// store (`gittables_corpus::save_store`; the CLI `save` subcommand).
     /// Store-backed pipeline runs shard by repository instead.
     pub tables_per_shard: usize,
+    /// Retry, backoff, and quarantine policy for host faults.
+    pub fault: FaultPolicy,
+}
+
+/// How the pipeline reacts to host faults: retry transient errors with
+/// jittered exponential backoff, bounded per operation and per
+/// repository; quarantine the repository (and keep going) when a bound
+/// is hit or a fault is permanent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultPolicy {
+    /// Attempts per host operation before giving up on it (1 ⇒ never
+    /// retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, milliseconds; each further retry
+    /// doubles it (with deterministic jitter in `[delay/2, delay]`).
+    pub backoff_base_ms: u64,
+    /// Cap on a single backoff delay, milliseconds.
+    pub backoff_max_ms: u64,
+    /// Total retries allowed across all of one repository's fetches
+    /// before the repository is quarantined.
+    pub repo_retry_budget: u32,
+    /// Whether backoff actually sleeps. Scheduled delays are accounted in
+    /// the report either way; tests disable sleeping to stay fast.
+    pub sleep: bool,
+    /// Test hook for the worker-panic quarantine path: processing any
+    /// file whose content contains this marker panics, standing in for a
+    /// pathological table that crashes a worker.
+    pub poison_marker: Option<String>,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            max_attempts: 4,
+            backoff_base_ms: 5,
+            backoff_max_ms: 100,
+            repo_retry_budget: 16,
+            sleep: true,
+            poison_marker: None,
+        }
+    }
 }
 
 impl PipelineConfig {
@@ -67,6 +108,7 @@ impl PipelineConfig {
             workers: 0,
             results_cap: 1000,
             tables_per_shard: 256,
+            fault: FaultPolicy::default(),
         }
     }
 

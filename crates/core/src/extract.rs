@@ -12,8 +12,13 @@
 //! 3. traverses the paginated responses of every (segmented) query;
 //! 4. fetches the raw contents behind each URL.
 
-use gittables_githost::{GitHost, Query, SearchResult};
+use std::collections::HashMap;
+
+use gittables_githost::{CodeHost, HostError, Query, SearchResult};
 use serde::{Deserialize, Serialize};
+
+use crate::config::FaultPolicy;
+use crate::pipeline::Quarantined;
 
 /// Maximum file size the API serves (438 kB, §3.2).
 const MAX_FILE_SIZE: usize = 438 * 1024;
@@ -67,19 +72,193 @@ pub fn first_occurrence_mask<'a, T, K: Ord + 'a>(
     keep
 }
 
+/// Per-run fault-handling state threaded through extraction: the retry
+/// policy, accumulated retry/backoff accounting, per-repository retry
+/// budgets, and the quarantine lists. One session spans every topic of a
+/// pipeline run, so budgets and quarantines are repository-global.
+#[derive(Debug)]
+pub(crate) struct FaultSession<'a> {
+    policy: &'a FaultPolicy,
+    /// Seed of the deterministic backoff jitter.
+    seed: u64,
+    /// Host-operation retries performed.
+    pub retries: usize,
+    /// Total backoff scheduled, milliseconds.
+    pub backoff_ms: u64,
+    /// Search operations that failed even after retries (the topic is
+    /// degraded, not the run).
+    pub queries_failed: usize,
+    /// Retries consumed per repository.
+    budget_used: HashMap<String, u32>,
+    /// Repositories quarantined this session, with reasons.
+    pub quarantined_repos: Vec<Quarantined>,
+    /// Files that triggered a quarantine, with reasons.
+    pub quarantined_files: Vec<Quarantined>,
+    /// Repositories to skip outright (sticky quarantine from a previous
+    /// store-backed run), with the recorded reason.
+    skip: HashMap<String, String>,
+}
+
+impl<'a> FaultSession<'a> {
+    pub(crate) fn new(policy: &'a FaultPolicy, seed: u64, skip: HashMap<String, String>) -> Self {
+        FaultSession {
+            policy,
+            seed,
+            retries: 0,
+            backoff_ms: 0,
+            queries_failed: 0,
+            budget_used: HashMap::new(),
+            quarantined_repos: Vec::new(),
+            quarantined_files: Vec::new(),
+            skip,
+        }
+    }
+
+    fn is_quarantined(&self, repo: &str) -> bool {
+        self.quarantined_repos.iter().any(|q| q.name == repo)
+    }
+
+    fn quarantine_repo(&mut self, repo: &str, reason: &str) {
+        if !self.is_quarantined(repo) {
+            self.quarantined_repos.push(Quarantined {
+                name: repo.to_string(),
+                reason: reason.to_string(),
+            });
+        }
+    }
+
+    /// Schedules (and optionally sleeps) one jittered exponential-backoff
+    /// delay: `base * 2^(attempt-1)` capped at `backoff_max_ms`, jittered
+    /// deterministically into `[delay/2, delay]` by `(seed, key,
+    /// attempt)`.
+    fn backoff(&mut self, key: &str, attempt: u32) {
+        self.retries += 1;
+        let base = self.policy.backoff_base_ms;
+        if base == 0 {
+            return;
+        }
+        let exp = base
+            .saturating_mul(1u64 << u64::from(attempt.saturating_sub(1)).min(16))
+            .min(self.policy.backoff_max_ms.max(base));
+        let mut h = self.seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for b in key.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        let ms = exp / 2 + h % (exp / 2 + 1);
+        self.backoff_ms += ms;
+        if self.policy.sleep && ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+
+    /// Runs a topic-level search operation, retrying transient faults up
+    /// to the per-operation attempt limit. `None` when the operation
+    /// ultimately failed — the caller degrades (skips the query) instead
+    /// of aborting the run.
+    fn query<T>(&mut self, key: &str, mut op: impl FnMut() -> Result<T, HostError>) -> Option<T> {
+        let mut attempt = 1u32;
+        loop {
+            match op() {
+                Ok(v) => return Some(v),
+                Err(e) if e.is_transient() && attempt < self.policy.max_attempts => {
+                    self.backoff(key, attempt);
+                    attempt += 1;
+                }
+                Err(_) => {
+                    self.queries_failed += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Takes one retry from `repo`'s budget; `false` when exhausted.
+    fn take_budget(&mut self, repo: &str) -> bool {
+        let used = self.budget_used.entry(repo.to_string()).or_insert(0);
+        if *used >= self.policy.repo_retry_budget {
+            return false;
+        }
+        *used += 1;
+        true
+    }
+}
+
+/// Outcome of fetching one search result under the fault policy.
+enum FetchOutcome {
+    /// Full contents, verified against the advertised size.
+    Fetched(String),
+    /// The host no longer has the file — skipped, as before faults.
+    Missing,
+    /// The file's repository is quarantined (now or earlier); drop it.
+    Quarantined,
+}
+
+/// Fetches one file with transient-retry and quarantine handling. The
+/// advertised search-result size is the truncation oracle: a shorter
+/// download is a cut-off transfer and retried like any transient fault.
+fn fetch_one(host: &dyn CodeHost, r: &SearchResult, session: &mut FaultSession) -> FetchOutcome {
+    if session.is_quarantined(&r.repository) || session.skip.contains_key(&r.repository) {
+        if let Some(reason) = session.skip.get(&r.repository).cloned() {
+            session.quarantine_repo(&r.repository, &reason);
+        }
+        return FetchOutcome::Quarantined;
+    }
+    let key = format!("fetch:{}/{}", r.repository, r.path);
+    let mut attempt = 1u32;
+    loop {
+        match host.fetch(&r.repository, &r.path) {
+            Ok(Some(content)) if content.len() == r.size => return FetchOutcome::Fetched(content),
+            Ok(None) => return FetchOutcome::Missing,
+            // Truncated download or transient error: retry within both
+            // the per-operation attempt limit and the repo budget.
+            Ok(Some(_))
+            | Err(HostError::Timeout | HostError::RateLimited | HostError::ServerError(_)) => {
+                if attempt >= session.policy.max_attempts {
+                    session.quarantined_files.push(Quarantined {
+                        name: format!("{}/{}", r.repository, r.path),
+                        reason: "retry attempts exhausted".to_string(),
+                    });
+                    session.quarantine_repo(&r.repository, "retry attempts exhausted");
+                    return FetchOutcome::Quarantined;
+                }
+                if !session.take_budget(&r.repository) {
+                    session.quarantined_files.push(Quarantined {
+                        name: format!("{}/{}", r.repository, r.path),
+                        reason: "repository retry budget exhausted".to_string(),
+                    });
+                    session.quarantine_repo(&r.repository, "retry budget exhausted");
+                    return FetchOutcome::Quarantined;
+                }
+                session.backoff(&key, attempt);
+                attempt += 1;
+            }
+            Err(HostError::CorruptContent { .. }) => {
+                session.quarantined_files.push(Quarantined {
+                    name: format!("{}/{}", r.repository, r.path),
+                    reason: "corrupt content".to_string(),
+                });
+                session.quarantine_repo(&r.repository, "corrupt content");
+                return FetchOutcome::Quarantined;
+            }
+        }
+    }
+}
+
 /// Recursively collects size ranges whose result counts fit under `cap`.
 fn segment(
-    api: &gittables_githost::SearchApi<'_>,
+    host: &dyn CodeHost,
+    session: &mut FaultSession,
     base: &Query,
-    lo: usize,
-    hi: usize,
+    (lo, hi): (usize, usize),
     cap: usize,
     out: &mut Vec<(usize, usize)>,
     queries: &mut usize,
 ) {
     let q = base.clone().with_size(lo, hi);
     *queries += 1;
-    let count = api.count(&q);
+    let count = session
+        .query(&format!("count:{q}"), || host.count(&q))
+        .unwrap_or(0);
     if count == 0 {
         return;
     }
@@ -88,16 +267,64 @@ fn segment(
         return;
     }
     let mid = lo + (hi - lo) / 2;
-    segment(api, base, lo, mid, cap, out, queries);
-    segment(api, base, mid + 1, hi, cap, out, queries);
+    segment(host, session, base, (lo, mid), cap, out, queries);
+    segment(host, session, base, (mid + 1, hi), cap, out, queries);
+}
+
+/// Traverses all pages of `query` with transient-retry; an ultimately
+/// failed page request truncates the traversal (degraded, recorded in
+/// the session) rather than aborting.
+fn search_pages(
+    host: &dyn CodeHost,
+    query: &Query,
+    session: &mut FaultSession,
+) -> Vec<SearchResult> {
+    let mut out = Vec::new();
+    let mut page = 1usize;
+    loop {
+        let key = format!("search:{query}:p{page}");
+        let Some(resp) = session.query(&key, || host.search(query, page)) else {
+            break;
+        };
+        let done = !resp.has_next_page;
+        out.extend(resp.items);
+        if done {
+            break;
+        }
+        page += 1;
+    }
+    out
 }
 
 /// Extracts all CSV files for one topic. Returns the files and stats.
+/// Infallible-host convenience wrapper around
+/// [`extract_topic_session`] with the default fault policy.
 #[must_use]
-pub fn extract_topic(host: &GitHost, topic: &str, cap: usize) -> (Vec<RawCsvFile>, ExtractStats) {
-    let api = host.search_api();
+pub fn extract_topic(
+    host: &dyn CodeHost,
+    topic: &str,
+    cap: usize,
+) -> (Vec<RawCsvFile>, ExtractStats) {
+    let policy = FaultPolicy::default();
+    let mut session = FaultSession::new(&policy, 0, HashMap::new());
+    extract_topic_session(host, topic, cap, &mut session)
+}
+
+/// Extracts all CSV files for one topic under `session`'s fault policy:
+/// transient faults are retried with backoff, truncated downloads are
+/// detected against the advertised size and retried, and permanent
+/// faults or exhausted budgets quarantine the repository (recorded in
+/// the session) while extraction keeps going.
+pub(crate) fn extract_topic_session(
+    host: &dyn CodeHost,
+    topic: &str,
+    cap: usize,
+    session: &mut FaultSession,
+) -> (Vec<RawCsvFile>, ExtractStats) {
     let base = Query::csv(topic);
-    let initial_count = api.count(&base);
+    let initial_count = session
+        .query(&format!("count:{base}"), || host.count(&base))
+        .unwrap_or(0);
     let mut stats = ExtractStats {
         initial_count,
         queries_executed: 1,
@@ -107,15 +334,15 @@ pub fn extract_topic(host: &GitHost, topic: &str, cap: usize) -> (Vec<RawCsvFile
     let results: Vec<SearchResult> = if initial_count == 0 {
         Vec::new()
     } else if initial_count <= cap {
-        api.search_all_pages(&base)
+        search_pages(host, &base, session)
     } else {
         let mut ranges = Vec::new();
         let mut queries = 0usize;
         segment(
-            &api,
+            host,
+            session,
             &base,
-            0,
-            MAX_FILE_SIZE,
+            (0, MAX_FILE_SIZE),
             cap,
             &mut ranges,
             &mut queries,
@@ -123,7 +350,7 @@ pub fn extract_topic(host: &GitHost, topic: &str, cap: usize) -> (Vec<RawCsvFile
         stats.queries_executed += queries;
         let mut all = Vec::new();
         for (lo, hi) in ranges {
-            all.extend(api.search_all_pages(&base.clone().with_size(lo, hi)));
+            all.extend(search_pages(host, &base.clone().with_size(lo, hi), session));
         }
         all
     };
@@ -139,15 +366,18 @@ pub fn extract_topic(host: &GitHost, topic: &str, cap: usize) -> (Vec<RawCsvFile
             continue;
         }
         stats.urls += 1;
-        if let Some(content) = host.fetch(&r.repository, &r.path) {
-            stats.fetched += 1;
-            files.push(RawCsvFile {
-                repository: r.repository,
-                path: r.path,
-                topic: topic.to_string(),
-                license: r.license,
-                content,
-            });
+        match fetch_one(host, &r, session) {
+            FetchOutcome::Fetched(content) => {
+                stats.fetched += 1;
+                files.push(RawCsvFile {
+                    repository: r.repository,
+                    path: r.path,
+                    topic: topic.to_string(),
+                    license: r.license,
+                    content,
+                });
+            }
+            FetchOutcome::Missing | FetchOutcome::Quarantined => {}
         }
     }
     (files, stats)
@@ -156,7 +386,7 @@ pub fn extract_topic(host: &GitHost, topic: &str, cap: usize) -> (Vec<RawCsvFile
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gittables_githost::{RepoFile, Repository};
+    use gittables_githost::{GitHost, RepoFile, Repository};
 
     fn host(n: usize) -> GitHost {
         let host = GitHost::new();

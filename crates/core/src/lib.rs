@@ -43,9 +43,11 @@ pub mod config;
 pub mod extract;
 pub mod parse;
 pub mod pipeline;
+pub mod quarantine;
 pub mod shift;
 pub mod t2d_eval;
 
-pub use config::PipelineConfig;
+pub use config::{FaultPolicy, PipelineConfig};
 pub use extract::{extract_topic, RawCsvFile};
-pub use pipeline::{Pipeline, PipelineReport, StoreRun};
+pub use pipeline::{Pipeline, PipelineReport, Quarantined, StoreRun};
+pub use quarantine::QuarantineLog;

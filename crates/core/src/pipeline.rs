@@ -11,15 +11,16 @@ use gittables_annotate::{
 use gittables_corpus::store::{shard_id_for, CorpusStore, StoreError};
 use gittables_corpus::{AnnotatedTable, Corpus};
 use gittables_curate::{anonymize_table, FilterReason};
-use gittables_githost::{GitHost, Repository};
+use gittables_githost::{CodeHost, GitHost, Repository};
 use gittables_ontology::{contains_digit, dbpedia, normalize_label, schema_org, Ontology};
 use gittables_synth::repo::RepoGenerator;
 use gittables_table::Table;
 use serde::{Deserialize, Serialize};
 
 use crate::config::PipelineConfig;
-use crate::extract::{extract_topic, RawCsvFile};
+use crate::extract::{extract_topic_session, FaultSession, RawCsvFile};
 use crate::parse::parse_file;
+use crate::quarantine::QuarantineLog;
 
 /// Counters for every stage of the pipeline — the §3.3 percentages.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -41,6 +42,39 @@ pub struct PipelineReport {
     pub total_columns: usize,
     /// Extraction query count across topics.
     pub queries_executed: usize,
+    /// Host-operation retries performed (transient faults and truncated
+    /// downloads that were re-attempted).
+    pub retries: usize,
+    /// Total backoff scheduled across retries, milliseconds.
+    pub backoff_ms: u64,
+    /// Search queries that failed even after retries (their results are
+    /// missing from this run — degraded, not aborted).
+    pub queries_failed: usize,
+    /// Repositories quarantined by budget exhaustion, permanent faults,
+    /// or worker panics — their files are excluded from `fetched` and
+    /// from the corpus. Sorted and deduplicated.
+    pub quarantined_repos: Vec<Quarantined>,
+    /// Files that triggered a quarantine (corrupt content or exhausted
+    /// retries). Sorted and deduplicated.
+    pub quarantined_files: Vec<Quarantined>,
+}
+
+/// One quarantined item (a repository or a file) and why it was set
+/// aside. Quarantined work is recorded, skipped, and re-attemptable
+/// (`--retry-quarantined`) instead of aborting the run.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Quarantined {
+    /// `owner/repo` for repositories, `owner/repo/path` for files.
+    pub name: String,
+    /// Why the item was quarantined.
+    pub reason: String,
+}
+
+/// Inserts `items` into the sorted, deduplicated quarantine list.
+fn merge_quarantined(into: &mut Vec<Quarantined>, items: Vec<Quarantined>) {
+    into.extend(items);
+    into.sort();
+    into.dedup();
 }
 
 impl PipelineReport {
@@ -92,9 +126,14 @@ impl PipelineReport {
         self.pii_columns += other.pii_columns;
         self.total_columns += other.total_columns;
         self.queries_executed += other.queries_executed;
+        self.retries += other.retries;
+        self.backoff_ms += other.backoff_ms;
+        self.queries_failed += other.queries_failed;
         for (k, v) in other.filtered {
             *self.filtered.entry(k).or_default() += v;
         }
+        merge_quarantined(&mut self.quarantined_repos, other.quarantined_repos);
+        merge_quarantined(&mut self.quarantined_files, other.quarantined_files);
     }
 }
 
@@ -247,20 +286,62 @@ impl Pipeline {
     /// dedup keeps the first occurrence via a borrowed-key mask — no
     /// per-file `(String, String)` clones.
     #[must_use]
-    pub fn extract_all(&self, host: &GitHost) -> (Vec<RawCsvFile>, usize) {
+    pub fn extract_all(&self, host: &dyn CodeHost) -> (Vec<RawCsvFile>, usize) {
+        let (files, report) = self.extract_stage(host, HashMap::new());
+        (files, report.queries_executed)
+    }
+
+    /// The full extraction stage under the configured [`FaultPolicy`]:
+    /// every topic is extracted through one shared [`FaultSession`] (so
+    /// retry budgets and quarantines are repository-global), files of
+    /// quarantined repositories are dropped — including files fetched
+    /// *before* their repository was quarantined, so quarantine is always
+    /// repository-granular — and the result is deduplicated across
+    /// topics. Returns the surviving files plus a report seeded with the
+    /// extraction counters (`fetched`, `queries_executed`, retry/backoff
+    /// accounting, quarantine lists).
+    ///
+    /// `skip` carries sticky quarantines from a previous store-backed run:
+    /// those repositories are skipped outright (no fetches) and re-recorded
+    /// as quarantined with their stored reason.
+    fn extract_stage(
+        &self,
+        host: &dyn CodeHost,
+        skip: HashMap<String, String>,
+    ) -> (Vec<RawCsvFile>, PipelineReport) {
+        let mut session = FaultSession::new(&self.config.fault, self.config.seed, skip);
         let mut files = Vec::new();
         let mut queries = 0usize;
         for topic in &self.config.topics {
-            let (fs, stats) = extract_topic(host, &topic.noun, self.config.results_cap);
+            let (fs, stats) =
+                extract_topic_session(host, &topic.noun, self.config.results_cap, &mut session);
             queries += stats.queries_executed;
             files.extend(fs);
+        }
+        if !session.quarantined_repos.is_empty() {
+            let quarantined: std::collections::HashSet<&str> = session
+                .quarantined_repos
+                .iter()
+                .map(|q| q.name.as_str())
+                .collect();
+            files.retain(|f| !quarantined.contains(f.repository.as_str()));
         }
         let keep = crate::extract::first_occurrence_mask(&files, |f| {
             (f.repository.as_str(), f.path.as_str())
         });
         let mut mask = keep.iter();
         files.retain(|_| *mask.next().expect("mask covers every file"));
-        (files, queries)
+        let mut report = PipelineReport {
+            fetched: files.len(),
+            queries_executed: queries,
+            retries: session.retries,
+            backoff_ms: session.backoff_ms,
+            queries_failed: session.queries_failed,
+            ..Default::default()
+        };
+        merge_quarantined(&mut report.quarantined_repos, session.quarantined_repos);
+        merge_quarantined(&mut report.quarantined_files, session.quarantined_files);
+        (files, report)
     }
 
     /// Processes one raw file through parse → curate → annotate → anonymize.
@@ -271,6 +352,16 @@ impl Pipeline {
         raw: &RawCsvFile,
         report: &mut PipelineReport,
     ) -> Option<AnnotatedTable> {
+        if let Some(marker) = &self.config.fault.poison_marker {
+            // Test hook for the worker-panic quarantine path: a poisoned
+            // table stands in for pathological input that crashes a worker.
+            assert!(
+                !raw.content.contains(marker.as_str()),
+                "poisoned table {}/{}",
+                raw.repository,
+                raw.path
+            );
+        }
         let table: Table = match parse_file(raw, &self.config.read_options) {
             Ok(t) => t,
             Err(_) => {
@@ -319,47 +410,59 @@ impl Pipeline {
         Some(at)
     }
 
-    /// Runs the full pipeline against a populated host.
-    #[must_use]
-    pub fn run(&self, host: &GitHost) -> (Corpus, PipelineReport) {
-        let (raw_files, queries) = self.extract_all(host);
-        let mut report = PipelineReport {
-            fetched: raw_files.len(),
-            queries_executed: queries,
-            ..Default::default()
-        };
-        let workers = self.config.effective_workers().max(1);
-        let chunk_size = raw_files.len().div_ceil(workers).max(1);
-
-        // Parallel stage: each worker processes a chunk, producing tables
-        // (with their original index for deterministic output order) and a
-        // local report.
-        let mut results: Vec<(usize, AnnotatedTable)> = Vec::with_capacity(raw_files.len());
-        let mut partials: Vec<PipelineReport> = Vec::new();
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for (w, chunk) in raw_files.chunks(chunk_size).enumerate() {
-                let base = w * chunk_size;
-                handles.push(s.spawn(move || {
-                    let mut local_report = PipelineReport::default();
-                    let mut local: Vec<(usize, AnnotatedTable)> = Vec::new();
-                    for (i, raw) in chunk.iter().enumerate() {
-                        if let Some(at) = self.process_file(raw, &mut local_report) {
-                            local.push((base + i, at));
-                        }
-                    }
-                    (local, local_report)
-                }));
+    /// Processes one repository shard, catching any worker panic. A panic
+    /// (e.g. pathological input crashing a parser) discards the shard's
+    /// tables *and* its partial report — the repository is quarantined as a
+    /// unit, exactly like a permanent host fault — so the same host with
+    /// the same faults yields the same corpus from every run mode.
+    fn process_shard(&self, repo: &str, shard: &[(usize, &RawCsvFile)]) -> ShardOutcome {
+        let done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut local_report = PipelineReport::default();
+            let mut local = Vec::with_capacity(shard.len());
+            for &(i, raw) in shard {
+                if let Some(at) = self.process_file(raw, &mut local_report) {
+                    local.push((i, at));
+                }
             }
-            for h in handles {
-                let (local, local_report) = h.join().expect("pipeline worker panicked");
-                results.extend(local);
-                partials.push(local_report);
-            }
-        });
+            (local, local_report)
+        }));
+        match done {
+            Ok((local, local_report)) => ShardOutcome::Done(local, local_report),
+            Err(_) => ShardOutcome::Panicked {
+                repo: repo.to_string(),
+                files: shard.len(),
+            },
+        }
+    }
 
-        for p in partials {
-            report.merge(p);
+    /// Folds shard outcomes into the extraction-stage report and assembles
+    /// the corpus in extraction order. Panicked shards quarantine their
+    /// repository: the tables are dropped, the shard's files leave
+    /// `fetched` (preserving `parsed + parse_failed == fetched`), and the
+    /// repository is recorded in `quarantined_repos`.
+    fn assemble(
+        &self,
+        outcomes: Vec<ShardOutcome>,
+        mut report: PipelineReport,
+    ) -> (Corpus, PipelineReport) {
+        let mut results: Vec<(usize, AnnotatedTable)> = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                ShardOutcome::Done(local, local_report) => {
+                    results.extend(local);
+                    report.merge(local_report);
+                }
+                ShardOutcome::Panicked { repo, files } => {
+                    report.fetched -= files;
+                    merge_quarantined(
+                        &mut report.quarantined_repos,
+                        vec![Quarantined {
+                            name: repo,
+                            reason: "worker panic".to_string(),
+                        }],
+                    );
+                }
+            }
         }
         results.sort_by_key(|(i, _)| *i);
         let mut corpus = Corpus::new(self.corpus_name());
@@ -369,55 +472,60 @@ impl Pipeline {
         (corpus, report)
     }
 
+    /// Runs the full pipeline against a populated host.
+    ///
+    /// Repository shards are distributed contiguously across
+    /// `config.workers` scoped threads; each shard's processing is
+    /// panic-isolated ([`Pipeline::process_shard`]), so a crashing worker
+    /// quarantines one repository instead of aborting the run.
+    #[must_use]
+    pub fn run(&self, host: &dyn CodeHost) -> (Corpus, PipelineReport) {
+        let (raw_files, report) = self.extract_stage(host, HashMap::new());
+        let shards = shard_by_repository(&raw_files);
+        let workers = self.config.effective_workers().max(1);
+        let per = shards.len().div_ceil(workers).max(1);
+
+        let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(shards.len());
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for group in shards.chunks(per) {
+                handles.push(s.spawn(move || {
+                    group
+                        .iter()
+                        .map(|(repo, shard)| self.process_shard(repo, shard))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                // Cannot panic: every shard inside is panic-isolated.
+                outcomes.extend(h.join().expect("worker catches shard panics"));
+            }
+        });
+        self.assemble(outcomes, report)
+    }
+
     /// Runs the full pipeline with a rayon-style per-repository fan-out.
     ///
-    /// Where [`Pipeline::run`] splits the raw file list into fixed-size
-    /// chunks, this shards it by repository — the unit the extraction
-    /// API hands back and the natural grain for scaling out, since
-    /// per-repository work (parse → curate → annotate → anonymize) is
-    /// independent across repositories. Shard partial reports are merged
-    /// associatively via [`PipelineReport::merge`] and tables are
+    /// Where [`Pipeline::run`] splits the repository shards into fixed
+    /// contiguous groups, this hands every shard to rayon — the unit the
+    /// extraction API hands back and the natural grain for scaling out,
+    /// since per-repository work (parse → curate → annotate → anonymize)
+    /// is independent across repositories. Shard partial reports are
+    /// merged associatively via [`PipelineReport::merge`] and tables are
     /// re-emitted in extraction order, so the resulting corpus and
     /// report are identical to a serial [`Pipeline::run`] on the same
     /// host — scheduling can never change the output.
     #[must_use]
-    pub fn run_parallel(&self, host: &GitHost) -> (Corpus, PipelineReport) {
+    pub fn run_parallel(&self, host: &dyn CodeHost) -> (Corpus, PipelineReport) {
         use rayon::prelude::*;
 
-        let (raw_files, queries) = self.extract_all(host);
-        let mut report = PipelineReport {
-            fetched: raw_files.len(),
-            queries_executed: queries,
-            ..Default::default()
-        };
-
+        let (raw_files, report) = self.extract_stage(host, HashMap::new());
         let shards = shard_by_repository(&raw_files);
-
-        let partials: Vec<(Vec<(usize, AnnotatedTable)>, PipelineReport)> = shards
+        let outcomes: Vec<ShardOutcome> = shards
             .par_iter()
-            .map(|(_, shard)| {
-                let mut local_report = PipelineReport::default();
-                let mut local = Vec::with_capacity(shard.len());
-                for &(i, raw) in shard {
-                    if let Some(at) = self.process_file(raw, &mut local_report) {
-                        local.push((i, at));
-                    }
-                }
-                (local, local_report)
-            })
+            .map(|(repo, shard)| self.process_shard(repo, shard))
             .collect();
-
-        let mut results: Vec<(usize, AnnotatedTable)> = Vec::with_capacity(raw_files.len());
-        for (local, local_report) in partials {
-            results.extend(local);
-            report.merge(local_report);
-        }
-        results.sort_by_key(|(i, _)| *i);
-        let mut corpus = Corpus::new(self.corpus_name());
-        for (_, at) in results {
-            corpus.push(at);
-        }
-        (corpus, report)
+        self.assemble(outcomes, report)
     }
 
     /// The name every run of this pipeline gives its corpus (seed-derived,
@@ -435,10 +543,10 @@ impl Pipeline {
     /// Propagates [`StoreError`] from shard writes and the final load.
     pub fn run_to_store(
         &self,
-        host: &GitHost,
+        host: &dyn CodeHost,
         store: &CorpusStore,
     ) -> Result<StoreRun, StoreError> {
-        self.run_to_store_bounded(host, store, None)
+        self.run_to_store_opts(host, store, None, false)
     }
 
     /// Store-backed run with **incremental resume**: repositories whose
@@ -465,9 +573,32 @@ impl Pipeline {
     /// different corpus (e.g. another seed).
     pub fn run_to_store_bounded(
         &self,
-        host: &GitHost,
+        host: &dyn CodeHost,
         store: &CorpusStore,
         max_new_shards: Option<usize>,
+    ) -> Result<StoreRun, StoreError> {
+        self.run_to_store_opts(host, store, max_new_shards, false)
+    }
+
+    /// [`Pipeline::run_to_store_bounded`] plus control over the persisted
+    /// quarantine: the store carries a `quarantine.json` sidecar listing
+    /// repositories quarantined by previous invocations. By default those
+    /// are *sticky* — skipped without any host traffic and re-recorded in
+    /// the report — so a flaky repository cannot flap in and out of the
+    /// corpus between resumes. With `retry_quarantined` they are
+    /// re-attempted from scratch (the self-healing resume path): a
+    /// repository that now extracts and processes cleanly joins the corpus
+    /// and leaves the log. The sidecar is rewritten after every run with
+    /// the repositories quarantined *by that run*.
+    ///
+    /// # Errors
+    /// As [`Pipeline::run_to_store_bounded`].
+    pub fn run_to_store_opts(
+        &self,
+        host: &dyn CodeHost,
+        store: &CorpusStore,
+        max_new_shards: Option<usize>,
+        retry_quarantined: bool,
     ) -> Result<StoreRun, StoreError> {
         use rayon::prelude::*;
 
@@ -481,43 +612,55 @@ impl Pipeline {
             });
         }
 
-        let (raw_files, queries) = self.extract_all(host);
+        let log = QuarantineLog::load(store.path()).map_err(StoreError::Io)?;
+        let skip = if retry_quarantined {
+            HashMap::new()
+        } else {
+            log.skip_map()
+        };
+        let (raw_files, mut report) = self.extract_stage(host, skip);
         let shards = shard_by_repository(&raw_files);
 
         let mut skipped: Vec<String> = Vec::new();
-        let mut pending: Vec<(String, &Vec<(usize, &RawCsvFile)>)> = Vec::new();
+        let mut pending: Vec<(&str, String, &ShardFiles<'_>)> = Vec::new();
         let mut deferred_files = 0usize;
         for (repo, files) in &shards {
             let id = shard_id_for(repo);
             if store.has_shard(&id) {
                 skipped.push(id);
             } else {
-                pending.push((id, files));
+                pending.push((repo, id, files));
             }
         }
         let limit = max_new_shards.unwrap_or(pending.len()).min(pending.len());
-        for (_, files) in &pending[limit..] {
+        for (_, _, files) in &pending[limit..] {
             deferred_files += files.len();
         }
         pending.truncate(limit);
 
         // Process → write → commit each pending shard independently; the
         // manifest commit is the durability point, so a crash loses at most
-        // the shards still in flight.
-        let written: Vec<Result<PipelineReport, StoreError>> = pending
+        // the shards still in flight. Processing is panic-isolated and
+        // buffered *before* the shard file is begun: a panicking worker
+        // quarantines its repository without ever creating a partial shard.
+        let written: Vec<Result<ShardOutcome, StoreError>> = pending
             .par_iter()
-            .map(|(id, files)| {
-                let mut local_report = PipelineReport::default();
-                let mut writer = store.begin_shard(id)?;
-                for &(i, raw) in files.iter() {
-                    if let Some(at) = self.process_file(raw, &mut local_report) {
-                        writer.push(i, &at)?;
+            .map(|(repo, id, files)| {
+                match self.process_shard(repo, files) {
+                    outcome @ ShardOutcome::Panicked { .. } => Ok(outcome),
+                    ShardOutcome::Done(local, local_report) => {
+                        let mut writer = store.begin_shard(id)?;
+                        for (i, at) in &local {
+                            writer.push(*i, at)?;
+                        }
+                        let mut entry = writer.finish()?;
+                        entry.meta = Some(serde_json::to_string(&local_report)?);
+                        store.commit_shard(entry)?;
+                        // Tables are not needed again — the corpus reloads
+                        // (and integrity-checks) through the store below.
+                        Ok(ShardOutcome::Done(Vec::new(), local_report))
                     }
                 }
-                let mut entry = writer.finish()?;
-                entry.meta = Some(serde_json::to_string(&local_report)?);
-                store.commit_shard(entry)?;
-                Ok(local_report)
             })
             .collect();
 
@@ -525,14 +668,24 @@ impl Pipeline {
         // (processed + previously stored); files of shards deferred by
         // `max_new_shards` are excluded so `parsed + parse_failed ==
         // fetched` holds for partial reports too. Once nothing is deferred,
-        // this equals `raw_files.len()` — the `run_parallel` value.
-        let mut report = PipelineReport {
-            fetched: raw_files.len() - deferred_files,
-            queries_executed: queries,
-            ..Default::default()
-        };
+        // this equals the `run_parallel` value.
+        report.fetched -= deferred_files;
+        let mut panicked = 0usize;
         for local in written {
-            report.merge(local?);
+            match local? {
+                ShardOutcome::Done(_, local_report) => report.merge(local_report),
+                ShardOutcome::Panicked { repo, files } => {
+                    panicked += 1;
+                    report.fetched -= files;
+                    merge_quarantined(
+                        &mut report.quarantined_repos,
+                        vec![Quarantined {
+                            name: repo,
+                            reason: "worker panic".to_string(),
+                        }],
+                    );
+                }
+            }
         }
         for id in &skipped {
             let entry = store
@@ -566,21 +719,52 @@ impl Pipeline {
                 // order, after all currently-extracted ones.
                 .unwrap_or(usize::MAX)
         });
+
+        // Persist this run's quarantine as the new sidecar: sticky entries
+        // that were skipped are re-recorded (they stay), retried entries
+        // that healed are absent (they leave the log).
+        let log = QuarantineLog {
+            repos: report.quarantined_repos.clone(),
+        };
+        log.save(store.path()).map_err(StoreError::Io)?;
+
         Ok(StoreRun {
             corpus,
             report,
-            shards_written: pending.len(),
+            shards_written: pending.len() - panicked,
             shards_skipped: skipped.len(),
         })
     }
 }
 
+/// The result of processing one repository shard: its tables and partial
+/// report, or the fact that a worker panic quarantined the repository.
+enum ShardOutcome {
+    /// Tables (tagged with extraction indices) and the shard-local report.
+    Done(Vec<(usize, AnnotatedTable)>, PipelineReport),
+    /// A worker panicked inside this shard; `files` is the shard size, to
+    /// be subtracted from `fetched`.
+    Panicked {
+        /// Repository `owner/name`.
+        repo: String,
+        /// Files the shard held.
+        files: usize,
+    },
+}
+
+/// One repository's raw files, each carrying its global extraction index
+/// for order-preserving reassembly.
+type ShardFiles<'a> = Vec<(usize, &'a RawCsvFile)>;
+
+/// One repository's shard of raw files: (repository, files).
+type RepoShard<'a> = (&'a str, ShardFiles<'a>);
+
 /// Groups raw files by repository — the pipeline's fan-out grain — keeping
 /// first-appearance order so the shard list is deterministic. Each file
 /// carries its global extraction index for order-preserving reassembly.
-fn shard_by_repository(raw_files: &[RawCsvFile]) -> Vec<(&str, Vec<(usize, &RawCsvFile)>)> {
+fn shard_by_repository(raw_files: &[RawCsvFile]) -> Vec<RepoShard<'_>> {
     let mut shard_of: HashMap<&str, usize> = HashMap::new();
-    let mut shards: Vec<(&str, Vec<(usize, &RawCsvFile)>)> = Vec::new();
+    let mut shards: Vec<RepoShard> = Vec::new();
     for (i, raw) in raw_files.iter().enumerate() {
         let shard = *shard_of.entry(raw.repository.as_str()).or_insert_with(|| {
             shards.push((raw.repository.as_str(), Vec::new()));

@@ -162,6 +162,8 @@ pub struct JsonlCodec;
 
 struct JsonlEncoder {
     writer: std::io::BufWriter<std::fs::File>,
+    /// Full path, for failpoint filters.
+    path: String,
 }
 
 impl ShardEncoder for JsonlEncoder {
@@ -176,6 +178,9 @@ impl ShardEncoder for JsonlEncoder {
 
     fn finish(mut self: Box<Self>) -> Result<(), StoreError> {
         self.writer.flush()?;
+        if crate::failpoint::hit("store::shard_fsync", &self.path).is_some() {
+            return Err(crate::failpoint::injected("store::shard_fsync").into());
+        }
         // The durability promise of `commit_shard` requires the shard's
         // bytes to hit disk before its manifest entry does.
         self.writer.get_ref().sync_all()?;
@@ -192,6 +197,7 @@ impl ShardCodec for JsonlCodec {
         let handle = std::fs::File::create(path)?;
         Ok(Box::new(JsonlEncoder {
             writer: std::io::BufWriter::new(handle),
+            path: path.display().to_string(),
         }))
     }
 

@@ -696,6 +696,8 @@ pub(crate) struct SegmentWriter {
     pos: u64,
     scratch: Vec<u8>,
     file: String,
+    /// Full path, for failpoint filters.
+    path: String,
 }
 
 impl SegmentWriter {
@@ -709,6 +711,7 @@ impl SegmentWriter {
             pos: FILE_MAGIC.len() as u64,
             scratch: Vec::new(),
             file,
+            path: path.display().to_string(),
         })
     }
 
@@ -733,6 +736,9 @@ impl SegmentWriter {
         self.writer.write_all(&footer_start.to_le_bytes())?;
         self.writer.write_all(FOOTER_MAGIC)?;
         self.writer.flush()?;
+        if crate::failpoint::hit("store::shard_fsync", &self.path).is_some() {
+            return Err(crate::failpoint::injected("store::shard_fsync").into());
+        }
         self.writer.get_ref().sync_all()?;
         Ok(())
     }

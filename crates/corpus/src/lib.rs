@@ -32,6 +32,7 @@ pub mod colv1;
 pub mod corpus;
 pub mod dedup;
 pub mod export;
+pub mod failpoint;
 pub mod join;
 pub mod persist;
 pub mod sidecar;

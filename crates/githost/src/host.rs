@@ -6,7 +6,85 @@ use std::collections::HashMap;
 use parking_lot::RwLock;
 
 use crate::model::{RepoFile, Repository};
-use crate::search::SearchApi;
+use crate::search::{Query, SearchApi, SearchResponse};
+
+/// A per-operation failure surfaced by a [`CodeHost`].
+///
+/// Real code hosts fail in two fundamentally different ways: *transient*
+/// faults (timeouts, rate limits, 5xx responses) that a retry can heal,
+/// and *permanent* faults (content that fails validation on every
+/// download) that no retry will fix. Callers branch on
+/// [`HostError::is_transient`] to pick between backoff-retry and
+/// quarantine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// The request timed out (transient).
+    Timeout,
+    /// The API rate limit tripped (transient).
+    RateLimited,
+    /// A 5xx-style server failure with its status code (transient).
+    ServerError(u16),
+    /// Downloaded content failed validation (checksum mismatch) — a
+    /// permanent fault for this file.
+    CorruptContent {
+        /// Repository `owner/name` of the corrupt file.
+        repository: String,
+        /// Path of the corrupt file.
+        path: String,
+    },
+}
+
+impl HostError {
+    /// Whether a retry of the same operation can possibly succeed.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, HostError::CorruptContent { .. })
+    }
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::Timeout => write!(f, "request timed out"),
+            HostError::RateLimited => write!(f, "rate limit exceeded"),
+            HostError::ServerError(status) => write!(f, "server error ({status})"),
+            HostError::CorruptContent { repository, path } => {
+                write!(f, "corrupt content for {repository}/{path}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+/// The code-host operations the extraction pipeline depends on, with the
+/// fallible signatures a real network-backed host would have.
+///
+/// [`GitHost`] implements this infallibly (it always returns `Ok`);
+/// [`crate::FlakyHost`] decorates any implementation with seeded,
+/// reproducible faults so retry/quarantine logic can be tested
+/// deterministically.
+pub trait CodeHost: Sync {
+    /// Initial response size of `query` — the uncapped match count used
+    /// to plan query segmentation.
+    ///
+    /// # Errors
+    /// A transient [`HostError`] when the search request fails.
+    fn count(&self, query: &Query) -> Result<usize, HostError>;
+
+    /// One page (1-based) of results for `query`.
+    ///
+    /// # Errors
+    /// A transient [`HostError`] when the search request fails.
+    fn search(&self, query: &Query, page: usize) -> Result<SearchResponse, HostError>;
+
+    /// Raw file contents; `Ok(None)` when the file does not exist.
+    ///
+    /// # Errors
+    /// A transient [`HostError`] when the download fails, or
+    /// [`HostError::CorruptContent`] when the bytes fail validation.
+    fn fetch(&self, repository: &str, path: &str) -> Result<Option<String>, HostError>;
+}
 
 /// Internal id of a stored file.
 pub(crate) type FileId = u32;
@@ -128,6 +206,21 @@ impl GitHost {
         let repo = &inner.repos[meta.repo_idx as usize];
         let file = &repo.files[meta.file_idx as usize];
         (repo, file)
+    }
+}
+
+/// The in-memory host is perfectly reliable: every operation succeeds.
+impl CodeHost for GitHost {
+    fn count(&self, query: &Query) -> Result<usize, HostError> {
+        Ok(self.search_api().count(query))
+    }
+
+    fn search(&self, query: &Query, page: usize) -> Result<SearchResponse, HostError> {
+        Ok(self.search_api().search(query, page))
+    }
+
+    fn fetch(&self, repository: &str, path: &str) -> Result<Option<String>, HostError> {
+        Ok(GitHost::fetch(self, repository, path))
     }
 }
 

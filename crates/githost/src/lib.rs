@@ -34,11 +34,13 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod host;
 pub mod model;
 pub mod search;
 
-pub use host::GitHost;
+pub use fault::{FaultCounts, FaultSpec, FlakyHost};
+pub use host::{CodeHost, GitHost, HostError};
 pub use model::{RepoFile, Repository};
 pub use search::{
     Query, SearchApi, SearchResponse, SearchResult, MAX_RESULTS_PER_QUERY, PAGE_SIZE,

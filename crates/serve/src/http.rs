@@ -738,6 +738,14 @@ fn error_body(status: u16, endpoint: Endpoint, message: impl Into<String>) -> Ro
     }
 }
 
+/// A fan-out failed because a shard query thread panicked: count it in
+/// `/metrics` (`shard_errors`) and answer a typed 500 — the server stays
+/// up and every other request keeps working.
+fn shard_error_body(shared: &Shared, endpoint: Endpoint, e: &crate::router::ShardPanic) -> Routed {
+    shared.metrics.record_shard_error();
+    error_body(500, endpoint, e.to_string())
+}
+
 fn ok_body<T: serde::Serialize>(endpoint: Endpoint, value: &T) -> Routed {
     Routed {
         status: 200,
@@ -796,7 +804,10 @@ fn route(shared: &Shared, router: &Router, req: &Request, endpoint: Endpoint) ->
                 return error_body(400, endpoint, "missing query parameter `q`");
             };
             match num_param(req, "k", 10) {
-                Ok(k) => ok_body(endpoint, &router.search(q, k)),
+                Ok(k) => match router.search(q, k) {
+                    Ok(hits) => ok_body(endpoint, &hits),
+                    Err(e) => shard_error_body(shared, endpoint, &e),
+                },
                 Err(e) => error_body(400, endpoint, e),
             }
         }
@@ -806,20 +817,27 @@ fn route(shared: &Shared, router: &Router, req: &Request, endpoint: Endpoint) ->
             };
             let attrs: Vec<&str> = prefix.split(',').map(str::trim).collect();
             match num_param(req, "k", 5) {
-                Ok(k) => ok_body(endpoint, &router.complete(&attrs, k)),
+                Ok(k) => match router.complete(&attrs, k) {
+                    Ok(completions) => ok_body(endpoint, &completions),
+                    Err(e) => shard_error_body(shared, endpoint, &e),
+                },
                 Err(e) => error_body(400, endpoint, e),
             }
         }
-        Endpoint::Types => ok_body(endpoint, &router.type_counts()),
+        Endpoint::Types => match router.type_counts() {
+            Ok(counts) => ok_body(endpoint, &counts),
+            Err(e) => shard_error_body(shared, endpoint, &e),
+        },
         Endpoint::TypeTables => {
             let label = req.segments.get(1).map_or("", String::as_str);
             match router.type_tables(label) {
-                Some(t) => ok_body(endpoint, &t),
-                None => error_body(
+                Ok(Some(t)) => ok_body(endpoint, &t),
+                Ok(None) => error_body(
                     404,
                     endpoint,
                     format!("semantic type `{label}` is not indexed"),
                 ),
+                Err(e) => shard_error_body(shared, endpoint, &e),
             }
         }
         Endpoint::Table => {

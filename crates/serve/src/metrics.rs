@@ -97,6 +97,7 @@ pub struct Metrics {
     counts: [AtomicU64; NUM_ENDPOINTS],
     ok: AtomicU64,
     client_errors: AtomicU64,
+    shard_errors: AtomicU64,
     histogram: [AtomicU64; BUCKETS],
 }
 
@@ -106,6 +107,7 @@ impl Default for Metrics {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
             ok: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
+            shard_errors: AtomicU64::new(0),
             histogram: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -156,6 +158,12 @@ impl Metrics {
         self.histogram[bucket(latency_us)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one scatter-gather fan-out that failed because a shard
+    /// query thread panicked (the request got a typed 500).
+    pub fn record_shard_error(&self) {
+        self.shard_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total requests recorded.
     #[must_use]
     pub fn total(&self) -> u64 {
@@ -197,6 +205,7 @@ impl Metrics {
             total_requests: self.total(),
             ok: self.ok.load(Ordering::Relaxed),
             client_errors: self.client_errors.load(Ordering::Relaxed),
+            shard_errors: self.shard_errors.load(Ordering::Relaxed),
             p50_us: self.quantile_us(0.50),
             p99_us: self.quantile_us(0.99),
             requests: ENDPOINTS
@@ -229,6 +238,9 @@ pub struct MetricsSnapshot {
     pub ok: u64,
     /// Responses with a non-2xx status.
     pub client_errors: u64,
+    /// Fan-outs that failed because a shard query thread panicked (each
+    /// one also counts as a non-2xx response).
+    pub shard_errors: u64,
     /// Estimated median handler latency (µs, histogram upper bound).
     /// Includes cache replays: this is observed response latency, so it
     /// drops as the cache warms — cold-query cost is the p99 tail.

@@ -96,93 +96,124 @@ impl Router {
 
     /// Runs `f` on every shard engine: shard 0 on the calling thread,
     /// the rest on scoped threads. Results come back in shard order.
-    fn fan_out<T: Send>(&self, f: impl Fn(&QueryEngine) -> T + Sync) -> Vec<T> {
+    ///
+    /// Every per-shard call is panic-isolated *inside* its thread, so a
+    /// crashing shard can never unwind across the scope join and take the
+    /// whole server down: the first panicking shard (lowest index) is
+    /// reported as a typed [`ShardPanic`] after all threads have joined.
+    /// The env hook `GITTABLES_PANIC_SHARD=<idx>` injects a panic into
+    /// that shard's call, for exercising the failure path end to end.
+    fn fan_out<T: Send>(&self, f: impl Fn(&QueryEngine) -> T + Sync) -> Result<Vec<T>, ShardPanic> {
         let engines = self.set.engines();
+        let injected: Option<usize> = std::env::var("GITTABLES_PANIC_SHARD")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        let call = |idx: usize, e: &QueryEngine| -> Result<T, ShardPanic> {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                assert!(
+                    Some(idx) != injected,
+                    "injected shard panic (GITTABLES_PANIC_SHARD={idx})"
+                );
+                f(e)
+            }))
+            .map_err(|_| ShardPanic { shard: idx })
+        };
         if engines.len() == 1 {
-            return vec![f(&engines[0])];
+            return Ok(vec![call(0, &engines[0])?]);
         }
-        let f = &f;
+        let call = &call;
         std::thread::scope(|s| {
             let handles: Vec<_> = engines[1..]
                 .iter()
-                .map(|e| {
+                .enumerate()
+                .map(|(i, e)| {
                     let e: &QueryEngine = e;
-                    s.spawn(move || f(e))
+                    s.spawn(move || call(i + 1, e))
                 })
                 .collect();
             let mut out = Vec::with_capacity(engines.len());
-            out.push(f(&engines[0]));
-            out.extend(handles.into_iter().map(|h| h.join().expect("shard query")));
-            out
+            let mut failed: Option<ShardPanic> = None;
+            match call(0, &engines[0]) {
+                Ok(v) => out.push(v),
+                Err(e) => failed = Some(e),
+            }
+            // Always join every thread (required by the scope anyway);
+            // report the lowest panicking shard deterministically.
+            for h in handles {
+                match h.join().expect("shard thread catches its own panics") {
+                    Ok(v) => out.push(v),
+                    Err(e) => failed = Some(failed.take().unwrap_or(e)),
+                }
+            }
+            match failed {
+                None => Ok(out),
+                Some(e) => Err(e),
+            }
         })
     }
 
     /// `/search`: scatter to all shards, merge by (score desc, lowest
     /// shard) — bit-identical to the whole-corpus stable sort.
-    #[must_use]
-    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
-        if self.set.num_shards() == 1 {
-            return self.set.engines()[0].search(query, k);
-        }
-        let per = self.fan_out(|e| e.search(query, k));
-        merge_by(per, k, |a, b| {
+    ///
+    /// # Errors
+    /// [`ShardPanic`] when a shard query thread panicked.
+    pub fn search(&self, query: &str, k: usize) -> Result<Vec<SearchHit>, ShardPanic> {
+        let per = self.fan_out(|e| e.search(query, k))?;
+        Ok(merge_by(per, k, |a, b| {
             a.score.partial_cmp(&b.score) == Some(std::cmp::Ordering::Greater)
-        })
+        }))
     }
 
     /// `/complete`: scatter, merge by (distance asc, lowest shard),
     /// dedup schemas keeping the first-taken (= globally surviving)
     /// copy.
-    #[must_use]
-    pub fn complete(&self, prefix: &[&str], k: usize) -> Vec<SchemaCompletion> {
-        if self.set.num_shards() == 1 {
-            return self.set.engines()[0].complete(prefix, k);
-        }
-        let per = self.fan_out(|e| e.complete(prefix, k));
+    ///
+    /// # Errors
+    /// [`ShardPanic`] when a shard query thread panicked.
+    pub fn complete(&self, prefix: &[&str], k: usize) -> Result<Vec<SchemaCompletion>, ShardPanic> {
+        let per = self.fan_out(|e| e.complete(prefix, k))?;
         let mut seen = HashSet::new();
-        let merged = merge_filtered(
+        Ok(merge_filtered(
             per,
             k,
             |a, b| {
                 a.prefix_distance.partial_cmp(&b.prefix_distance) == Some(std::cmp::Ordering::Less)
             },
             |c| seen.insert(c.schema.attributes().to_vec()),
-        );
-        merged
+        ))
     }
 
     /// `/types`: per-label counts summed across shards, in label order.
-    #[must_use]
-    pub fn type_counts(&self) -> Vec<TypeCount> {
-        if self.set.num_shards() == 1 {
-            return self.set.engines()[0].type_counts();
-        }
+    ///
+    /// # Errors
+    /// [`ShardPanic`] when a shard query thread panicked.
+    pub fn type_counts(&self) -> Result<Vec<TypeCount>, ShardPanic> {
         let mut acc: BTreeMap<String, (usize, usize)> = BTreeMap::new();
-        for counts in self.fan_out(QueryEngine::type_counts) {
+        for counts in self.fan_out(QueryEngine::type_counts)? {
             for c in counts {
                 let e = acc.entry(c.label).or_insert((0, 0));
                 e.0 += c.postings;
                 e.1 += c.tables;
             }
         }
-        acc.into_iter()
+        Ok(acc
+            .into_iter()
             .map(|(label, (postings, tables))| TypeCount {
                 label,
                 postings,
                 tables,
             })
-            .collect()
+            .collect())
     }
 
     /// `/types/{label}/tables`: concatenates the shards' posting lists
-    /// and table lists in shard order (= ascending id order). `None`
+    /// and table lists in shard order (= ascending id order). `Ok(None)`
     /// when no shard indexes the label.
-    #[must_use]
-    pub fn type_tables(&self, label: &str) -> Option<TypeTablesResponse> {
-        if self.set.num_shards() == 1 {
-            return self.set.engines()[0].type_tables(label);
-        }
-        let per = self.fan_out(|e| e.type_tables(label));
+    ///
+    /// # Errors
+    /// [`ShardPanic`] when a shard query thread panicked.
+    pub fn type_tables(&self, label: &str) -> Result<Option<TypeTablesResponse>, ShardPanic> {
+        let per = self.fan_out(|e| e.type_tables(label))?;
         let mut found = false;
         let mut tables = Vec::new();
         let mut postings = Vec::new();
@@ -191,11 +222,11 @@ impl Router {
             tables.extend(r.tables);
             postings.extend(r.postings);
         }
-        found.then(|| TypeTablesResponse {
+        Ok(found.then(|| TypeTablesResponse {
             label: label.to_string(),
             tables,
             postings,
-        })
+        }))
     }
 
     /// `/tables/{id}`: routes to the owning shard via the stable-id
@@ -224,6 +255,24 @@ impl Router {
         self.set.engines()
     }
 }
+
+/// A shard query thread panicked during a scatter-gather fan-out. The
+/// router reports this as a typed error — surfaced by the HTTP layer as
+/// a 500 and counted in `/metrics` (`shard_errors`) — instead of letting
+/// the panic unwind through the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPanic {
+    /// Index of the panicking shard (lowest, when several panicked).
+    pub shard: usize,
+}
+
+impl std::fmt::Display for ShardPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} query thread panicked", self.shard)
+    }
+}
+
+impl std::error::Error for ShardPanic {}
 
 /// K-way merge of per-shard lists, each already sorted by the same
 /// order `better` induces: repeatedly take the head that is strictly
@@ -318,7 +367,7 @@ mod tests {
             for k in [0, 1, 3, 7, 20] {
                 for q in ["order status", "species", "population of cities", ""] {
                     assert_eq!(
-                        router.search(q, k),
+                        router.search(q, k).unwrap(),
                         reference.search(q, k),
                         "search n={n} k={k} q={q:?}"
                     );
@@ -329,16 +378,20 @@ mod tests {
                     &["city"][..],
                 ] {
                     assert_eq!(
-                        router.complete(prefix, k),
+                        router.complete(prefix, k).unwrap(),
                         reference.complete(prefix, k),
                         "complete n={n} k={k} prefix={prefix:?}"
                     );
                 }
             }
-            assert_eq!(router.type_counts(), reference.type_counts(), "types n={n}");
+            assert_eq!(
+                router.type_counts().unwrap(),
+                reference.type_counts(),
+                "types n={n}"
+            );
             for label in ["identifier", "name", "nope"] {
                 assert_eq!(
-                    router.type_tables(label),
+                    router.type_tables(label).unwrap(),
                     reference.type_tables(label),
                     "type_tables n={n} {label}"
                 );

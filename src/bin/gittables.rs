@@ -12,7 +12,7 @@
 //! gittables dedup   --corpus corpus.json
 //! gittables save    --corpus corpus.json --out store_dir/ [--shard 256] [--format colv1|jsonl]
 //! gittables load    --store store_dir/ --out corpus.json
-//! gittables resume  --store store_dir/ [--seed 42] [--topics 10] [--repos 40] [--max-shards N] [--format colv1|jsonl]
+//! gittables resume  --store store_dir/ [--seed 42] [--topics 10] [--repos 40] [--max-shards N] [--format colv1|jsonl] [--retry-quarantined]
 //! gittables migrate store_dir/ --to <colv1|jsonl>
 //! gittables index   store_dir/
 //! gittables serve   store_dir/ [--addr 127.0.0.1:7878] [--threads 4] [--cache 1024]
@@ -292,10 +292,11 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         store.format(),
         store.num_shards()
     );
+    let retry_quarantined = args.iter().any(|a| a == "--retry-quarantined");
     let host = GitHost::new();
     pipeline.populate_host(&host);
     let run = pipeline
-        .run_to_store_bounded(&host, &store, max_shards)
+        .run_to_store_opts(&host, &store, max_shards, retry_quarantined)
         .map_err(|e| e.to_string())?;
     eprintln!(
         "wrote {} new shards, skipped {} existing; corpus now {} tables ({} parsed, {} kept this config)",
@@ -305,6 +306,25 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         run.report.parsed,
         run.report.kept
     );
+    if run.report.retries > 0 || run.report.queries_failed > 0 {
+        eprintln!(
+            "host faults: {} retries ({} ms backoff), {} queries failed",
+            run.report.retries, run.report.backoff_ms, run.report.queries_failed
+        );
+    }
+    if run.report.quarantined_repos.is_empty() {
+        if retry_quarantined {
+            eprintln!("quarantine is empty");
+        }
+    } else {
+        eprintln!(
+            "{} repositories quarantined (re-attempt with --retry-quarantined):",
+            run.report.quarantined_repos.len()
+        );
+        for q in &run.report.quarantined_repos {
+            eprintln!("  {} — {}", q.name, q.reason);
+        }
+    }
     Ok(())
 }
 
@@ -404,7 +424,7 @@ fn main() -> ExitCode {
             eprintln!("  dedup    --corpus corpus.json");
             eprintln!("  save     --corpus corpus.json --out store_dir/ [--shard N] [--format colv1|jsonl]");
             eprintln!("  load     --store store_dir/ --out corpus.json");
-            eprintln!("  resume   --store store_dir/ [--seed N] [--topics N] [--repos N] [--max-shards N] [--format colv1|jsonl]");
+            eprintln!("  resume   --store store_dir/ [--seed N] [--topics N] [--repos N] [--max-shards N] [--format colv1|jsonl] [--retry-quarantined]");
             eprintln!("  migrate  store_dir/ --to <colv1|jsonl>");
             eprintln!("  index    store_dir/   (build index sidecars for fast `serve` boots)");
             eprintln!(

@@ -5,38 +5,55 @@
 
 use std::collections::HashMap;
 
-use gittables_core::{Pipeline, PipelineConfig, PipelineReport};
+use gittables_core::{Pipeline, PipelineConfig, PipelineReport, Quarantined};
 use gittables_githost::GitHost;
 use proptest::prelude::*;
 
 fn report_strategy() -> impl Strategy<Value = PipelineReport> {
     (
-        0usize..500,
-        0usize..200,
-        0usize..300,
-        0usize..40,
-        0usize..2000,
+        (0usize..500, 0usize..200, 0usize..300),
+        (0usize..40, 0usize..2000),
         proptest::collection::vec(("[a-z]{2,10}", 0usize..50), 0..5),
+        (0usize..20, 0u64..500, 0usize..5),
+        proptest::collection::vec("[a-z]{2,8}/[a-z]{2,8}", 0..4),
     )
-        .prop_map(|(parsed, parse_failed, kept, pii, total_columns, tags)| {
-            let mut filtered: HashMap<String, usize> = HashMap::new();
-            for (tag, n) in tags {
-                *filtered.entry(tag).or_default() += n;
-            }
-            PipelineReport {
-                fetched: parsed + parse_failed,
-                parsed,
-                parse_failed,
-                filtered,
-                kept: kept.min(parsed),
-                pii_columns: pii.min(total_columns),
-                total_columns,
-                queries_executed: parsed / 10,
-            }
-        })
+        .prop_map(
+            |((parsed, parse_failed, kept), (pii, total_columns), tags, fault, repos)| {
+                let mut filtered: HashMap<String, usize> = HashMap::new();
+                for (tag, n) in tags {
+                    *filtered.entry(tag).or_default() += n;
+                }
+                let (retries, backoff_ms, queries_failed) = fault;
+                let mut quarantined_repos: Vec<Quarantined> = repos
+                    .into_iter()
+                    .map(|name| Quarantined {
+                        name,
+                        reason: "corrupt content".to_string(),
+                    })
+                    .collect();
+                quarantined_repos.sort();
+                quarantined_repos.dedup();
+                PipelineReport {
+                    fetched: parsed + parse_failed,
+                    parsed,
+                    parse_failed,
+                    filtered,
+                    kept: kept.min(parsed),
+                    pii_columns: pii.min(total_columns),
+                    total_columns,
+                    queries_executed: parsed / 10,
+                    retries,
+                    backoff_ms,
+                    queries_failed,
+                    quarantined_repos,
+                    quarantined_files: Vec::new(),
+                }
+            },
+        )
 }
 
-fn totals(r: &PipelineReport) -> (usize, usize, usize, usize, usize, usize, usize) {
+#[allow(clippy::type_complexity)]
+fn totals(r: &PipelineReport) -> (usize, usize, usize, usize, usize, usize, usize, usize, u64) {
     (
         r.fetched,
         r.parsed,
@@ -45,6 +62,8 @@ fn totals(r: &PipelineReport) -> (usize, usize, usize, usize, usize, usize, usiz
         r.pii_columns,
         r.total_columns,
         r.queries_executed,
+        r.retries,
+        r.backoff_ms,
     )
 }
 
@@ -71,21 +90,31 @@ proptest! {
         prop_assert_eq!(&left, &right);
     }
 
-    /// Merging preserves each counter's sum exactly.
+    /// Merging preserves each counter's sum exactly, and the quarantine
+    /// lists union (sorted, deduplicated).
     #[test]
     fn merge_sums_counters(a in report_strategy(), b in report_strategy()) {
-        let (af, ap, apf, ak, api, atc, aq) = totals(&a);
-        let (bf, bp, bpf, bk, bpi, btc, bq) = totals(&b);
+        let (af, ap, apf, ak, api, atc, aq, ar, ab) = totals(&a);
+        let (bf, bp, bpf, bk, bpi, btc, bq, br, bb) = totals(&b);
         let mut merged = a.clone();
         merged.merge(b.clone());
         prop_assert_eq!(
             totals(&merged),
-            (af + bf, ap + bp, apf + bpf, ak + bk, api + bpi, atc + btc, aq + bq)
+            (af + bf, ap + bp, apf + bpf, ak + bk, api + bpi, atc + btc, aq + bq, ar + br, ab + bb)
         );
         let a_dropped: usize = a.filtered.values().sum();
         let b_dropped: usize = b.filtered.values().sum();
         let merged_dropped: usize = merged.filtered.values().sum();
         prop_assert_eq!(merged_dropped, a_dropped + b_dropped);
+        let mut expected_quarantine: Vec<Quarantined> = a
+            .quarantined_repos
+            .iter()
+            .chain(&b.quarantined_repos)
+            .cloned()
+            .collect();
+        expected_quarantine.sort();
+        expected_quarantine.dedup();
+        prop_assert_eq!(&merged.quarantined_repos, &expected_quarantine);
     }
 }
 

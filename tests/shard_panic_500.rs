@@ -1,0 +1,72 @@
+//! Satellite regression for query-time panic isolation: a panicking
+//! shard thread must turn into a typed HTTP 500 (with the panic counted
+//! in `/metrics` as `shard_errors`) — never a hung request or a dead
+//! server. Runs in its own test binary because the panic is injected via
+//! the process-wide `GITTABLES_PANIC_SHARD` hook, which must not race
+//! other tests' router calls.
+
+use gittables_corpus::{save_store, AnnotatedTable, Corpus};
+use gittables_serve::{client, MetricsSnapshot, Server, ServerConfig, ShardSet};
+use gittables_table::{Provenance, Table};
+
+fn corpus() -> Corpus {
+    let mut c = Corpus::new("panic500");
+    for ti in 0..6 {
+        let rows: Vec<Vec<String>> = (0..4)
+            .map(|r| (0..3).map(|col| format!("cell {ti} {r} {col}")).collect())
+            .collect();
+        let t = Table::from_string_rows(format!("t{ti}"), &["col0", "status", "price"], rows)
+            .unwrap()
+            .with_provenance(Provenance::new(format!("o/r{ti}"), format!("t{ti}.csv")));
+        c.push(AnnotatedTable::new(t));
+    }
+    c
+}
+
+#[test]
+fn panicking_shard_returns_typed_500_and_server_survives() {
+    let dir = std::env::temp_dir().join(format!("gt_panic500_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    save_store(&corpus(), &dir, 2).unwrap();
+
+    let set = ShardSet::load(&dir, 2).unwrap();
+    assert_eq!(set.num_shards(), 2);
+    let handle = Server::start_set(
+        set,
+        "127.0.0.1:0",
+        ServerConfig {
+            // No response cache: the panic must not be masked by a cached
+            // answer for the same target.
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let (status, _) = client::get(addr, "/search?q=status&k=3").unwrap();
+    assert_eq!(status, 200, "baseline query must succeed");
+
+    // Arm the hook: shard 1's query thread panics on every fan-out.
+    std::env::set_var("GITTABLES_PANIC_SHARD", "1");
+    for target in ["/search?q=status&k=3", "/complete?prefix=col&k=3", "/types"] {
+        let (status, body) = client::get(addr, target).unwrap();
+        assert_eq!(status, 500, "{target}: {body}");
+        assert!(
+            body.contains("panicked"),
+            "{target}: 500 body must name the panic, got: {body}"
+        );
+    }
+    std::env::remove_var("GITTABLES_PANIC_SHARD");
+
+    // The panics were counted, and the server keeps serving normally.
+    let (status, body) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let snap: MetricsSnapshot = serde_json::from_str(&body).unwrap();
+    assert_eq!(snap.shard_errors, 3, "{body}");
+    let (status, _) = client::get(addr, "/search?q=status&k=3").unwrap();
+    assert_eq!(status, 200, "server must recover once the hook is unset");
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -120,18 +120,18 @@ fn router_bytes(router: &Router) -> Vec<String> {
         ("", 2),
         ("col1 col2", 0),
     ] {
-        out.push(json(&router.search(q, k)));
+        out.push(json(&router.search(q, k).unwrap()));
     }
     for prefix in [vec!["col0_0"], vec!["col0_1", "col1_1"], vec!["nope"]] {
         for k in [0, 2, 20] {
-            out.push(json(&router.complete(&prefix, k)));
+            out.push(json(&router.complete(&prefix, k).unwrap()));
         }
     }
-    out.push(json(&router.type_counts()));
-    for tc in router.type_counts() {
-        out.push(json(&router.type_tables(&tc.label)));
+    out.push(json(&router.type_counts().unwrap()));
+    for tc in router.type_counts().unwrap() {
+        out.push(json(&router.type_tables(&tc.label).unwrap()));
     }
-    out.push(json(&router.type_tables("zzz_not_a_type")));
+    out.push(json(&router.type_tables("zzz_not_a_type").unwrap()));
     for id in 0..router.num_tables() + 2 {
         out.push(json(&router.try_table_summary(id).unwrap()));
     }
@@ -245,7 +245,11 @@ fn reload_swaps_snapshots_under_load_without_dropping_responses() {
     save_store(&corpus_a, &dir, 2).unwrap();
 
     let target = "/search?q=col0&k=4";
-    let body_a = json(&Router::new(ShardSet::load(&dir, 2).unwrap()).search("col0", 4));
+    let body_a = json(
+        &Router::new(ShardSet::load(&dir, 2).unwrap())
+            .search("col0", 4)
+            .unwrap(),
+    );
 
     let handle = Server::start_set(
         ShardSet::load(&dir, 2).unwrap(),
@@ -271,7 +275,11 @@ fn reload_swaps_snapshots_under_load_without_dropping_responses() {
     std::fs::remove_dir_all(&dir).unwrap();
     let corpus_b = build_corpus(&spec_b);
     save_store(&corpus_b, &dir, 3).unwrap();
-    let body_b = json(&Router::new(ShardSet::load(&dir, 2).unwrap()).search("col0", 4));
+    let body_b = json(
+        &Router::new(ShardSet::load(&dir, 2).unwrap())
+            .search("col0", 4)
+            .unwrap(),
+    );
     assert_ne!(body_a, body_b, "snapshots must be distinguishable");
 
     let stop = Arc::new(AtomicBool::new(false));

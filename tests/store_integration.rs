@@ -293,6 +293,105 @@ fn bounded_run_report_partitions_fetched() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Builds, finishes, and commits one single-table shard.
+fn commit_one(
+    store: &CorpusStore,
+    corpus: &Corpus,
+    id: &str,
+    index: usize,
+) -> Result<(), StoreError> {
+    let mut writer = store.begin_shard(id)?;
+    writer.push(index, &corpus.tables[index])?;
+    let entry = writer.finish()?;
+    store.commit_shard(entry)
+}
+
+/// Failpoint matrix over the store's durability path: an injected I/O
+/// failure at any site (shard fsync; manifest write, torn write, fsync,
+/// rename; directory fsync) surfaces as a typed [`StoreError::Io`] and
+/// never leaves a silently-wrong manifest — on reopen the store is either
+/// entirely pre-commit or entirely post-commit, and the failed commit can
+/// be retried to success.
+#[test]
+fn injected_write_failures_are_typed_and_never_tear_the_manifest() {
+    use gittables_corpus::failpoint::{self, FailMode};
+
+    let corpus = pipeline_corpus(61);
+    assert!(corpus.len() >= 2);
+
+    for (i, site) in [
+        "store::shard_fsync",
+        "store::manifest_write",
+        "store::manifest_fsync",
+        "store::manifest_rename",
+        "store::dir_fsync",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let dir = tmp(&format!("fp_err_{i}"));
+        let store = CorpusStore::create(&dir, "fp").expect("create");
+        failpoint::configure(site, FailMode::Err, 1, dir.to_str());
+
+        let err = commit_one(&store, &corpus, "s0", 0).expect_err(site);
+        assert!(matches!(err, StoreError::Io(_)), "{site}: {err}");
+        failpoint::clear(site);
+
+        // Reopen as a fresh process would: the on-disk manifest is a
+        // complete pre-commit or post-commit state, never torn. Only the
+        // dir-fsync site fails *after* the rename (the new manifest is in
+        // place, merely of uncertain durability); every earlier site
+        // leaves the previous manifest.
+        let reopened = CorpusStore::open(&dir).expect("reopen after injected failure");
+        let committed = reopened.shard_entries().len();
+        match *site {
+            "store::dir_fsync" => assert_eq!(committed, 1, "{site}"),
+            _ => assert_eq!(committed, 0, "{site}"),
+        }
+        if committed == 0 {
+            commit_one(&reopened, &corpus, "s0", 0).expect("retry succeeds once disarmed");
+        }
+        let healed = CorpusStore::open(&dir).expect("final open");
+        assert_eq!(healed.load_corpus().expect("loadable").len(), 1, "{site}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Torn manifest write (ENOSPC mid-write): half the bytes land in the
+    // temp file, which is garbage — but it was never renamed, so the live
+    // manifest still holds exactly the previously committed shard.
+    let dir = tmp("fp_short");
+    let store = CorpusStore::create(&dir, "fp").expect("create");
+    commit_one(&store, &corpus, "s0", 0).expect("first commit");
+    failpoint::configure("store::manifest_write", FailMode::Short, 1, dir.to_str());
+    let err = commit_one(&store, &corpus, "s1", 1).expect_err("torn write");
+    assert!(matches!(err, StoreError::Io(_)), "got: {err}");
+    failpoint::clear("store::manifest_write");
+
+    let tmp_file = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    let torn = std::fs::read_to_string(&tmp_file).expect("torn temp file exists");
+    assert!(
+        serde_json::from_str::<StoreManifest>(&torn).is_err(),
+        "the torn temp must not parse as a manifest"
+    );
+    let reopened = CorpusStore::open(&dir).expect("reopen");
+    assert_eq!(
+        reopened.shard_entries().len(),
+        1,
+        "live manifest holds exactly the pre-failure commit"
+    );
+    assert_eq!(reopened.load_corpus().expect("loadable").len(), 1);
+    commit_one(&reopened, &corpus, "s1", 1).expect("retry succeeds");
+    assert_eq!(
+        CorpusStore::open(&dir)
+            .unwrap()
+            .load_corpus()
+            .unwrap()
+            .len(),
+        2
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn legacy_single_file_format_still_round_trips() {
     // The old monolithic format stays readable behind PersistError.
