@@ -35,8 +35,18 @@ struct Metrics {
     serial_parallel_identical: bool,
 }
 
-fn measure(args: &ExptArgs) -> Metrics {
-    let pipeline = gittables_bench::build_pipeline(args);
+/// Builds the standard bench pipeline with a given share of SQL-dump
+/// files in the synthesized repos (0.0 = the historical CSV-only corpus,
+/// so the `baseline` block stays comparable across PRs).
+fn build_pipeline_with_sql(args: &ExptArgs, sql_file_prob: f64) -> Pipeline {
+    let base = gittables_bench::build_pipeline(args);
+    Pipeline::new(PipelineConfig {
+        sql_file_prob,
+        ..base.config
+    })
+}
+
+fn measure(pipeline: &Pipeline) -> Metrics {
     let host = GitHost::new();
     pipeline.populate_host(&host);
 
@@ -66,7 +76,7 @@ fn measure(args: &ExptArgs) -> Metrics {
     // Output-equivalence guard: a serial run must be bit-identical.
     let serial = Pipeline::new(gittables_core::PipelineConfig {
         workers: 1,
-        ..pipeline.config
+        ..pipeline.config.clone()
     });
     let (serial_corpus, serial_report) = serial.run(&host);
     let identical = serial_corpus == corpus && serial_report == report;
@@ -186,7 +196,7 @@ fn main() {
     let args = ExptArgs::parse();
     let out = args.get("out").unwrap_or("BENCH_pipeline.json").to_string();
 
-    let m = measure(&args);
+    let m = measure(&build_pipeline_with_sql(&args, 0.0));
     assert!(
         m.serial_parallel_identical,
         "serial and parallel pipeline outputs diverged — refusing to record"
@@ -197,21 +207,44 @@ fn main() {
         "transient-only faults changed the corpus — retry path is broken"
     );
 
+    // SQL ingestion sections (ISSUE 9): the same corpus shape rendered
+    // entirely as SQL dumps, and a half-and-half mix. Recorded for the
+    // perf trajectory, not gated — the tracking ratio is
+    // `sql_vs_csv_mb_per_sec` (1.0 = parity; the issue targets ≥ ~0.5,
+    // i.e. SQL within 2x of CSV).
+    let sql = measure(&build_pipeline_with_sql(&args, 1.0));
+    assert!(sql.serial_parallel_identical, "sql corpus runs diverged");
+    let mixed = measure(&build_pipeline_with_sql(&args, 0.5));
+    assert!(
+        mixed.serial_parallel_identical,
+        "mixed corpus runs diverged"
+    );
+    let sql_vs_csv = if m.mb_per_sec > 0.0 {
+        sql.mb_per_sec / m.mb_per_sec
+    } else {
+        0.0
+    };
+
     let config = format!(
         "{{ \"seed\": {}, \"topics\": {}, \"repos\": {} }}",
         args.seed, args.topics, args.repos
+    );
+    let sql_sections = format!(
+        "\"sql_corpus\": {},\n  \"mixed_corpus\": {},\n  \"sql_vs_csv_mb_per_sec\": {sql_vs_csv:.3}",
+        metrics_json(&sql, "  "),
+        metrics_json(&mixed, "  "),
     );
     let body = match existing_baseline(&out) {
         Some((baseline_block, baseline_tps)) if baseline_tps > 0.0 => {
             let speedup = m.tables_per_sec / baseline_tps;
             format!(
-                "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {baseline_block},\n  \"after\": {},\n  \"speedup_tables_per_sec\": {speedup:.2},\n  \"faulty_run\": {}\n}}\n",
+                "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {baseline_block},\n  \"after\": {},\n  \"speedup_tables_per_sec\": {speedup:.2},\n  \"faulty_run\": {},\n  {sql_sections}\n}}\n",
                 metrics_json(&m, "  "),
                 faulty_json(&f, "  "),
             )
         }
         _ => format!(
-            "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {},\n  \"faulty_run\": {}\n}}\n",
+            "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {},\n  \"faulty_run\": {},\n  {sql_sections}\n}}\n",
             metrics_json(&m, "  "),
             faulty_json(&f, "  "),
         ),

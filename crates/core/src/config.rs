@@ -3,6 +3,7 @@
 use gittables_curate::CurationConfig;
 use gittables_synth::wordnet::{topic_subset, Topic};
 use gittables_tablecsv::ReadOptions;
+use gittables_tablesql::SqlReadOptions;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the full pipeline. Scale knobs (`topics`,
@@ -18,6 +19,12 @@ pub struct PipelineConfig {
     pub repos_per_topic: usize,
     /// CSV read options.
     pub read_options: ReadOptions,
+    /// SQL-dump read options (dialect is sniffed per file by default).
+    pub sql_options: SqlReadOptions,
+    /// Probability a synthesized file is a SQL dump instead of CSV when
+    /// populating a host. `0.0` (the default) generates the exact
+    /// CSV-only corpora of earlier versions, bit for bit.
+    pub sql_file_prob: f64,
     /// Curation filter configuration.
     pub curation: CurationConfig,
     /// Semantic-annotation similarity threshold.
@@ -97,6 +104,8 @@ impl PipelineConfig {
             topics: topic_subset(3),
             repos_per_topic: 12,
             read_options: ReadOptions::default(),
+            sql_options: SqlReadOptions::default(),
+            sql_file_prob: 0.0,
             curation: CurationConfig {
                 // The analysis corpus keeps unlicensed tables; the published
                 // corpus filters them. Default to keeping (analysis mode).

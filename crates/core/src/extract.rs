@@ -1,9 +1,9 @@
-//! CSV extraction from the (simulated) GitHub search API (§3.2).
+//! File extraction from the (simulated) GitHub search API (§3.2).
 //!
-//! For each topic the extractor:
+//! For each topic and file kind (CSV, SQL dump) the extractor:
 //!
-//! 1. issues the *initial topic query* `q="<topic>" extension:csv` and reads
-//!    the initial response size;
+//! 1. issues the *initial topic query* `q="<topic>" extension:<ext>` and
+//!    reads the initial response size;
 //! 2. if the count exceeds the 1 000-result cap, *segments* the query with
 //!    `size:` qualifiers — ranges are split recursively until each returns at
 //!    most the cap (the paper generates size sequences "proportional to the
@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use gittables_githost::{CodeHost, HostError, Query, SearchResult};
+use gittables_githost::{CodeHost, FileKind, HostError, Query, SearchResult};
 use serde::{Deserialize, Serialize};
 
 use crate::config::FaultPolicy;
@@ -23,7 +23,7 @@ use crate::pipeline::Quarantined;
 /// Maximum file size the API serves (438 kB, §3.2).
 const MAX_FILE_SIZE: usize = 438 * 1024;
 
-/// A fetched raw CSV file with its provenance.
+/// A fetched raw tabular file (CSV or SQL dump) with its provenance.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RawCsvFile {
     /// Repository `owner/name`.
@@ -36,6 +36,9 @@ pub struct RawCsvFile {
     pub license: Option<String>,
     /// Raw contents.
     pub content: String,
+    /// Which parser the file dispatches to (classified from the path, so
+    /// it holds regardless of which kind's query surfaced the file).
+    pub kind: FileKind,
 }
 
 /// Statistics of one topic's extraction.
@@ -298,7 +301,8 @@ fn search_pages(
 
 /// Extracts all CSV files for one topic. Returns the files and stats.
 /// Infallible-host convenience wrapper around
-/// [`extract_topic_session`] with the default fault policy.
+/// [`extract_topic_session`] with the default fault policy and the CSV
+/// file kind.
 #[must_use]
 pub fn extract_topic(
     host: &dyn CodeHost,
@@ -307,21 +311,22 @@ pub fn extract_topic(
 ) -> (Vec<RawCsvFile>, ExtractStats) {
     let policy = FaultPolicy::default();
     let mut session = FaultSession::new(&policy, 0, HashMap::new());
-    extract_topic_session(host, topic, cap, &mut session)
+    extract_topic_session(host, topic, FileKind::Csv, cap, &mut session)
 }
 
-/// Extracts all CSV files for one topic under `session`'s fault policy:
-/// transient faults are retried with backoff, truncated downloads are
-/// detected against the advertised size and retried, and permanent
+/// Extracts all files of one `kind` for one topic under `session`'s fault
+/// policy: transient faults are retried with backoff, truncated downloads
+/// are detected against the advertised size and retried, and permanent
 /// faults or exhausted budgets quarantine the repository (recorded in
 /// the session) while extraction keeps going.
 pub(crate) fn extract_topic_session(
     host: &dyn CodeHost,
     topic: &str,
+    kind: FileKind,
     cap: usize,
     session: &mut FaultSession,
 ) -> (Vec<RawCsvFile>, ExtractStats) {
-    let base = Query::csv(topic);
+    let base = Query::for_kind(topic, kind);
     let initial_count = session
         .query(&format!("count:{base}"), || host.count(&base))
         .unwrap_or(0);
@@ -369,12 +374,14 @@ pub(crate) fn extract_topic_session(
         match fetch_one(host, &r, session) {
             FetchOutcome::Fetched(content) => {
                 stats.fetched += 1;
+                let kind = FileKind::from_path(&r.path);
                 files.push(RawCsvFile {
                     repository: r.repository,
                     path: r.path,
                     topic: topic.to_string(),
                     license: r.license,
                     content,
+                    kind,
                 });
             }
             FetchOutcome::Missing | FetchOutcome::Quarantined => {}

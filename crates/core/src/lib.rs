@@ -5,10 +5,13 @@
 //! substrates together into the paper's pipeline (Fig. 1):
 //!
 //! 1. **Extraction** ([`extract`]) — WordNet topic queries against the
-//!    (simulated) GitHub search API, with size-range segmentation to work
-//!    around the 1 000-result cap (§3.2).
-//! 2. **Parsing** ([`parse`]) — CSV sniffing + robust parsing with the §3.3
-//!    rules (99.3 % of files parse).
+//!    (simulated) GitHub search API for every file kind (CSV and SQL
+//!    dumps), with size-range segmentation to work around the
+//!    1 000-result cap (§3.2).
+//! 2. **Parsing** ([`parse`]) — per-kind dispatch: CSV sniffing + robust
+//!    parsing with the §3.3 rules (99.3 % of files parse), and SQL-dump
+//!    decoding via `gittables_tablesql` (a dump can yield several
+//!    tables, one per `CREATE`/`INSERT`/`COPY` section).
 //! 3. **Curation** — license/dimension/header/social filters and PII
 //!    anonymization (§3.3).
 //! 4. **Annotation** — syntactic and semantic column annotation against
@@ -49,5 +52,6 @@ pub mod t2d_eval;
 
 pub use config::{FaultPolicy, PipelineConfig};
 pub use extract::{extract_topic, RawCsvFile};
+pub use parse::{parse_file, parse_file_tables, ParseFailure};
 pub use pipeline::{Pipeline, PipelineReport, Quarantined, StoreRun};
 pub use quarantine::QuarantineLog;

@@ -11,16 +11,24 @@ use gittables_annotate::{
 use gittables_corpus::store::{shard_id_for, CorpusStore, StoreError};
 use gittables_corpus::{AnnotatedTable, Corpus};
 use gittables_curate::{anonymize_table, FilterReason};
-use gittables_githost::{CodeHost, GitHost, Repository};
+use gittables_githost::{CodeHost, FileKind, GitHost, Repository};
 use gittables_ontology::{contains_digit, dbpedia, normalize_label, schema_org, Ontology};
-use gittables_synth::repo::RepoGenerator;
+use gittables_synth::repo::{RepoConfig, RepoGenerator};
 use gittables_table::Table;
 use serde::{Deserialize, Serialize};
 
 use crate::config::PipelineConfig;
 use crate::extract::{extract_topic_session, FaultSession, RawCsvFile};
-use crate::parse::parse_file;
+use crate::parse::parse_file_tables;
 use crate::quarantine::QuarantineLog;
+
+/// Spacing between the ordering indices of consecutive raw files: file
+/// `i`'s tables get indices `i * SUBTABLE_STRIDE + sub`, so a SQL dump's
+/// sub-tables sort between their file and the next without disturbing the
+/// per-file extraction order that sharding, store indices, and resume
+/// re-ranking are built on. `sub` is capped below the stride in
+/// [`Pipeline::process_shard`].
+const SUBTABLE_STRIDE: usize = 1024;
 
 /// Counters for every stage of the pipeline — the §3.3 percentages.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -263,7 +271,13 @@ impl Pipeline {
     /// Populates `host` with synthetic repositories for every configured
     /// topic (the stand-in for GitHub's existing content; see DESIGN.md §1).
     pub fn populate_host(&self, host: &GitHost) {
-        let gen = RepoGenerator::new(self.config.seed);
+        let gen = RepoGenerator::with_config(
+            self.config.seed,
+            RepoConfig {
+                sql_file_prob: self.config.sql_file_prob,
+                ..RepoConfig::default()
+            },
+        );
         for topic in &self.config.topics {
             for i in 0..self.config.repos_per_topic {
                 let spec = gen.generate(topic, i);
@@ -313,10 +327,20 @@ impl Pipeline {
         let mut files = Vec::new();
         let mut queries = 0usize;
         for topic in &self.config.topics {
-            let (fs, stats) =
-                extract_topic_session(host, &topic.noun, self.config.results_cap, &mut session);
-            queries += stats.queries_executed;
-            files.extend(fs);
+            // Every kind is queried for every topic — the host's contents,
+            // not the synthesis knobs, decide what comes back, so a host
+            // populated elsewhere with SQL dumps is extracted the same way.
+            for kind in FileKind::ALL {
+                let (fs, stats) = extract_topic_session(
+                    host,
+                    &topic.noun,
+                    kind,
+                    self.config.results_cap,
+                    &mut session,
+                );
+                queries += stats.queries_executed;
+                files.extend(fs);
+            }
         }
         if !session.quarantined_repos.is_empty() {
             let quarantined: std::collections::HashSet<&str> = session
@@ -345,13 +369,12 @@ impl Pipeline {
     }
 
     /// Processes one raw file through parse → curate → annotate → anonymize.
-    /// Returns `Ok(Some(_))` for a kept table, `Ok(None)` for a filtered one
-    /// (with the reason recorded in `report`), `Err` for a parse failure.
-    fn process_file(
-        &self,
-        raw: &RawCsvFile,
-        report: &mut PipelineReport,
-    ) -> Option<AnnotatedTable> {
+    /// Returns the kept tables — one for CSV, possibly several for a SQL
+    /// dump — in dump order; filtered tables record their reason and parse
+    /// failures count `parse_failed`, both per *file* invariants:
+    /// `parsed + parse_failed == fetched` counts files, `kept` counts
+    /// tables.
+    fn process_file(&self, raw: &RawCsvFile, report: &mut PipelineReport) -> Vec<AnnotatedTable> {
         if let Some(marker) = &self.config.fault.poison_marker {
             // Test hook for the worker-panic quarantine path: a poisoned
             // table stands in for pathological input that crashes a worker.
@@ -362,22 +385,33 @@ impl Pipeline {
                 raw.path
             );
         }
-        let table: Table = match parse_file(raw, &self.config.read_options) {
-            Ok(t) => t,
-            Err(_) => {
-                report.parse_failed += 1;
-                return None;
-            }
-        };
+        let tables =
+            match parse_file_tables(raw, &self.config.read_options, &self.config.sql_options) {
+                Ok(ts) => ts,
+                Err(_) => {
+                    report.parse_failed += 1;
+                    return Vec::new();
+                }
+            };
         report.parsed += 1;
         let permissive = raw
             .license
             .as_deref()
             .is_some_and(|l| gittables_synth::repo::PERMISSIVE_LICENSES.contains(&l));
-        if let Err(reason) = self.config.curation.evaluate(&table, permissive) {
-            *report.filtered.entry(reason.tag().to_string()).or_default() += 1;
-            return None;
+        let mut kept = Vec::new();
+        for table in tables {
+            if let Err(reason) = self.config.curation.evaluate(&table, permissive) {
+                *report.filtered.entry(reason.tag().to_string()).or_default() += 1;
+                continue;
+            }
+            kept.push(self.annotate_one(table, report));
         }
+        kept
+    }
+
+    /// Annotates and (optionally) anonymizes one curated table, updating
+    /// the kept/PII counters.
+    fn annotate_one(&self, table: Table, report: &mut PipelineReport) -> AnnotatedTable {
         let mut at = AnnotatedTable::new(table);
         let (syn_dbp, syn_sch, sem_dbp, sem_sch) = self.cached_annotations(&at.table);
         at.syntactic_dbpedia = syn_dbp;
@@ -407,7 +441,7 @@ impl Pipeline {
         }
         report.total_columns += at.table.num_columns();
         report.kept += 1;
-        Some(at)
+        at
     }
 
     /// Processes one repository shard, catching any worker panic. A panic
@@ -420,8 +454,13 @@ impl Pipeline {
             let mut local_report = PipelineReport::default();
             let mut local = Vec::with_capacity(shard.len());
             for &(i, raw) in shard {
-                if let Some(at) = self.process_file(raw, &mut local_report) {
-                    local.push((i, at));
+                let tables = self.process_file(raw, &mut local_report);
+                // Spaced indices keep one file's tables contiguous and
+                // ordered between files; the cap guards against an
+                // over-sized `sql_options.max_tables` colliding with the
+                // next file's index range.
+                for (sub, at) in tables.into_iter().take(SUBTABLE_STRIDE).enumerate() {
+                    local.push((i * SUBTABLE_STRIDE + sub, at));
                 }
             }
             (local, local_report)

@@ -41,7 +41,7 @@ pub mod search;
 
 pub use fault::{FaultCounts, FaultSpec, FlakyHost};
 pub use host::{CodeHost, GitHost, HostError};
-pub use model::{RepoFile, Repository};
+pub use model::{FileKind, RepoFile, Repository};
 pub use search::{
     Query, SearchApi, SearchResponse, SearchResult, MAX_RESULTS_PER_QUERY, PAGE_SIZE,
 };

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::host::GitHost;
+use crate::model::FileKind;
 
 /// Maximum number of results a single query can return across all pages
 /// (GitHub's documented cap; §3.2: "a second restriction limits the resulting
@@ -33,6 +34,22 @@ impl Query {
         Query {
             term: term.to_lowercase(),
             extension: Some("csv".to_string()),
+            size: None,
+        }
+    }
+
+    /// Builds a term+`extension:sql` query (the SQL-dump ingest source).
+    #[must_use]
+    pub fn sql(term: &str) -> Self {
+        Query::for_kind(term, FileKind::Sql)
+    }
+
+    /// Builds the topic query for one ingestable [`FileKind`].
+    #[must_use]
+    pub fn for_kind(term: &str, kind: FileKind) -> Self {
+        Query {
+            term: term.to_lowercase(),
+            extension: Some(kind.extension().to_string()),
             size: None,
         }
     }
@@ -295,6 +312,27 @@ mod tests {
         });
         assert_eq!(with_ext, 5);
         assert_eq!(without_ext, 6);
+    }
+
+    #[test]
+    fn sql_files_surfaced_by_kind_query() {
+        let host = host_with_files(3);
+        host.add_repository(Repository {
+            full_name: "d/dumps".into(),
+            license: Some("mit".into()),
+            fork: false,
+            files: vec![RepoFile::new(
+                "db/orders.sql",
+                "CREATE TABLE orders (id int);\nINSERT INTO orders VALUES (1);\n",
+            )],
+        });
+        let api = host.search_api();
+        let hits = api.search_all_pages(&Query::sql("orders"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].path, "db/orders.sql");
+        // The CSV query does not see the dump, and vice versa.
+        assert_eq!(api.count(&Query::csv("orders")), 0);
+        assert_eq!(api.count(&Query::for_kind("id", FileKind::Csv)), 3);
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! * [`csvrender`] — renders tables to CSV text through a configurable *mess
 //!   model*: delimiter choice, quoting, comment preambles, bad lines,
 //!   trailing separators — the defect classes §3.3 curates away.
-//! * [`repo`] — populates simulated repositories with CSV files, licenses
-//!   (≈16 % permissive, §3.3) and fork flags.
+//! * [`sqlrender`] — renders tables to SQL-dump text in `mysqldump` /
+//!   `pg_dump` / `sqlite3 .dump` / ANSI styles, the inverse of the
+//!   `tablesql` ingestion path.
+//! * [`repo`] — populates simulated repositories with CSV (and optionally
+//!   SQL-dump) files, licenses (≈16 % permissive, §3.3) and fork flags.
 //! * [`webtable`] — a VizNet/WDC-like *web table* generator (≈17 rows ×
 //!   3–5 cols) used as the comparison corpus in §4.2 and Table 7.
 //! * [`t2d`] — a T2Dv2-style gold standard with human-labeled DBpedia types
@@ -28,6 +31,7 @@
 pub mod csvrender;
 pub mod repo;
 pub mod schema;
+pub mod sqlrender;
 pub mod t2d;
 pub mod tablegen;
 pub mod values;
@@ -37,6 +41,7 @@ pub mod wordnet;
 pub use csvrender::{render_csv, MessModel};
 pub use repo::{RepoGenerator, RepoSpec, SynthFile};
 pub use schema::{ColumnSpec, Domain, SchemaPlan, SchemaSampler};
+pub use sqlrender::{render_sql, render_sql_dialect, SqlRenderOptions};
 pub use tablegen::generate_table;
 pub use values::ValueKind;
 pub use webtable::WebTableGenerator;

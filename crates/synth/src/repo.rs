@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::csvrender::{render_csv, MessModel};
 use crate::schema::SchemaSampler;
+use crate::sqlrender::{render_sql, SqlRenderOptions};
 use crate::tablegen::generate_table;
 use crate::values::{uniform, LAST_NAMES, WORDS};
 use crate::wordnet::Topic;
@@ -88,6 +89,12 @@ pub struct RepoConfig {
     pub files_snapshot: (usize, usize),
     /// CSV mess model applied when rendering.
     pub mess: MessModel,
+    /// Probability a file is rendered as a SQL dump instead of CSV. The
+    /// default of `0.0` draws **no** randomness for the decision, so
+    /// corpora generated before SQL ingestion existed stay bit-identical.
+    pub sql_file_prob: f64,
+    /// Dump-style options applied when rendering SQL files.
+    pub sql: SqlRenderOptions,
 }
 
 impl Default for RepoConfig {
@@ -99,6 +106,8 @@ impl Default for RepoConfig {
             files_ordinary: (1, 5),
             files_snapshot: (30, 120),
             mess: MessModel::default(),
+            sql_file_prob: 0.0,
+            sql: SqlRenderOptions::default(),
         }
     }
 }
@@ -197,7 +206,20 @@ impl RepoGenerator {
                 None => self.sampler.sample(&mut rng, &topic.noun, topic.domain),
             };
             let table = generate_table(&mut rng, &plan);
-            let mut content = render_csv(&mut rng, &table, &self.config.mess);
+            // The `> 0.0` guard keeps the zero-probability path from
+            // consuming a random draw — seeded CSV-only corpora must stay
+            // bit-identical to those generated before SQL support existed.
+            let as_sql = self.config.sql_file_prob > 0.0 && rng.gen_bool(self.config.sql_file_prob);
+            let stem = topic.noun.replace(' ', "_");
+            let (mut content, ext) = if as_sql {
+                let sql_name = format!("{stem}_{f}");
+                (
+                    render_sql(&mut rng, &sql_name, &table, &self.config.sql),
+                    "sql",
+                )
+            } else {
+                (render_csv(&mut rng, &table, &self.config.mess), "csv")
+            };
             if content.len() > MAX_FILE_SIZE {
                 content.truncate(MAX_FILE_SIZE);
                 // Cut at the last full line so truncation looks like a
@@ -207,7 +229,7 @@ impl RepoGenerator {
                 }
             }
             let dir = if snapshot { "snapshots" } else { "data" };
-            let path = format!("{dir}/{}_{f}.csv", topic.noun.replace(' ', "_"));
+            let path = format!("{dir}/{stem}_{f}.{ext}");
             files.push(SynthFile {
                 path,
                 content,
@@ -303,6 +325,38 @@ mod tests {
             "{same}/{} share the schema",
             headers.len()
         );
+    }
+
+    #[test]
+    fn sql_files_emitted_when_enabled() {
+        let cfg = RepoConfig {
+            sql_file_prob: 1.0,
+            snapshot_prob: 0.0,
+            ..Default::default()
+        };
+        let g = RepoGenerator::with_config(29, cfg);
+        let mut parsed = 0;
+        for i in 0..20 {
+            let r = g.generate(&topic(), i);
+            for f in &r.files {
+                assert!(f.path.ends_with(".sql"), "{}", f.path);
+                if gittables_tablesql::read_sql_tables(&f.content, &Default::default()).is_ok() {
+                    parsed += 1;
+                }
+            }
+        }
+        // Garbage injection aside, the dumps must decode.
+        assert!(parsed >= 15, "only {parsed} dumps decoded");
+    }
+
+    #[test]
+    fn default_config_emits_no_sql() {
+        let g = RepoGenerator::new(31);
+        for i in 0..20 {
+            for f in g.generate(&topic(), i).files {
+                assert!(f.path.ends_with(".csv"), "{}", f.path);
+            }
+        }
     }
 
     #[test]

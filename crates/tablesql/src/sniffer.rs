@@ -1,0 +1,170 @@
+//! SQL dialect detection ("sniffing").
+//!
+//! Mirrors `tablecsv::sniffer`'s structure: candidates are scored over a
+//! *bounded prefix* of the input and the best score wins, with a fixed
+//! priority order breaking ties. Instead of row-shape consistency the
+//! evidence is lexical — each dump tool leaves unmistakable fingerprints
+//! (backticks and `ENGINE=` for `mysqldump`, `COPY ... FROM stdin` and
+//! dollar quotes for `pg_dump`, `PRAGMA` for `sqlite3 .dump`). A dump
+//! with none of them is plain ANSI.
+//!
+//! Sniffing also acts as the *is this SQL at all?* gate: a prefix without
+//! any of `CREATE TABLE` / `INSERT INTO` / `COPY ... FROM stdin` returns
+//! `None`, which the reader surfaces as [`crate::SqlError::NotSql`] — how
+//! binary garbage and misrouted CSV bytes are rejected without a panic.
+
+use crate::dialect::SqlDialect;
+
+/// Bytes of input examined when sniffing (bounded like the CSV sniffer's
+/// sample rows; real dumps reveal their dialect in the first statements).
+const SNIFF_PREFIX: usize = 8 * 1024;
+
+/// Evidence weights per dialect signal.
+const STRONG: u32 = 4;
+const MEDIUM: u32 = 2;
+const WEAK: u32 = 1;
+
+/// Sniffs the dialect of `input`, or `None` when the prefix shows no SQL
+/// table structure at all.
+#[must_use]
+pub fn sniff_dialect(input: &str) -> Option<SqlDialect> {
+    let prefix = bounded_prefix(input, SNIFF_PREFIX);
+    // One bounded lowercase copy; every signal below is a substring probe
+    // against it.
+    let p = prefix.to_ascii_lowercase();
+
+    let has_structure = p.contains("create table")
+        || p.contains("insert into")
+        || (p.contains("copy ") && p.contains("from stdin"));
+    if !has_structure {
+        return None;
+    }
+
+    // MySQL evidence leans on structural tokens a dump tool always emits
+    // (`ENGINE=`, `/*!` conditional comments) rather than bytes that can
+    // occur inside other dialects' string data: MySQL is the one dialect
+    // whose detection changes *escape semantics*, so a stray backtick in
+    // a Postgres cell must not be able to flip it alone.
+    let mysql = score(&[
+        (p.contains("engine="), STRONG),
+        (prefix.contains('`'), MEDIUM),
+        (p.contains("auto_increment"), MEDIUM),
+        (p.contains("/*!"), MEDIUM),
+        (p.contains("lock tables"), WEAK),
+    ]);
+    let postgres = score(&[
+        (p.contains("from stdin"), STRONG),
+        (p.contains("$$") || p.contains("$body$"), MEDIUM),
+        (p.contains("pg_dump") || p.contains("pg_catalog"), MEDIUM),
+        (p.contains("search_path"), MEDIUM),
+        (p.contains("owner to"), MEDIUM),
+        (p.contains(" serial") || p.contains("::"), WEAK),
+    ]);
+    let sqlite = score(&[
+        (p.contains("pragma"), STRONG),
+        (p.contains("sqlite"), MEDIUM),
+        (p.contains("autoincrement"), MEDIUM),
+        (p.contains("begin transaction"), WEAK),
+    ]);
+
+    // Highest evidence wins; ties break toward the later candidate —
+    // i.e. away from MySQL's backslash escapes, the only semantics that
+    // can corrupt a misdialected decode. No evidence at all is a plain
+    // ANSI dump.
+    let best = [
+        (SqlDialect::MySql, mysql),
+        (SqlDialect::Postgres, postgres),
+        (SqlDialect::Sqlite, sqlite),
+    ]
+    .into_iter()
+    .max_by_key(|&(_, s)| s)
+    .filter(|&(_, s)| s > 0);
+    Some(best.map_or(SqlDialect::Ansi, |(d, _)| d))
+}
+
+#[inline]
+fn score(signals: &[(bool, u32)]) -> u32 {
+    signals.iter().map(|&(hit, w)| u32::from(hit) * w).sum()
+}
+
+/// The longest prefix of `input` that is at most `max` bytes and ends on
+/// a char boundary.
+fn bounded_prefix(input: &str, max: usize) -> &str {
+    if input.len() <= max {
+        return input;
+    }
+    let mut end = max;
+    while end > 0 && !input.is_char_boundary(end) {
+        end -= 1;
+    }
+    &input[..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mysql_fingerprints() {
+        let d = sniff_dialect(
+            "CREATE TABLE `orders` (`id` int AUTO_INCREMENT) ENGINE=InnoDB;\n\
+             INSERT INTO `orders` VALUES (1);\n",
+        );
+        assert_eq!(d, Some(SqlDialect::MySql));
+    }
+
+    #[test]
+    fn postgres_fingerprints() {
+        let d = sniff_dialect(
+            "CREATE TABLE public.orders (id integer);\n\
+             COPY public.orders (id) FROM stdin;\n1\n\\.\n",
+        );
+        assert_eq!(d, Some(SqlDialect::Postgres));
+    }
+
+    #[test]
+    fn sqlite_fingerprints() {
+        let d = sniff_dialect(
+            "PRAGMA foreign_keys=OFF;\nBEGIN TRANSACTION;\n\
+             CREATE TABLE orders (id INTEGER);\nINSERT INTO orders VALUES (1);\n",
+        );
+        assert_eq!(d, Some(SqlDialect::Sqlite));
+    }
+
+    #[test]
+    fn plain_dump_is_ansi() {
+        let d = sniff_dialect("CREATE TABLE t (a text);\nINSERT INTO t VALUES ('x');\n");
+        assert_eq!(d, Some(SqlDialect::Ansi));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(sniff_dialect("x8!!@@##9 qq\nzzzz\n"), None);
+        assert_eq!(sniff_dialect(""), None);
+        // CSV content misrouted into the SQL path must be rejected, not
+        // half-parsed.
+        assert_eq!(sniff_dialect("id,name\n1,ant\n2,bee\n"), None);
+    }
+
+    #[test]
+    fn sniff_is_bounded() {
+        // Dialect evidence past the prefix is ignored; the early
+        // structure decides.
+        let mut dump = String::from("CREATE TABLE t (a text);\n");
+        while dump.len() < SNIFF_PREFIX {
+            dump.push_str("INSERT INTO t VALUES ('row');\n");
+        }
+        dump.push_str("CREATE TABLE `late` (`x` int) ENGINE=InnoDB;\n");
+        assert_eq!(sniff_dialect(&dump), Some(SqlDialect::Ansi));
+    }
+
+    #[test]
+    fn prefix_respects_char_boundaries() {
+        let mut dump = String::from("CREATE TABLE t (a text);\n");
+        while dump.len() < SNIFF_PREFIX - 1 {
+            dump.push('é');
+        }
+        // Must not panic slicing mid-char.
+        let _ = sniff_dialect(&dump);
+    }
+}

@@ -2,7 +2,7 @@
 //! applications.
 //!
 //! ```text
-//! gittables build   --out corpus.json [--seed 42] [--topics 10] [--repos 40]
+//! gittables build   --out corpus.json [--seed 42] [--topics 10] [--repos 40] [--sql 0.0]
 //! gittables stats   --corpus corpus.json
 //! gittables search  --corpus corpus.json --query "status and sales amount per product" [--k 5]
 //! gittables complete --corpus corpus.json --prefix "order_id,order_date" [--k 5]
@@ -12,7 +12,7 @@
 //! gittables dedup   --corpus corpus.json
 //! gittables save    --corpus corpus.json --out store_dir/ [--shard 256] [--format colv1|jsonl]
 //! gittables load    --store store_dir/ --out corpus.json
-//! gittables resume  --store store_dir/ [--seed 42] [--topics 10] [--repos 40] [--max-shards N] [--format colv1|jsonl] [--retry-quarantined]
+//! gittables resume  --store store_dir/ [--seed 42] [--topics 10] [--repos 40] [--sql 0.0] [--max-shards N] [--format colv1|jsonl] [--retry-quarantined]
 //! gittables migrate store_dir/ --to <colv1|jsonl>
 //! gittables index   store_dir/
 //! gittables serve   store_dir/ [--addr 127.0.0.1:7878] [--threads 4] [--cache 1024]
@@ -55,13 +55,31 @@ fn load(args: &[String]) -> Result<Corpus, String> {
     persist::load_corpus(&PathBuf::from(&path)).map_err(|e| format!("loading {path}: {e}"))
 }
 
-fn cmd_build(args: &[String]) -> Result<(), String> {
-    let out = opt(args, "--out").ok_or("missing --out <file>")?;
+/// The `build`/`resume` pipeline config: `--seed/--topics/--repos` plus
+/// `--sql <prob>`, the share of synthesized files rendered as SQL dumps
+/// instead of CSV. The default 0.0 draws no extra randomness, so corpora
+/// built before SQL ingestion existed stay bit-identical.
+fn sized_config(args: &[String]) -> PipelineConfig {
     let seed = num(args, "--seed", 42u64);
     let topics = num(args, "--topics", 10usize);
     let repos = num(args, "--repos", 40usize);
-    eprintln!("building corpus: seed {seed}, {topics} topics x {repos} repos");
-    let pipeline = Pipeline::new(PipelineConfig::sized(seed, topics, repos));
+    PipelineConfig {
+        sql_file_prob: num(args, "--sql", 0.0f64).clamp(0.0, 1.0),
+        ..PipelineConfig::sized(seed, topics, repos)
+    }
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let out = opt(args, "--out").ok_or("missing --out <file>")?;
+    let config = sized_config(args);
+    eprintln!(
+        "building corpus: seed {}, {} topics x {} repos, sql share {}",
+        config.seed,
+        config.topics.len(),
+        config.repos_per_topic,
+        config.sql_file_prob
+    );
+    let pipeline = Pipeline::new(config);
     let host = GitHost::new();
     pipeline.populate_host(&host);
     let (corpus, report) = pipeline.run(&host);
@@ -268,9 +286,6 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
 
 fn cmd_resume(args: &[String]) -> Result<(), String> {
     let dir = opt(args, "--store").ok_or("missing --store <dir>")?;
-    let seed = num(args, "--seed", 42u64);
-    let topics = num(args, "--topics", 10usize);
-    let repos = num(args, "--repos", 40usize);
     let max_shards = match opt(args, "--max-shards") {
         Some(v) => Some(
             v.parse::<usize>()
@@ -278,7 +293,9 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         ),
         None => None,
     };
-    let pipeline = Pipeline::new(PipelineConfig::sized(seed, topics, repos));
+    let config = sized_config(args);
+    let (seed, topics, repos) = (config.seed, config.topics.len(), config.repos_per_topic);
+    let pipeline = Pipeline::new(config);
     // `--format` applies when the store is first created; an existing
     // store keeps its recorded format (use `migrate` to change it).
     let store = gittables_corpus::CorpusStore::open_or_create_with_format(
@@ -414,7 +431,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!("usage: gittables <build|stats|search|complete|annotate|export|union|dedup|save|load|resume|migrate|index|serve> [options]");
-            eprintln!("  build    --out corpus.json [--seed N] [--topics N] [--repos N]");
+            eprintln!("  build    --out corpus.json [--seed N] [--topics N] [--repos N] [--sql P]");
             eprintln!("  stats    --corpus corpus.json");
             eprintln!("  search   --corpus corpus.json --query \"...\" [--k N]");
             eprintln!("  complete --corpus corpus.json --prefix a,b,c [--k N]");
@@ -424,7 +441,7 @@ fn main() -> ExitCode {
             eprintln!("  dedup    --corpus corpus.json");
             eprintln!("  save     --corpus corpus.json --out store_dir/ [--shard N] [--format colv1|jsonl]");
             eprintln!("  load     --store store_dir/ --out corpus.json");
-            eprintln!("  resume   --store store_dir/ [--seed N] [--topics N] [--repos N] [--max-shards N] [--format colv1|jsonl] [--retry-quarantined]");
+            eprintln!("  resume   --store store_dir/ [--seed N] [--topics N] [--repos N] [--sql P] [--max-shards N] [--format colv1|jsonl] [--retry-quarantined]");
             eprintln!("  migrate  store_dir/ --to <colv1|jsonl>");
             eprintln!("  index    store_dir/   (build index sidecars for fast `serve` boots)");
             eprintln!(
