@@ -19,7 +19,7 @@ use std::time::Instant;
 use gittables_bench::report::{extract_block, number_field, peak_rss_kb, write_bench_file};
 use gittables_bench::ExptArgs;
 use gittables_core::{FaultPolicy, Pipeline, PipelineConfig};
-use gittables_githost::{FaultSpec, FlakyHost, GitHost};
+use gittables_githost::{FaultSpec, FlakyHost, GitHost, HostPool, PoolPolicy};
 
 /// One measured pipeline run.
 struct Metrics {
@@ -152,6 +152,181 @@ fn measure_faulty(args: &ExptArgs, clean_tps: f64) -> FaultyMetrics {
     }
 }
 
+/// One pipeline run through a [`HostPool`] of transient-faulty replicas.
+struct PoolMetrics {
+    replicas: usize,
+    wall_secs: f64,
+    tables_per_sec: f64,
+    /// Pooled faulty throughput over clean throughput (1.0 = no overhead).
+    throughput_ratio: f64,
+    failovers: u64,
+    hedges: u64,
+    hedges_won: u64,
+    breaker_opens: u64,
+    /// Retries the *client* still performed (truncation faults — a
+    /// content-level fault the pool cannot absorb).
+    client_retries: usize,
+    corpus_identical: bool,
+}
+
+/// The full ISSUE 10 multi-backend comparison, measured in one process
+/// phase so every ratio shares one clean-run denominator (process-level
+/// warm-up drift otherwise skews cross-phase ratios).
+struct MultiBackend {
+    clean_tables_per_sec: f64,
+    /// The pool-less faulty run re-measured in this phase (the client
+    /// retry layer eats every fault — the PR 8 baseline).
+    unpooled_ratio: f64,
+    unpooled_retries: usize,
+    single: PoolMetrics,
+    double: PoolMetrics,
+    /// How much of the unpooled faulty run's throughput loss the
+    /// 2-replica pool wins back (1.0 = fault-free speed restored).
+    recovered_fraction: f64,
+}
+
+/// One pooled run: `replicas` faulty mirrors behind a deterministic-mode
+/// [`HostPool`] — replica 0 carries the *identical* fault schedule as
+/// the pool-less faulty run, extra replicas carry decorrelated
+/// schedules. Failover and hedging absorb transport errors before the
+/// client retry layer sees them.
+fn run_pool(
+    pipeline: &Pipeline,
+    clean_corpus: &gittables_corpus::Corpus,
+    clean_tps: f64,
+    seed: u64,
+    rate: f64,
+    replicas: usize,
+) -> PoolMetrics {
+    // One timed sample = one fresh pool (deterministic mode: identical
+    // schedule and stats each time). Best of two samples — allocator and
+    // page-cache noise at this working-set size otherwise dwarfs the
+    // pool's own cost.
+    let sample = || {
+        let backends: Vec<FlakyHost<GitHost>> = (0..replicas)
+            .map(|i| {
+                let host = GitHost::new();
+                pipeline.populate_host(&host);
+                FlakyHost::new(host, FaultSpec::transient(seed + i as u64, rate))
+            })
+            .collect();
+        let pool = HostPool::new(
+            backends,
+            PoolPolicy {
+                seed,
+                deterministic: true,
+                ..PoolPolicy::default()
+            },
+        );
+        let start = Instant::now();
+        let (corpus, report) = pipeline.run_parallel(&pool);
+        let wall = start.elapsed().as_secs_f64();
+        (wall, corpus, report, pool.stats())
+    };
+    let a = sample();
+    let b = sample();
+    let (wall, corpus, report, stats) = if a.0 <= b.0 { a } else { b };
+    let tps = report.kept as f64 / wall;
+    PoolMetrics {
+        replicas,
+        wall_secs: wall,
+        tables_per_sec: tps,
+        throughput_ratio: if clean_tps > 0.0 {
+            tps / clean_tps
+        } else {
+            0.0
+        },
+        failovers: stats.failovers,
+        hedges: stats.hedges,
+        hedges_won: stats.hedges_won,
+        breaker_opens: stats.breaker_opens(),
+        client_retries: report.retries,
+        corpus_identical: corpus == *clean_corpus,
+    }
+}
+
+fn measure_multi_backend(args: &ExptArgs) -> MultiBackend {
+    const RATE: f64 = 0.05;
+    let base = gittables_bench::build_pipeline(args);
+    let pipeline = Pipeline::new(PipelineConfig {
+        fault: FaultPolicy {
+            sleep: false,
+            repo_retry_budget: u32::MAX,
+            ..FaultPolicy::default()
+        },
+        ..base.config
+    });
+    let clean_host = GitHost::new();
+    pipeline.populate_host(&clean_host);
+    // Warm-up, then the phase-local clean denominator (best of two).
+    let (_, _) = pipeline.run_parallel(&clean_host);
+    let start = Instant::now();
+    let (_, _) = pipeline.run_parallel(&clean_host);
+    let clean_a = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let (clean_corpus, clean_report) = pipeline.run_parallel(&clean_host);
+    let clean_tps = clean_report.kept as f64 / start.elapsed().as_secs_f64().min(clean_a);
+
+    // The unpooled faulty baseline, also best of two fresh fault
+    // schedules (a `FlakyHost`'s per-key attempt counters advance across
+    // runs, so reuse would change the schedule).
+    let mut unpooled_tps = 0.0f64;
+    let mut unpooled_retries = 0;
+    for _ in 0..2 {
+        let flaky = FlakyHost::new(
+            {
+                let host = GitHost::new();
+                pipeline.populate_host(&host);
+                host
+            },
+            FaultSpec::transient(args.seed, RATE),
+        );
+        let start = Instant::now();
+        let (corpus, report) = pipeline.run_parallel(&flaky);
+        let tps = report.kept as f64 / start.elapsed().as_secs_f64();
+        assert!(corpus == clean_corpus, "unpooled faulty corpus diverged");
+        if tps > unpooled_tps {
+            unpooled_tps = tps;
+            unpooled_retries = report.retries;
+        }
+    }
+    drop(clean_host);
+
+    let single = run_pool(&pipeline, &clean_corpus, clean_tps, args.seed, RATE, 1);
+    let double = run_pool(&pipeline, &clean_corpus, clean_tps, args.seed, RATE, 2);
+    let unpooled_ratio = unpooled_tps / clean_tps;
+    let recovered_fraction = if unpooled_ratio < 1.0 {
+        ((double.throughput_ratio - unpooled_ratio) / (1.0 - unpooled_ratio)).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    MultiBackend {
+        clean_tables_per_sec: clean_tps,
+        unpooled_ratio,
+        unpooled_retries,
+        single,
+        double,
+        recovered_fraction,
+    }
+}
+
+fn pool_json(m: &PoolMetrics, indent: &str) -> String {
+    format!(
+        "{{\n{i}  \"replicas\": {},\n{i}  \"wall_secs\": {:.4},\n{i}  \"tables_per_sec\": {:.2},\n{i}  \"throughput_ratio_vs_clean\": {:.3},\n{i}  \"failovers\": {},\n{i}  \"hedges\": {},\n{i}  \"hedges_won\": {},\n{i}  \"breaker_opens\": {},\n{i}  \"client_retries\": {},\n{i}  \"corpus_identical\": {}\n{i}}}",
+        m.replicas,
+        m.wall_secs,
+        m.tables_per_sec,
+        m.throughput_ratio,
+        m.failovers,
+        m.hedges,
+        m.hedges_won,
+        m.breaker_opens,
+        m.client_retries,
+        m.corpus_identical,
+        i = indent,
+    )
+}
+
 fn faulty_json(m: &FaultyMetrics, indent: &str) -> String {
     format!(
         "{{\n{i}  \"transient_rate\": {:.2},\n{i}  \"wall_secs\": {:.4},\n{i}  \"tables_per_sec\": {:.2},\n{i}  \"throughput_ratio_vs_clean\": {:.3},\n{i}  \"retries\": {},\n{i}  \"backoff_ms_scheduled\": {},\n{i}  \"corpus_identical\": {}\n{i}}}",
@@ -225,9 +400,25 @@ fn main() {
         0.0
     };
 
+    // Multi-backend section (ISSUE 10): 1 vs 2 replicas behind a
+    // HostPool at the same 5% transient rate, with a phase-local clean
+    // and unpooled-faulty run for comparable ratios.
+    let mb = measure_multi_backend(&args);
+    assert!(mb.single.corpus_identical, "1-replica pool corpus diverged");
+    assert!(mb.double.corpus_identical, "2-replica pool corpus diverged");
+
     let config = format!(
         "{{ \"seed\": {}, \"topics\": {}, \"repos\": {} }}",
         args.seed, args.topics, args.repos
+    );
+    let pool_section = format!(
+        "\"multi_backend\": {{\n    \"transient_rate\": 0.05,\n    \"clean_tables_per_sec\": {:.2},\n    \"unpooled_throughput_ratio\": {:.3},\n    \"unpooled_client_retries\": {},\n    \"single_replica\": {},\n    \"two_replicas\": {},\n    \"recovered_fraction_of_faulty_loss\": {:.3}\n  }}",
+        mb.clean_tables_per_sec,
+        mb.unpooled_ratio,
+        mb.unpooled_retries,
+        pool_json(&mb.single, "    "),
+        pool_json(&mb.double, "    "),
+        mb.recovered_fraction,
     );
     let sql_sections = format!(
         "\"sql_corpus\": {},\n  \"mixed_corpus\": {},\n  \"sql_vs_csv_mb_per_sec\": {sql_vs_csv:.3}",
@@ -238,13 +429,13 @@ fn main() {
         Some((baseline_block, baseline_tps)) if baseline_tps > 0.0 => {
             let speedup = m.tables_per_sec / baseline_tps;
             format!(
-                "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {baseline_block},\n  \"after\": {},\n  \"speedup_tables_per_sec\": {speedup:.2},\n  \"faulty_run\": {},\n  {sql_sections}\n}}\n",
+                "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {baseline_block},\n  \"after\": {},\n  \"speedup_tables_per_sec\": {speedup:.2},\n  \"faulty_run\": {},\n  {pool_section},\n  {sql_sections}\n}}\n",
                 metrics_json(&m, "  "),
                 faulty_json(&f, "  "),
             )
         }
         _ => format!(
-            "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {},\n  \"faulty_run\": {},\n  {sql_sections}\n}}\n",
+            "{{\n  \"bench\": \"pipeline_end_to_end\",\n  \"config\": {config},\n  \"baseline\": {},\n  \"faulty_run\": {},\n  {pool_section},\n  {sql_sections}\n}}\n",
             metrics_json(&m, "  "),
             faulty_json(&f, "  "),
         ),

@@ -43,6 +43,7 @@
 
 pub mod apps;
 pub mod config;
+pub mod crawl;
 pub mod extract;
 pub mod parse;
 pub mod pipeline;
@@ -51,6 +52,7 @@ pub mod shift;
 pub mod t2d_eval;
 
 pub use config::{FaultPolicy, PipelineConfig};
+pub use crawl::{crawl, CrawlOptions, CrawlState, CrawlSummary, PassOutcome, RepoCooldown};
 pub use extract::{extract_topic, RawCsvFile};
 pub use parse::{parse_file, parse_file_tables, ParseFailure};
 pub use pipeline::{Pipeline, PipelineReport, Quarantined, StoreRun};

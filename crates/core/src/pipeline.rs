@@ -1,7 +1,8 @@
 //! The orchestrating [`Pipeline`]: populate → extract → parse → curate →
 //! annotate → anonymize → assemble (Fig. 1 of the paper).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use gittables_annotate::{
@@ -157,6 +158,13 @@ pub struct StoreRun {
     pub shards_written: usize,
     /// Repository shards skipped because the store already held them.
     pub shards_skipped: usize,
+    /// Pending shards left unprocessed because a stop was requested
+    /// mid-run; a later resume picks them up.
+    pub shards_deferred: usize,
+    /// Whether a stop flag cut this run short. The store is still
+    /// consistent: in-flight shards finished and committed, deferred
+    /// shards were never begun.
+    pub interrupted: bool,
 }
 
 /// The end-to-end pipeline. Construction builds both ontologies and all four
@@ -501,6 +509,8 @@ impl Pipeline {
                         }],
                     );
                 }
+                // In-memory runs never defer (no stop flag is threaded).
+                ShardOutcome::Deferred { files } => report.fetched -= files,
             }
         }
         results.sort_by_key(|(i, _)| *i);
@@ -639,6 +649,51 @@ impl Pipeline {
         max_new_shards: Option<usize>,
         retry_quarantined: bool,
     ) -> Result<StoreRun, StoreError> {
+        let retry = if retry_quarantined {
+            RetrySelection::All
+        } else {
+            RetrySelection::None
+        };
+        self.run_to_store_inner(host, store, max_new_shards, &retry, None)
+    }
+
+    /// The crawl daemon's store run: like [`Pipeline::run_to_store_opts`]
+    /// but with *selective* quarantine retry — only the repositories in
+    /// `retry_repos` are re-attempted (the daemon's cooldown scheduler
+    /// decides which are eligible); the rest stay sticky — and an
+    /// optional cooperative `stop` flag. When `stop` becomes true,
+    /// in-flight shards finish and commit atomically but no new shard is
+    /// begun; the remaining shards are reported in
+    /// [`StoreRun::shards_deferred`] and the run is marked
+    /// [`StoreRun::interrupted`].
+    ///
+    /// # Errors
+    /// As [`Pipeline::run_to_store_bounded`].
+    pub fn run_to_store_crawl(
+        &self,
+        host: &dyn CodeHost,
+        store: &CorpusStore,
+        max_new_shards: Option<usize>,
+        retry_repos: &HashSet<String>,
+        stop: Option<&AtomicBool>,
+    ) -> Result<StoreRun, StoreError> {
+        self.run_to_store_inner(
+            host,
+            store,
+            max_new_shards,
+            &RetrySelection::Repos(retry_repos),
+            stop,
+        )
+    }
+
+    fn run_to_store_inner(
+        &self,
+        host: &dyn CodeHost,
+        store: &CorpusStore,
+        max_new_shards: Option<usize>,
+        retry: &RetrySelection<'_>,
+        stop: Option<&AtomicBool>,
+    ) -> Result<StoreRun, StoreError> {
         use rayon::prelude::*;
 
         // Refuse to interleave two corpora: a store created for a different
@@ -652,10 +707,14 @@ impl Pipeline {
         }
 
         let log = QuarantineLog::load(store.path()).map_err(StoreError::Io)?;
-        let skip = if retry_quarantined {
-            HashMap::new()
-        } else {
-            log.skip_map()
+        let skip = match retry {
+            RetrySelection::All => HashMap::new(),
+            RetrySelection::None => log.skip_map(),
+            RetrySelection::Repos(repos) => {
+                let mut skip = log.skip_map();
+                skip.retain(|name, _| !repos.contains(name));
+                skip
+            }
         };
         let (raw_files, mut report) = self.extract_stage(host, skip);
         let shards = shard_by_repository(&raw_files);
@@ -685,8 +744,16 @@ impl Pipeline {
         let written: Vec<Result<ShardOutcome, StoreError>> = pending
             .par_iter()
             .map(|(repo, id, files)| {
+                // A stop request defers shards that have not started:
+                // whatever is already processing runs to its commit (the
+                // durability point), so shutdown is graceful and atomic.
+                if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                    return Ok(ShardOutcome::Deferred { files: files.len() });
+                }
                 match self.process_shard(repo, files) {
-                    outcome @ ShardOutcome::Panicked { .. } => Ok(outcome),
+                    outcome @ (ShardOutcome::Panicked { .. } | ShardOutcome::Deferred { .. }) => {
+                        Ok(outcome)
+                    }
                     ShardOutcome::Done(local, local_report) => {
                         let mut writer = store.begin_shard(id)?;
                         for (i, at) in &local {
@@ -710,6 +777,7 @@ impl Pipeline {
         // this equals the `run_parallel` value.
         report.fetched -= deferred_files;
         let mut panicked = 0usize;
+        let mut stop_deferred = 0usize;
         for local in written {
             match local? {
                 ShardOutcome::Done(_, local_report) => report.merge(local_report),
@@ -723,6 +791,13 @@ impl Pipeline {
                             reason: "worker panic".to_string(),
                         }],
                     );
+                }
+                // Stop-deferred shards leave the report like
+                // `max_new_shards`-deferred ones: their files exit
+                // `fetched` so partial reports stay self-consistent.
+                ShardOutcome::Deferred { files } => {
+                    stop_deferred += 1;
+                    report.fetched -= files;
                 }
             }
         }
@@ -770,10 +845,23 @@ impl Pipeline {
         Ok(StoreRun {
             corpus,
             report,
-            shards_written: pending.len() - panicked,
+            shards_written: pending.len() - panicked - stop_deferred,
             shards_skipped: skipped.len(),
+            shards_deferred: stop_deferred,
+            interrupted: stop.is_some_and(|s| s.load(Ordering::Relaxed)),
         })
     }
+}
+
+/// Which quarantined repositories a store run re-attempts.
+enum RetrySelection<'a> {
+    /// None: the full sticky-quarantine skip.
+    None,
+    /// Every quarantined repository (`--retry-quarantined`).
+    All,
+    /// Only the named repositories (the crawl daemon's cooldown-eligible
+    /// drain set).
+    Repos(&'a HashSet<String>),
 }
 
 /// The result of processing one repository shard: its tables and partial
@@ -786,6 +874,12 @@ enum ShardOutcome {
     Panicked {
         /// Repository `owner/name`.
         repo: String,
+        /// Files the shard held.
+        files: usize,
+    },
+    /// A stop request arrived before this shard started; its files leave
+    /// `fetched` like `max_new_shards`-deferred ones.
+    Deferred {
         /// Files the shard held.
         files: usize,
     },

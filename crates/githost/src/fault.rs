@@ -45,6 +45,12 @@ pub struct FaultSpec {
     /// Forced-success ceiling: an operation never fails transiently (or
     /// truncated) more than this many times in a row.
     pub max_consecutive: u32,
+    /// Seed of the *corruption* schedule, when it should differ from
+    /// [`FaultSpec::seed`]. Replica mirrors of the same upstream serve
+    /// the same bytes, so a pool of [`FlakyHost`] replicas models
+    /// "content is corrupt at the source" by sharing one `corrupt_seed`
+    /// across per-replica transient seeds. `None` falls back to `seed`.
+    pub corrupt_seed: Option<u64>,
 }
 
 impl Default for FaultSpec {
@@ -55,6 +61,7 @@ impl Default for FaultSpec {
             truncate_rate: 0.0,
             corrupt_rate: 0.0,
             max_consecutive: 2,
+            corrupt_seed: None,
         }
     }
 }
@@ -103,8 +110,9 @@ pub struct FlakyHost<H> {
 }
 
 /// Stable 64-bit mix of `(seed, key, salt)` — FNV fold then a
-/// SplitMix64 finalizer, so nearby salts decorrelate.
-fn mix(seed: u64, key: &str, salt: u64) -> u64 {
+/// SplitMix64 finalizer, so nearby salts decorrelate. Shared with the
+/// pool's deterministic routing/latency schedule.
+pub(crate) fn mix(seed: u64, key: &str, salt: u64) -> u64 {
     let mut h = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     for b in key.bytes() {
         h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
@@ -213,8 +221,9 @@ impl<H: CodeHost> CodeHost for FlakyHost<H> {
         let key = format!("fetch:{repository}/{path}");
         // Corruption is per-file and permanent: decided by the key alone,
         // independent of attempt count, so no retry ever heals it.
+        let corrupt_seed = self.spec.corrupt_seed.unwrap_or(self.spec.seed);
         if self.spec.corrupt_rate > 0.0
-            && frac(mix(self.spec.seed, &key, 0xC0FF)) < self.spec.corrupt_rate
+            && frac(mix(corrupt_seed, &key, 0xC0FF)) < self.spec.corrupt_rate
         {
             self.corrupt.fetch_add(1, Ordering::Relaxed);
             return Err(HostError::CorruptContent {
@@ -284,6 +293,7 @@ mod tests {
             truncate_rate: 0.3,
             corrupt_rate: 0.1,
             max_consecutive: 3,
+            ..FaultSpec::default()
         };
         let a = FlakyHost::new(sample_host(), spec.clone());
         let b = FlakyHost::new(sample_host(), spec);

@@ -84,6 +84,14 @@ pub trait CodeHost: Sync {
     /// A transient [`HostError`] when the download fails, or
     /// [`HostError::CorruptContent`] when the bytes fail validation.
     fn fetch(&self, repository: &str, path: &str) -> Result<Option<String>, HostError>;
+
+    /// Scheduling statistics when this host routes across replicas
+    /// ([`crate::HostPool`] overrides this); `None` for plain hosts.
+    /// Lets callers (the crawl daemon's per-pass report) snapshot pool
+    /// health without knowing the concrete host type.
+    fn pool_stats(&self) -> Option<crate::pool::PoolStats> {
+        None
+    }
 }
 
 /// Internal id of a stored file.

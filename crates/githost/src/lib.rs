@@ -34,14 +34,21 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod fault;
 pub mod host;
 pub mod model;
+pub mod pool;
 pub mod search;
 
+pub use clock::{sleep_full, sleep_until_stop, PoolClock};
 pub use fault::{FaultCounts, FaultSpec, FlakyHost};
 pub use host::{CodeHost, GitHost, HostError};
 pub use model::{FileKind, RepoFile, Repository};
+pub use pool::{
+    BreakerPolicy, BreakerState, CircuitBreaker, HedgePolicy, HostPool, PoolPolicy, PoolStats,
+    RateBudget, ReplicaStats,
+};
 pub use search::{
     Query, SearchApi, SearchResponse, SearchResult, MAX_RESULTS_PER_QUERY, PAGE_SIZE,
 };

@@ -42,6 +42,17 @@ pub enum SqlError {
         /// Byte offset where the statement started.
         offset: usize,
     },
+    /// A single statement (text plus any `COPY` data block) exceeded
+    /// [`crate::SqlReadOptions::max_statement_bytes`] — the adversarial
+    /// "whole payload in one statement" shape.
+    StatementTooLarge {
+        /// Byte offset where the statement started.
+        offset: usize,
+        /// Size of the offending statement in bytes.
+        size: usize,
+        /// The configured limit it exceeded.
+        limit: usize,
+    },
     /// The dump parsed but yielded no table with at least one data row.
     NoTables,
 }
@@ -69,6 +80,16 @@ impl fmt::Display for SqlError {
             SqlError::TruncatedStatement { offset } => {
                 write!(f, "truncated statement starting at byte {offset}")
             }
+            SqlError::StatementTooLarge {
+                offset,
+                size,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "statement at byte {offset} is {size} bytes, over the {limit}-byte limit"
+                )
+            }
             SqlError::NoTables => write!(f, "no tables with data rows"),
         }
     }
@@ -93,5 +114,12 @@ mod tests {
         assert!(SqlError::TruncatedStatement { offset: 0 }
             .to_string()
             .contains("truncated"));
+        let too_large = SqlError::StatementTooLarge {
+            offset: 2,
+            size: 900,
+            limit: 64,
+        };
+        assert!(too_large.to_string().contains("900"));
+        assert!(too_large.to_string().contains("64"));
     }
 }

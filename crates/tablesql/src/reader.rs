@@ -27,6 +27,13 @@ pub struct SqlReadOptions {
     pub max_rows: usize,
     /// Maximum distinct tables decoded per dump; later tables are ignored.
     pub max_tables: usize,
+    /// Maximum bytes of a single statement (its text plus any `COPY`
+    /// data block). An adversarial dump concentrating its whole payload
+    /// in one giant statement errors as a typed
+    /// [`SqlError::StatementTooLarge`] — counted as `parse_failed` by the
+    /// pipeline — instead of being decoded into unbounded cell
+    /// allocations. Zero disables the guard.
+    pub max_statement_bytes: usize,
 }
 
 impl Default for SqlReadOptions {
@@ -35,6 +42,7 @@ impl Default for SqlReadOptions {
             dialect: None,
             max_rows: 1_000_000,
             max_tables: 256,
+            max_statement_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -91,6 +99,16 @@ pub fn read_sql_tables(input: &str, options: &SqlReadOptions) -> Result<ParsedSq
     let mut statements = 0usize;
     while let Some(stmt) = splitter.next_statement()? {
         statements += 1;
+        if options.max_statement_bytes > 0 {
+            let size = stmt.text.len() + stmt.copy_data.map_or(0, str::len);
+            if size > options.max_statement_bytes {
+                return Err(SqlError::StatementTooLarge {
+                    offset: stmt.offset,
+                    size,
+                    limit: options.max_statement_bytes,
+                });
+            }
+        }
         decode_statement(&stmt, dialect, &mut builders)?;
     }
     let bad_rows = builders.bad_rows;
@@ -865,6 +883,50 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.tables[0].num_rows(), 2);
+    }
+
+    #[test]
+    fn oversized_statement_is_typed_error() {
+        let opts = SqlReadOptions {
+            max_statement_bytes: 64,
+            ..SqlReadOptions::default()
+        };
+        // The payload is concentrated in one giant INSERT.
+        let dump = format!(
+            "CREATE TABLE t (a text);\nINSERT INTO t VALUES ('{}');\n",
+            "x".repeat(200)
+        );
+        let err = read_sql_tables(&dump, &opts).unwrap_err();
+        assert!(
+            matches!(err, SqlError::StatementTooLarge { limit: 64, .. }),
+            "{err:?}"
+        );
+        // A COPY data block counts toward its statement's size.
+        let copy = format!("COPY t (a) FROM stdin;\n{}\\.\n", "y\n".repeat(100));
+        let err = read_sql_tables(&copy, &opts).unwrap_err();
+        assert!(matches!(err, SqlError::StatementTooLarge { .. }), "{err:?}");
+        // The same dumps parse fine with the guard disabled.
+        assert!(read_sql_tables(
+            &dump,
+            &SqlReadOptions {
+                max_statement_bytes: 0,
+                ..SqlReadOptions::default()
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn small_statements_pass_under_the_guard() {
+        let p = read_sql_tables(
+            "CREATE TABLE t (a int);\nINSERT INTO t VALUES (1);\n",
+            &SqlReadOptions {
+                max_statement_bytes: 64,
+                ..SqlReadOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(p.tables[0].num_rows(), 1);
     }
 
     #[test]

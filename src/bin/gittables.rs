@@ -13,6 +13,7 @@
 //! gittables save    --corpus corpus.json --out store_dir/ [--shard 256] [--format colv1|jsonl]
 //! gittables load    --store store_dir/ --out corpus.json
 //! gittables resume  --store store_dir/ [--seed 42] [--topics 10] [--repos 40] [--sql 0.0] [--max-shards N] [--format colv1|jsonl] [--retry-quarantined]
+//! gittables crawl   store_dir/ [--passes N] [--interval-ms N] [--max-shards N] [--drain-every N] [--replicas N] [--fault-rate P] [--corrupt-rate P] [--fault-seed N]
 //! gittables migrate store_dir/ --to <colv1|jsonl>
 //! gittables index   store_dir/
 //! gittables serve   store_dir/ [--addr 127.0.0.1:7878] [--threads 4] [--cache 1024]
@@ -27,7 +28,11 @@
 //! let `serve` boot straight off the mapped files; `serve` boots a query
 //! engine over a store (sidecar path when a fresh sidecar set exists,
 //! materialized rebuild otherwise) and answers HTTP queries against it
-//! until `/shutdown`.
+//! until `/shutdown`; `crawl` is the long-running daemon: repeated
+//! incremental passes over a replica [`HostPool`] (with optional
+//! injected faults for chaos drills), scheduled quarantine drains with
+//! exponential per-repo cooldowns, per-pass pool/breaker stats, and
+//! graceful SIGTERM/SIGINT shutdown that commits in-flight shards.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,7 +40,7 @@ use std::process::ExitCode;
 use gittables_core::apps::{DataSearch, NearestCompletion};
 use gittables_core::{Pipeline, PipelineConfig};
 use gittables_corpus::{persist, AnnotationStats, Corpus, CorpusStats};
-use gittables_githost::GitHost;
+use gittables_githost::{FaultSpec, FlakyHost, GitHost, HostPool, PoolPolicy};
 use gittables_serve::{Server, ServerConfig};
 
 fn opt(args: &[String], key: &str) -> Option<String> {
@@ -345,6 +350,129 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_crawl(args: &[String]) -> Result<(), String> {
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .or_else(|| opt(args, "--store"))
+        .ok_or("missing store directory (crawl <store-dir>)")?;
+    let passes = num(args, "--passes", 0u64);
+    let interval_ms = num(args, "--interval-ms", 1_000u64);
+    let max_shards = match opt(args, "--max-shards") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("invalid --max-shards value: {v}"))?,
+        ),
+        None => None,
+    };
+    let drain_every = num(args, "--drain-every", 2u64);
+    let cooldown_base = num(args, "--cooldown-base", 1u64);
+    let replicas = num(args, "--replicas", 2usize).max(1);
+    let fault_rate = num(args, "--fault-rate", 0.0f64).clamp(0.0, 1.0);
+    let corrupt_rate = num(args, "--corrupt-rate", 0.0f64).clamp(0.0, 1.0);
+    let fault_seed = num(args, "--fault-seed", 1u64);
+
+    // Handlers go in before the (slow) replica population so an early
+    // SIGTERM stops the daemon gracefully instead of killing it.
+    let stop = gittables_core::crawl::signals::install();
+
+    let config = sized_config(args);
+    let (seed, topics, repos) = (config.seed, config.topics.len(), config.repos_per_topic);
+    let pipeline = Pipeline::new(config);
+    let store = gittables_corpus::CorpusStore::open_or_create_with_format(
+        PathBuf::from(&dir),
+        pipeline.corpus_name(),
+        store_format(args)?,
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Replica mirrors of one upstream: identical content and a shared
+    // corruption schedule, independent transient-fault schedules.
+    let backends: Vec<FlakyHost<GitHost>> = (0..replicas)
+        .map(|i| {
+            let host = GitHost::new();
+            pipeline.populate_host(&host);
+            FlakyHost::new(
+                host,
+                FaultSpec {
+                    seed: fault_seed.wrapping_add(i as u64),
+                    transient_rate: fault_rate,
+                    corrupt_rate,
+                    corrupt_seed: Some(fault_seed),
+                    ..FaultSpec::default()
+                },
+            )
+        })
+        .collect();
+    let pool = HostPool::new(
+        backends,
+        PoolPolicy {
+            seed: fault_seed,
+            ..PoolPolicy::default()
+        },
+    );
+
+    let options = gittables_core::CrawlOptions {
+        passes: (passes > 0).then_some(passes),
+        interval: std::time::Duration::from_millis(interval_ms),
+        max_shards_per_pass: max_shards,
+        drain_every,
+        cooldown_base_passes: cooldown_base,
+    };
+    eprintln!(
+        "crawling into {dir} ({} format): seed {seed}, {topics} topics x {repos} repos, {replicas} replica(s), {} pass budget",
+        store.format(),
+        if passes > 0 {
+            passes.to_string()
+        } else {
+            "unbounded".to_string()
+        }
+    );
+    let summary = gittables_core::crawl(&pipeline, &pool, &store, &options, stop, |p| {
+        eprintln!(
+            "pass {}: +{} shards ({} skipped, {} deferred), corpus {} tables, {} quarantined",
+            p.pass,
+            p.run.shards_written,
+            p.run.shards_skipped,
+            p.run.shards_deferred,
+            p.run.corpus.len(),
+            p.quarantined
+        );
+        if !p.drained.is_empty() {
+            eprintln!(
+                "  drain: re-attempted {} quarantined repo(s), healed {}",
+                p.drained.len(),
+                p.healed.len()
+            );
+        }
+        if let Some(pool) = &p.pool {
+            eprintln!(
+                "  pool: {} ops, {} failovers, {} hedges ({} won), {} budget waits, {} breaker opens",
+                pool.operations,
+                pool.failovers,
+                pool.hedges,
+                pool.hedges_won,
+                pool.budget_waits,
+                pool.breaker_opens()
+            );
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "crawl {}: {} pass(es) this run ({} lifetime), {} repositories quarantined",
+        if summary.interrupted {
+            "interrupted — store is consistent, restart to continue"
+        } else {
+            "finished"
+        },
+        summary.passes_run,
+        summary.pass,
+        summary.quarantined
+    );
+    Ok(())
+}
+
 fn cmd_index(args: &[String]) -> Result<(), String> {
     let dir = args
         .first()
@@ -426,11 +554,12 @@ fn main() -> ExitCode {
         Some("save") => cmd_save(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
+        Some("crawl") => cmd_crawl(&args[1..]),
         Some("migrate") => cmd_migrate(&args[1..]),
         Some("index") => cmd_index(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: gittables <build|stats|search|complete|annotate|export|union|dedup|save|load|resume|migrate|index|serve> [options]");
+            eprintln!("usage: gittables <build|stats|search|complete|annotate|export|union|dedup|save|load|resume|crawl|migrate|index|serve> [options]");
             eprintln!("  build    --out corpus.json [--seed N] [--topics N] [--repos N] [--sql P]");
             eprintln!("  stats    --corpus corpus.json");
             eprintln!("  search   --corpus corpus.json --query \"...\" [--k N]");
@@ -442,6 +571,7 @@ fn main() -> ExitCode {
             eprintln!("  save     --corpus corpus.json --out store_dir/ [--shard N] [--format colv1|jsonl]");
             eprintln!("  load     --store store_dir/ --out corpus.json");
             eprintln!("  resume   --store store_dir/ [--seed N] [--topics N] [--repos N] [--sql P] [--max-shards N] [--format colv1|jsonl] [--retry-quarantined]");
+            eprintln!("  crawl    store_dir/ [--passes N (0 = until SIGTERM)] [--interval-ms N] [--max-shards N] [--drain-every N] [--cooldown-base N] [--replicas N] [--fault-rate P] [--corrupt-rate P] [--fault-seed N]");
             eprintln!("  migrate  store_dir/ --to <colv1|jsonl>");
             eprintln!("  index    store_dir/   (build index sidecars for fast `serve` boots)");
             eprintln!(

@@ -11,7 +11,9 @@ use std::collections::HashSet;
 use gittables_core::{FaultPolicy, Pipeline, PipelineConfig, QuarantineLog};
 use gittables_corpus::store::CorpusStore;
 use gittables_corpus::Corpus;
-use gittables_githost::{FaultSpec, FlakyHost, GitHost, RepoFile, Repository};
+use gittables_githost::{
+    FaultSpec, FlakyHost, GitHost, HostPool, PoolPolicy, RateBudget, RepoFile, Repository,
+};
 
 /// The laptop-scale config with backoff sleeping disabled: delays are
 /// still scheduled and accounted (`report.backoff_ms`), the suite just
@@ -296,4 +298,160 @@ fn poisoned_table_quarantines_repository_not_the_run() {
         assert_eq!(corpus, clean_corpus);
         assert_eq!(report.parsed + report.parse_failed, report.fetched);
     }
+}
+
+/// Builds a deterministic-mode pool of `replicas` transient-faulty
+/// mirrors of `pipeline`'s host. Per-replica fault schedules differ
+/// (seed + index) while hedging and a modest rate budget stay active, so
+/// the oracle exercises every scheduling path. Only transport errors are
+/// injected — truncation is a *content*-level fault the client detects
+/// against the advertised size (the single-host oracle covers it), so
+/// the pool cannot and should not absorb it.
+fn transient_pool(
+    pipeline: &Pipeline,
+    replicas: usize,
+    rate: f64,
+    seed: u64,
+) -> HostPool<FlakyHost<GitHost>> {
+    let backends: Vec<FlakyHost<GitHost>> = (0..replicas)
+        .map(|i| {
+            FlakyHost::new(
+                populated(pipeline),
+                FaultSpec {
+                    seed: seed + i as u64,
+                    transient_rate: rate,
+                    ..FaultSpec::default()
+                },
+            )
+        })
+        .collect();
+    HostPool::new(
+        backends,
+        PoolPolicy {
+            seed,
+            max_attempts: 10,
+            budget: Some(RateBudget {
+                capacity: 8,
+                refill_interval_ms: 5,
+            }),
+            deterministic: true,
+            ..PoolPolicy::default()
+        },
+    )
+}
+
+/// The multi-backend extension of the headline oracle: with only
+/// transient faults across a 2-replica [`HostPool`] — including hedged
+/// and failed-over operations — the corpus AND the report are
+/// bit-identical to the fault-free single-host run, in serial, parallel,
+/// and store-resumed modes. The pool absorbs every fault before the
+/// retry layer can even see it.
+#[test]
+fn transient_faults_over_host_pool_are_invisible() {
+    let pipeline = Pipeline::new(cfg(83));
+    let (clean_corpus, clean_report) = pipeline.run_parallel(&populated(&pipeline));
+
+    let pool_serial = transient_pool(&pipeline, 2, 0.25, 17);
+    let (serial_corpus, serial_report) = pipeline.run(&pool_serial);
+    let pool_parallel = transient_pool(&pipeline, 2, 0.25, 17);
+    let (parallel_corpus, parallel_report) = pipeline.run_parallel(&pool_parallel);
+
+    // The scenario must genuinely exercise the pool: faults injected on
+    // BOTH replicas, failovers taken, hedges issued.
+    let stats = pool_serial.stats();
+    for i in 0..2 {
+        assert!(
+            pool_serial.replica(i).counts().transient > 0,
+            "replica {i} injected no faults"
+        );
+    }
+    assert!(stats.failovers > 0, "no failovers exercised: {stats:?}");
+    assert!(stats.hedges > 0, "no hedges exercised: {stats:?}");
+    assert!(
+        stats.replicas.iter().all(|r| r.served > 0),
+        "both replicas must serve traffic: {stats:?}"
+    );
+
+    // Bit-identical to the fault-free run — corpus and full report, so
+    // zero retries, zero backoff, zero quarantine leaked through.
+    assert_eq!(serial_corpus, clean_corpus);
+    assert_eq!(serial_report, clean_report);
+    assert_eq!(parallel_corpus, clean_corpus);
+    assert_eq!(parallel_report, clean_report);
+
+    // Deterministic mode: an identical pool run reproduces the exact
+    // scheduling stats, not just the corpus.
+    assert_eq!(pool_parallel.stats(), stats);
+
+    // Store-resumed mode: a capped first pass plus a completing second
+    // pass over fresh pools lands on the same corpus and an empty
+    // quarantine.
+    let dir = std::env::temp_dir().join(format!(
+        "gt_pool_oracle_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = CorpusStore::create(&dir, pipeline.corpus_name()).unwrap();
+    let first = pipeline
+        .run_to_store_opts(
+            &transient_pool(&pipeline, 2, 0.25, 17),
+            &store,
+            Some(2),
+            false,
+        )
+        .unwrap();
+    assert_eq!(first.shards_written, 2);
+    let resumed = pipeline
+        .run_to_store_opts(&transient_pool(&pipeline, 2, 0.25, 17), &store, None, false)
+        .unwrap();
+    assert_eq!(resumed.corpus, clean_corpus);
+    assert!(resumed.report.quarantined_repos.is_empty());
+    assert!(QuarantineLog::load(&dir).unwrap().repos.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A replica blackout mid-pool: one backend fails every operation, the
+/// other is healthy. The circuit breaker ejects the dead replica after
+/// its failure threshold, the pool serves everything from the survivor,
+/// and the pipeline output is exactly the fault-free run.
+#[test]
+fn replica_blackout_trips_breaker_and_leaves_no_trace() {
+    let pipeline = Pipeline::new(cfg(91));
+    let (clean_corpus, clean_report) = pipeline.run_parallel(&populated(&pipeline));
+
+    let dead = FlakyHost::new(
+        populated(&pipeline),
+        FaultSpec {
+            seed: 40,
+            transient_rate: 1.0,
+            max_consecutive: u32::MAX,
+            ..FaultSpec::default()
+        },
+    );
+    let healthy = FlakyHost::new(populated(&pipeline), FaultSpec::transient(41, 0.0));
+    let pool = HostPool::new(
+        vec![dead, healthy],
+        PoolPolicy {
+            seed: 7,
+            deterministic: true,
+            ..PoolPolicy::default()
+        },
+    );
+    let (corpus, report) = pipeline.run_parallel(&pool);
+
+    assert_eq!(corpus, clean_corpus);
+    assert_eq!(report, clean_report);
+
+    let stats = pool.stats();
+    assert!(
+        stats.breaker_opens() >= 1,
+        "dead replica's breaker never opened: {stats:?}"
+    );
+    assert_eq!(stats.replicas[0].served, 0, "dead replica served traffic");
+    assert_eq!(
+        stats.replicas[1].transient_errors, 0,
+        "healthy replica saw faults"
+    );
+    assert!(stats.replicas[1].served > 0);
 }
